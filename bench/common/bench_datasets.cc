@@ -1,0 +1,54 @@
+#include "common/bench_datasets.h"
+
+#include <cstdio>
+
+#include "storage/row_source.h"
+
+namespace tsc::bench {
+
+Dataset MakePhoneDataset(std::size_t num_customers, std::uint64_t seed) {
+  PhoneDatasetConfig config;
+  config.num_customers = num_customers;
+  config.num_days = 366;
+  config.seed = seed;
+  return GeneratePhoneDataset(config);
+}
+
+Dataset MakeStockDataset() {
+  StockDatasetConfig config;  // the paper's 381 x 128 shape by default
+  return GenerateStockDataset(config);
+}
+
+StatusOr<SvdModel> BuildSvdAtSpace(const Matrix& data, double space_percent) {
+  const SpaceBudget budget = SpaceBudget::FromPercent(
+      data.rows(), data.cols(), space_percent);
+  const std::size_t k = budget.MaxK();
+  if (k == 0) {
+    return Status::ResourceExhausted("budget below one principal component");
+  }
+  MatrixRowSource source(&data);
+  SvdBuildOptions options;
+  options.k = k;
+  return BuildSvdModel(&source, options);
+}
+
+StatusOr<SvddModel> BuildSvddAtSpace(const Matrix& data, double space_percent,
+                                     std::size_t max_candidates,
+                                     SvddBuildDiagnostics* diag) {
+  MatrixRowSource source(&data);
+  SvddBuildOptions options;
+  options.space_percent = space_percent;
+  options.max_candidates = max_candidates;
+  return BuildSvddModel(&source, options, diag);
+}
+
+std::string DatasetBanner(const Dataset& dataset) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "dataset=%s  N=%zu sequences  M=%zu points  raw=%.1f MB\n",
+                dataset.name.c_str(), dataset.rows(), dataset.cols(),
+                static_cast<double>(dataset.UncompressedBytes()) / 1e6);
+  return buf;
+}
+
+}  // namespace tsc::bench

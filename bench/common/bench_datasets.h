@@ -1,0 +1,37 @@
+#ifndef TSC_BENCH_COMMON_BENCH_DATASETS_H_
+#define TSC_BENCH_COMMON_BENCH_DATASETS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/svd_compressor.h"
+#include "core/svdd_compressor.h"
+#include "data/generators.h"
+#include "util/status.h"
+
+namespace tsc::bench {
+
+/// Synthetic stand-in for the paper's `phone2000` (2000 customers x 366
+/// days); see DESIGN.md for the substitution rationale. `num_customers`
+/// parameterizes the phoneNNNN family of Section 5.3.
+Dataset MakePhoneDataset(std::size_t num_customers = 2000,
+                         std::uint64_t seed = 42);
+
+/// Synthetic stand-in for the paper's `stocks` (381 x 128).
+Dataset MakeStockDataset();
+
+/// Builds plain SVD at the k that fills `space_percent` (Eq. 9).
+StatusOr<SvdModel> BuildSvdAtSpace(const Matrix& data, double space_percent);
+
+/// Builds SVDD at `space_percent` with the pass-2 candidate cap used by
+/// the large benches (bounds queue memory; 0 = the paper's full loop).
+StatusOr<SvddModel> BuildSvddAtSpace(const Matrix& data, double space_percent,
+                                     std::size_t max_candidates = 0,
+                                     SvddBuildDiagnostics* diag = nullptr);
+
+/// Banner printed at the top of every harness: dataset, dims, bytes.
+std::string DatasetBanner(const Dataset& dataset);
+
+}  // namespace tsc::bench
+
+#endif  // TSC_BENCH_COMMON_BENCH_DATASETS_H_

@@ -1,0 +1,184 @@
+// Microbenchmarks (google-benchmark) for the operations the paper's
+// complexity claims rest on:
+//   - single-cell reconstruction is O(k), independent of N and M;
+//   - row reconstruction is O(k * M);
+//   - the delta-table probe is O(1) and the Bloom filter cheapens misses;
+//   - a disk-backed cell read is one block access plus O(k) arithmetic.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bench_datasets.h"
+#include "core/disk_backed.h"
+#include "data/generators.h"
+#include "storage/cached_row_reader.h"
+#include "storage/row_source.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tsc::bench {
+namespace {
+
+/// Shared fixture data, built once per (N, k) shape.
+struct Built {
+  Matrix data;
+  SvddModel model;
+};
+
+Built BuildFor(std::size_t n, std::size_t m, std::size_t k) {
+  PhoneDatasetConfig config;
+  config.num_customers = n;
+  config.num_days = m;
+  config.seed = 3;
+  Built built;
+  built.data = GeneratePhoneDataset(config).values;
+  MatrixRowSource source(&built.data);
+  SvddBuildOptions options;
+  options.space_percent = 100.0;  // roomy; forced_k decides the rank
+  options.forced_k = k;
+  auto model = BuildSvddModel(&source, options);
+  TSC_CHECK_OK(model.status());
+  built.model = std::move(*model);
+  return built;
+}
+
+void BM_CellReconstructionVsK(benchmark::State& state) {
+  const std::size_t k = static_cast<std::size_t>(state.range(0));
+  static Matrix data = [] {
+    PhoneDatasetConfig config;
+    config.num_customers = 500;
+    config.num_days = 128;
+    return GeneratePhoneDataset(config).values;
+  }();
+  MatrixRowSource source(&data);
+  SvddBuildOptions options;
+  options.space_percent = 200.0;
+  options.forced_k = k;
+  auto model = BuildSvddModel(&source, options);
+  TSC_CHECK_OK(model.status());
+  Rng rng(1);
+  for (auto _ : state) {
+    const std::size_t i = rng.UniformUint64(data.rows());
+    const std::size_t j = rng.UniformUint64(data.cols());
+    benchmark::DoNotOptimize(model->ReconstructCell(i, j));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CellReconstructionVsK)->Arg(1)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_CellReconstructionVsN(benchmark::State& state) {
+  // O(k) claim: time must NOT grow with N at fixed k.
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const Built built = BuildFor(n, 64, 8);
+  Rng rng(2);
+  for (auto _ : state) {
+    const std::size_t i = rng.UniformUint64(built.data.rows());
+    const std::size_t j = rng.UniformUint64(built.data.cols());
+    benchmark::DoNotOptimize(built.model.ReconstructCell(i, j));
+  }
+}
+BENCHMARK(BM_CellReconstructionVsN)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_RowReconstruction(benchmark::State& state) {
+  const Built built = BuildFor(512, 366, static_cast<std::size_t>(state.range(0)));
+  std::vector<double> row(built.data.cols());
+  Rng rng(3);
+  for (auto _ : state) {
+    built.model.ReconstructRow(rng.UniformUint64(built.data.rows()), row);
+    benchmark::DoNotOptimize(row.data());
+  }
+}
+BENCHMARK(BM_RowReconstruction)->Arg(4)->Arg(16)->Arg(36);
+
+void BM_DeltaTableProbe(benchmark::State& state) {
+  DeltaTable table(100000);
+  Rng rng(4);
+  std::vector<std::uint64_t> keys;
+  for (int i = 0; i < 100000; ++i) {
+    keys.push_back(rng.NextUint64());
+    table.Put(keys.back(), 1.0);
+  }
+  std::size_t idx = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Get(keys[idx++ % keys.size()]));
+  }
+}
+BENCHMARK(BM_DeltaTableProbe);
+
+void BM_BloomNegativeLookup(benchmark::State& state) {
+  BloomFilter filter(100000, 10.0);
+  Rng rng(5);
+  for (int i = 0; i < 100000; ++i) filter.Add(rng.NextUint64());
+  Rng probe(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(filter.MightContain(probe.NextUint64()));
+  }
+}
+BENCHMARK(BM_BloomNegativeLookup);
+
+void BM_DiskBackedCellRead(benchmark::State& state) {
+  const Built built = BuildFor(2000, 128, 12);
+  const std::string u_path = "/tmp/tsc_bench_u.mat";
+  const std::string sidecar = "/tmp/tsc_bench_sidecar.bin";
+  TSC_CHECK_OK(ExportSvddToDisk(built.model, u_path, sidecar));
+  auto store = DiskBackedStore::Open(u_path, sidecar);
+  TSC_CHECK_OK(store.status());
+  Rng rng(7);
+  for (auto _ : state) {
+    const auto value = store->ReconstructCell(rng.UniformUint64(2000),
+                                              rng.UniformUint64(128));
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["disk_accesses_per_read"] =
+      static_cast<double>(store->disk_accesses()) /
+      static_cast<double>(state.iterations());
+}
+BENCHMARK(BM_DiskBackedCellRead);
+
+void BM_CachedRowReadSkewed(benchmark::State& state) {
+  // Buffer pool under a Zipf-hot workload: most reads hit the cache, so
+  // the per-read disk cost drops far below 1 access.
+  const std::size_t cache_blocks = static_cast<std::size_t>(state.range(0));
+  const Built built = BuildFor(4000, 64, 8);
+  const std::string path = "/tmp/tsc_bench_cached_u.mat";
+  TSC_CHECK_OK(WriteMatrixFile(path, built.data));
+  auto raw = RowStoreReader::Open(path);
+  TSC_CHECK_OK(raw.status());
+  CachedRowReader reader(std::move(*raw), cache_blocks);
+  std::vector<double> row(64);
+  Rng rng(8);
+  for (auto _ : state) {
+    const std::size_t i = rng.Bernoulli(0.9)
+                              ? rng.UniformUint64(32)     // hot rows
+                              : rng.UniformUint64(4000);  // cold tail
+    TSC_CHECK_OK(reader.ReadRow(i, row));
+    benchmark::DoNotOptimize(row.data());
+  }
+  state.counters["disk_accesses_per_read"] =
+      static_cast<double>(reader.disk_accesses()) /
+      static_cast<double>(state.iterations());
+  state.counters["cache_hit_rate"] = reader.cache().HitRate();
+}
+BENCHMARK(BM_CachedRowReadSkewed)->Arg(4)->Arg(64)->Arg(1024);
+
+void BM_SvddBuild(benchmark::State& state) {
+  PhoneDatasetConfig config;
+  config.num_customers = static_cast<std::size_t>(state.range(0));
+  config.num_days = 128;
+  const Matrix data = GeneratePhoneDataset(config).values;
+  for (auto _ : state) {
+    MatrixRowSource source(&data);
+    SvddBuildOptions options;
+    options.space_percent = 10.0;
+    options.max_candidates = 8;
+    auto model = BuildSvddModel(&source, options);
+    benchmark::DoNotOptimize(model);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size() * 8));
+}
+BENCHMARK(BM_SvddBuild)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace tsc::bench
+
+BENCHMARK_MAIN();

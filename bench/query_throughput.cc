@@ -1,0 +1,164 @@
+// End-to-end serving comparison — the operational story behind the
+// paper's Section 1 motivation. One mixed ad hoc workload (single-cell
+// probes + avg aggregates over ~5% regions) is answered three ways:
+//
+//   raw file        the uncompressed matrix on disk; cells cost one
+//                   block read, aggregates read every selected row
+//   svdd disk       the paper's serving layout (U on disk, V + deltas
+//                   pinned); cells cost one block read of a file ~20x
+//                   smaller, aggregates one U-row read per selected row
+//   svdd memory     the whole model in memory (possible exactly because
+//                   it is 5% of the raw size); zero disk accesses
+//
+// Reported: footprint, simulated disk accesses, wall time, and the
+// aggregate accuracy sacrificed for the speed.
+//
+// Flags: --rows=5000 --space=5 --cells=500 --aggregates=25
+
+#include <cstdio>
+
+#include "common/bench_datasets.h"
+#include "core/disk_backed.h"
+#include "core/query.h"
+#include "core/svdd_compressor.h"
+#include "storage/row_store.h"
+#include "util/flags.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace {
+
+struct Workload {
+  std::vector<std::pair<std::size_t, std::size_t>> cells;
+  std::vector<tsc::RegionQuery> aggregates;
+  std::vector<double> exact_answers;
+};
+
+Workload MakeWorkload(const tsc::Matrix& x, int cells, int aggregates) {
+  Workload workload;
+  tsc::Rng rng(404);
+  for (int q = 0; q < cells; ++q) {
+    workload.cells.emplace_back(rng.UniformUint64(x.rows()),
+                                rng.UniformUint64(x.cols()));
+  }
+  for (int q = 0; q < aggregates; ++q) {
+    workload.aggregates.push_back(tsc::MakeRandomRegionQuery(
+        x.rows(), x.cols(), 0.05, tsc::AggregateFn::kAvg, &rng));
+    workload.exact_answers.push_back(
+        tsc::EvaluateAggregate(x, workload.aggregates.back()));
+  }
+  return workload;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tsc::FlagParser flags(argc, argv);
+  const std::size_t rows = static_cast<std::size_t>(flags.GetInt("rows", 5000));
+  const double space = flags.GetDouble("space", 5.0);
+  const int cells = static_cast<int>(flags.GetInt("cells", 500));
+  const int aggregates = static_cast<int>(flags.GetInt("aggregates", 25));
+
+  std::printf("=== ad hoc serving: raw disk vs SVDD layouts ===\n\n");
+  const tsc::Dataset dataset = tsc::bench::MakePhoneDataset(rows);
+  const tsc::Matrix& x = dataset.values;
+  std::printf("%s", tsc::bench::DatasetBanner(dataset).c_str());
+  std::printf("workload: %d cell probes + %d avg aggregates (~5%% regions)\n\n",
+              cells, aggregates);
+  const Workload workload = MakeWorkload(x, cells, aggregates);
+
+  const std::string raw_path = "/tmp/tsc_throughput_raw.mat";
+  TSC_CHECK_OK(tsc::WriteMatrixFile(raw_path, x));
+  const auto model = tsc::bench::BuildSvddAtSpace(x, space, 16);
+  TSC_CHECK_OK(model.status());
+  const std::string u_path = "/tmp/tsc_throughput_u.mat";
+  const std::string side_path = "/tmp/tsc_throughput_side.bin";
+  TSC_CHECK_OK(tsc::ExportSvddToDisk(*model, u_path, side_path));
+
+  tsc::TablePrinter table({"serving config", "footprint MB", "disk accesses",
+                           "wall ms", "agg err%"});
+
+  // --- raw file -----------------------------------------------------------
+  {
+    auto reader = tsc::RowStoreReader::Open(raw_path);
+    TSC_CHECK_OK(reader.status());
+    tsc::Timer timer;
+    for (const auto& [i, j] : workload.cells) {
+      TSC_CHECK_OK(reader->ReadCell(i, j).status());
+    }
+    std::vector<double> row(x.cols());
+    tsc::RunningStats err;
+    for (std::size_t q = 0; q < workload.aggregates.size(); ++q) {
+      const tsc::RegionQuery& query = workload.aggregates[q];
+      tsc::RunningStats agg;
+      for (const std::size_t i : query.row_ids) {
+        TSC_CHECK_OK(reader->ReadRow(i, row));
+        for (const std::size_t j : query.col_ids) agg.Add(row[j]);
+      }
+      err.Add(tsc::QueryError(workload.exact_answers[q], agg.mean()));
+    }
+    table.AddRow({"raw file on disk",
+                  tsc::TablePrinter::Num(reader->file_bytes() / 1e6),
+                  std::to_string(reader->counter().accesses()),
+                  tsc::TablePrinter::Num(timer.ElapsedMillis(), 4),
+                  tsc::TablePrinter::Percent(100.0 * err.mean())});
+  }
+
+  // --- svdd, U on disk ------------------------------------------------------
+  {
+    auto store = tsc::DiskBackedStore::Open(u_path, side_path);
+    TSC_CHECK_OK(store.status());
+    tsc::Timer timer;
+    for (const auto& [i, j] : workload.cells) {
+      TSC_CHECK_OK(store->ReconstructCell(i, j).status());
+    }
+    std::vector<double> row(x.cols());
+    tsc::RunningStats err;
+    for (std::size_t q = 0; q < workload.aggregates.size(); ++q) {
+      const tsc::RegionQuery& query = workload.aggregates[q];
+      tsc::RunningStats agg;
+      for (const std::size_t i : query.row_ids) {
+        TSC_CHECK_OK(store->ReconstructRow(i, row));
+        for (const std::size_t j : query.col_ids) agg.Add(row[j]);
+      }
+      err.Add(tsc::QueryError(workload.exact_answers[q], agg.mean()));
+    }
+    auto u_reader = tsc::RowStoreReader::Open(u_path);
+    const double footprint =
+        (u_reader.ok() ? u_reader->file_bytes() : 0) / 1e6;
+    table.AddRow({"svdd, U on disk", tsc::TablePrinter::Num(footprint),
+                  std::to_string(store->disk_accesses()),
+                  tsc::TablePrinter::Num(timer.ElapsedMillis(), 4),
+                  tsc::TablePrinter::Percent(100.0 * err.mean())});
+  }
+
+  // --- svdd fully in memory -------------------------------------------------
+  {
+    tsc::Timer timer;
+    for (const auto& [i, j] : workload.cells) {
+      (void)model->ReconstructCell(i, j);
+    }
+    tsc::RunningStats err;
+    for (std::size_t q = 0; q < workload.aggregates.size(); ++q) {
+      const double approx =
+          tsc::EvaluateAggregate(*model, workload.aggregates[q]);
+      err.Add(tsc::QueryError(workload.exact_answers[q], approx));
+    }
+    table.AddRow({"svdd in memory",
+                  tsc::TablePrinter::Num(model->CompressedBytes() / 1e6),
+                  "0", tsc::TablePrinter::Num(timer.ElapsedMillis(), 4),
+                  tsc::TablePrinter::Percent(100.0 * err.mean())});
+  }
+
+  std::printf("%s\n", table.ToString().c_str());
+  std::printf(
+      "the point of the paper: the %s%% model answers the same workload\n"
+      "with a ~%.0fx smaller footprint, so it stays on disk (or in\n"
+      "memory) when the raw matrix cannot — at sub-percent aggregate "
+      "error.\n",
+      tsc::TablePrinter::Num(space).c_str(), 100.0 / space);
+  return 0;
+}

@@ -1,0 +1,33 @@
+#ifndef TSC_BASELINES_HUFFMAN_H_
+#define TSC_BASELINES_HUFFMAN_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tsc {
+
+/// Canonical Huffman coder over bytes. Combined with the LZSS stage it
+/// makes the lossless reference point a faithful gzip analogue
+/// (gzip = LZ77 + Huffman); also usable standalone for entropy-skewed
+/// streams.
+///
+/// Stream format: u64 original byte count, 256 x u8 code lengths
+/// (canonical codes are reconstructed from lengths alone), then the
+/// packed bit stream.
+std::vector<std::uint8_t> HuffmanCompress(std::span<const std::uint8_t> input);
+
+StatusOr<std::vector<std::uint8_t>> HuffmanDecompress(
+    std::span<const std::uint8_t> input);
+
+/// gzip-analogue pipeline: LZSS then Huffman. Lossless; no random access.
+std::vector<std::uint8_t> DeflateLikeCompress(
+    std::span<const std::uint8_t> input);
+StatusOr<std::vector<std::uint8_t>> DeflateLikeDecompress(
+    std::span<const std::uint8_t> input);
+
+}  // namespace tsc
+
+#endif  // TSC_BASELINES_HUFFMAN_H_

@@ -1,0 +1,42 @@
+#ifndef TSC_BASELINES_LZSS_H_
+#define TSC_BASELINES_LZSS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// LZ77-family (LZSS) byte compressor, written from scratch as the stand-in
+/// for the paper's gzip reference point (Section 5.1: "the Lempel-Ziv
+/// (gzip) algorithm had a space requirement of s ~= 25%"). Lossless, but —
+/// exactly the paper's argument — a cell read requires decompressing from
+/// the start, so it offers no random access.
+///
+/// Format: u64 original size, then tokens grouped under control bytes
+/// (bit=1 literal byte, bit=0 a 2-byte match of 3..18 bytes at a 12-bit
+/// backward offset).
+std::vector<std::uint8_t> LzssCompress(std::span<const std::uint8_t> input);
+
+/// Inverse of LzssCompress; fails on corrupt input.
+StatusOr<std::vector<std::uint8_t>> LzssDecompress(
+    std::span<const std::uint8_t> input);
+
+/// Serializes a matrix to the raw little-endian doubles gzip would see in
+/// the binary file.
+std::vector<std::uint8_t> MatrixToBytes(const Matrix& m);
+
+/// Serializes a matrix to CSV-style text (the form flat files usually
+/// take in warehouses, and the friendlier input for LZ).
+std::vector<std::uint8_t> MatrixToText(const Matrix& m, int precision = 2);
+
+/// compressed_size / original_size for a buffer, in [0, ~1].
+double LzssRatio(std::span<const std::uint8_t> input);
+
+}  // namespace tsc
+
+#endif  // TSC_BASELINES_LZSS_H_

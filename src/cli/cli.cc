@@ -1,0 +1,425 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <memory>
+
+#include "core/metrics.h"
+#include "core/query.h"
+#include "core/svd_compressor.h"
+#include "core/svdd_compressor.h"
+#include "core/similarity.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "query/executor.h"
+#include "storage/row_source.h"
+#include "util/flags.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace tsc::cli {
+namespace {
+
+constexpr char kUsage[] = R"(tsctool — compress time-sequence datasets for ad hoc querying
+
+usage: tsctool <command> [flags]
+
+commands:
+  generate   --kind=phone|stocks|patients|lowrank --rows=N --cols=M --seed=S
+             --out=FILE          (.csv for text, anything else binary)
+  compress   --input=FILE --out=MODEL --space=PCT [--method=svdd|svd]
+             [--b=8|4] [--no-bloom] [--max-candidates=K]
+  info       --model=MODEL
+  query      --model=MODEL (--q="avg rows=0:9 cols=1,3:5" | --cell=i,j)
+  sql        --model=MODEL --query="SELECT sum(value) WHERE row IN 0:99"
+             [--explain]
+  topk       --model=MODEL --count=10 [--cols=a:b] (largest column-range sums)
+  similar    --model=MODEL --row=I --count=5 (nearest sequences in SVD space)
+  evaluate   --model=MODEL --input=FILE
+  reconstruct --model=MODEL --out=FILE.csv [--rows=COUNT]
+  help
+)";
+
+/// Builds a FlagParser from string args (argv-style).
+FlagParser MakeFlags(const std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  static thread_local std::vector<std::string> storage;
+  storage.assign(args.begin(), args.end());
+  argv.push_back(nullptr);  // program-name slot
+  for (auto& s : storage) argv.push_back(s.data());
+  static char prog[] = "tsctool";
+  argv[0] = prog;
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+StatusOr<Dataset> LoadDataset(const std::string& path) {
+  if (EndsWith(path, ".csv")) return LoadCsv(path, path);
+  return LoadBinary(path, path);
+}
+
+Status SaveDataset(const Dataset& dataset, const std::string& path) {
+  if (EndsWith(path, ".csv")) return SaveCsv(dataset, path);
+  return SaveBinary(dataset, path);
+}
+
+/// A model file holds either an SVD or an SVDD model; dispatch on magic.
+struct LoadedModel {
+  std::unique_ptr<CompressedStore> store;
+  std::string kind;
+  // Extra introspection, populated per kind.
+  std::size_t k = 0;
+  std::size_t delta_count = 0;
+  bool has_bloom = false;
+};
+
+StatusOr<LoadedModel> LoadModel(const std::string& path) {
+  LoadedModel loaded;
+  // Try SVDD first (its magic differs, so the wrong reader fails fast).
+  if (auto svdd = SvddModel::LoadFromFile(path); svdd.ok()) {
+    loaded.kind = "svdd";
+    loaded.k = svdd->k();
+    loaded.delta_count = svdd->delta_count();
+    loaded.has_bloom = svdd->has_bloom_filter();
+    loaded.store = std::make_unique<SvddModel>(std::move(*svdd));
+    return loaded;
+  }
+  if (auto svd = SvdModel::LoadFromFile(path); svd.ok()) {
+    loaded.kind = "svd";
+    loaded.k = svd->k();
+    loaded.store = std::make_unique<SvdModel>(std::move(*svd));
+    return loaded;
+  }
+  return Status::IoError("not a tsctool model file: " + path);
+}
+
+int Fail(std::ostream& err, const Status& status) {
+  err << "error: " << status.ToString() << "\n";
+  return 1;
+}
+
+int CmdGenerate(const FlagParser& flags, std::ostream& out,
+                std::ostream& err) {
+  const std::string kind = flags.GetString("kind", "phone");
+  const std::string path = flags.GetString("out", "");
+  if (path.empty()) return Fail(err, Status::InvalidArgument("--out required"));
+  const std::size_t rows = static_cast<std::size_t>(flags.GetInt("rows", 1000));
+  const std::size_t cols = static_cast<std::size_t>(flags.GetInt("cols", 366));
+  const std::uint64_t seed = static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  Dataset dataset;
+  if (kind == "phone") {
+    PhoneDatasetConfig config;
+    config.num_customers = rows;
+    config.num_days = cols;
+    config.seed = seed;
+    dataset = GeneratePhoneDataset(config);
+  } else if (kind == "stocks") {
+    StockDatasetConfig config;
+    config.num_stocks = rows;
+    config.num_days = cols;
+    config.seed = seed;
+    dataset = GenerateStockDataset(config);
+  } else if (kind == "patients") {
+    PatientDatasetConfig config;
+    config.num_patients = rows;
+    config.num_hours = cols;
+    config.seed = seed;
+    dataset = GeneratePatientDataset(config);
+  } else if (kind == "lowrank") {
+    const std::size_t rank =
+        static_cast<std::size_t>(flags.GetInt("rank", 5));
+    dataset = GenerateLowRankDataset(rows, cols, rank, seed);
+  } else {
+    return Fail(err, Status::InvalidArgument("unknown --kind: " + kind));
+  }
+  const Status status = SaveDataset(dataset, path);
+  if (!status.ok()) return Fail(err, status);
+  out << "wrote " << dataset.rows() << "x" << dataset.cols() << " " << kind
+      << " dataset to " << path << "\n";
+  return 0;
+}
+
+int CmdCompress(const FlagParser& flags, std::ostream& out,
+                std::ostream& err) {
+  const std::string input = flags.GetString("input", "");
+  const std::string model_path = flags.GetString("out", "");
+  if (input.empty() || model_path.empty()) {
+    return Fail(err,
+                Status::InvalidArgument("--input and --out are required"));
+  }
+  auto dataset = LoadDataset(input);
+  if (!dataset.ok()) return Fail(err, dataset.status());
+
+  const double space = flags.GetDouble("space", 10.0);
+  const std::string method = flags.GetString("method", "svdd");
+  const std::size_t b = static_cast<std::size_t>(flags.GetInt("b", 8));
+  MatrixRowSource source(&dataset->values);
+  Timer timer;
+
+  if (method == "svdd") {
+    SvddBuildOptions options;
+    options.space_percent = space;
+    options.bytes_per_value = b;
+    if (b == 4) options.delta_bytes = 12;
+    options.build_bloom_filter = !flags.GetBool("no-bloom", false);
+    options.max_candidates =
+        static_cast<std::size_t>(flags.GetInt("max-candidates", 0));
+    SvddBuildDiagnostics diag;
+    auto model = BuildSvddModel(&source, options, &diag);
+    if (!model.ok()) return Fail(err, model.status());
+    const Status save = model->SaveToFile(model_path);
+    if (!save.ok()) return Fail(err, save);
+    out << "svdd model: k_opt=" << diag.k_opt << " (k_max=" << diag.k_max
+        << "), deltas=" << model->delta_count() << ", "
+        << TablePrinter::Percent(model->SpacePercent(b)) << " of original, "
+        << TablePrinter::Num(timer.ElapsedSeconds(), 3) << "s, 3 passes\n";
+  } else if (method == "svd") {
+    const SpaceBudget budget = SpaceBudget::FromPercent(
+        dataset->rows(), dataset->cols(), space, b);
+    SvdBuildOptions options;
+    options.k = budget.MaxK();
+    options.bytes_per_value = b;
+    if (options.k == 0) {
+      return Fail(err, Status::ResourceExhausted("budget below 1 component"));
+    }
+    auto model = BuildSvdModel(&source, options);
+    if (!model.ok()) return Fail(err, model.status());
+    const Status save = model->SaveToFile(model_path);
+    if (!save.ok()) return Fail(err, save);
+    out << "svd model: k=" << model->k() << ", "
+        << TablePrinter::Percent(model->SpacePercent(b)) << " of original, "
+        << TablePrinter::Num(timer.ElapsedSeconds(), 3) << "s, 2 passes\n";
+  } else {
+    return Fail(err, Status::InvalidArgument("unknown --method: " + method));
+  }
+  out << "model written to " << model_path << "\n";
+  return 0;
+}
+
+int CmdInfo(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto loaded = LoadModel(flags.GetString("model", ""));
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  const CompressedStore& store = *loaded->store;
+  out << "kind:        " << loaded->kind << "\n"
+      << "sequences:   " << store.rows() << "\n"
+      << "length:      " << store.cols() << "\n"
+      << "components:  " << loaded->k << "\n";
+  if (loaded->kind == "svdd") {
+    out << "deltas:      " << loaded->delta_count << "\n"
+        << "bloom:       " << (loaded->has_bloom ? "yes" : "no") << "\n";
+  }
+  out << "bytes:       " << store.CompressedBytes() << "\n"
+      << "space:       " << TablePrinter::Percent(store.SpacePercent())
+      << " of original\n";
+  return 0;
+}
+
+int CmdQuery(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto loaded = LoadModel(flags.GetString("model", ""));
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  const CompressedStore& store = *loaded->store;
+
+  if (flags.Has("cell")) {
+    const std::string cell = flags.GetString("cell", "");
+    const std::size_t comma = cell.find(',');
+    if (comma == std::string::npos) {
+      return Fail(err, Status::InvalidArgument("--cell expects i,j"));
+    }
+    const std::size_t i = std::strtoull(cell.c_str(), nullptr, 10);
+    const std::size_t j = std::strtoull(cell.c_str() + comma + 1, nullptr, 10);
+    if (i >= store.rows() || j >= store.cols()) {
+      return Fail(err, Status::OutOfRange("cell out of range"));
+    }
+    out << store.ReconstructCell(i, j) << "\n";
+    return 0;
+  }
+  const std::string spec = flags.GetString("q", "");
+  if (spec.empty()) {
+    return Fail(err, Status::InvalidArgument("--q or --cell required"));
+  }
+  auto query = ParseRegionQuery(spec);
+  if (!query.ok()) return Fail(err, query.status());
+  for (const std::size_t r : query->row_ids) {
+    if (r >= store.rows()) return Fail(err, Status::OutOfRange("row id"));
+  }
+  for (const std::size_t c : query->col_ids) {
+    if (c >= store.cols()) return Fail(err, Status::OutOfRange("col id"));
+  }
+  out << EvaluateAggregate(store, *query) << "\n";
+  return 0;
+}
+
+int CmdSql(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto loaded = LoadModel(flags.GetString("model", ""));
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  const std::string text = flags.GetString("query", "");
+  if (text.empty()) return Fail(err, Status::InvalidArgument("--query required"));
+
+  // SVDD models get the compressed-domain fast path.
+  const SvddModel* svdd =
+      loaded->kind == "svdd"
+          ? static_cast<const SvddModel*>(loaded->store.get())
+          : nullptr;
+  const QueryExecutor executor =
+      svdd != nullptr ? QueryExecutor(svdd)
+                      : QueryExecutor(loaded->store.get());
+  if (flags.GetBool("explain", false)) {
+    auto plan = executor.Explain(text);
+    if (!plan.ok()) return Fail(err, plan.status());
+    out << *plan;
+    return 0;
+  }
+  auto result = executor.Execute(text);
+  if (!result.ok()) return Fail(err, result.status());
+  for (const double value : result->values) out << value << "\n";
+  return 0;
+}
+
+/// Parses "a:b" (or "a") into the column id list [a, b].
+StatusOr<std::vector<std::size_t>> ParseColRange(const std::string& text,
+                                                 std::size_t num_cols) {
+  std::size_t lo = 0;
+  std::size_t hi = num_cols - 1;
+  if (!text.empty()) {
+    const std::size_t colon = text.find(':');
+    lo = std::strtoull(text.c_str(), nullptr, 10);
+    hi = colon == std::string::npos
+             ? lo
+             : std::strtoull(text.c_str() + colon + 1, nullptr, 10);
+  }
+  if (lo > hi || hi >= num_cols) {
+    return Status::OutOfRange("bad column range: " + text);
+  }
+  std::vector<std::size_t> cols;
+  for (std::size_t j = lo; j <= hi; ++j) cols.push_back(j);
+  return cols;
+}
+
+/// Pulls the SvdModel view out of a loaded model of either kind.
+const SvdModel* SvdViewOf(const LoadedModel& loaded) {
+  if (loaded.kind == "svdd") {
+    return &static_cast<const SvddModel*>(loaded.store.get())->svd();
+  }
+  return static_cast<const SvdModel*>(loaded.store.get());
+}
+
+int CmdTopK(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto loaded = LoadModel(flags.GetString("model", ""));
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  const std::size_t count =
+      static_cast<std::size_t>(flags.GetInt("count", 10));
+  auto cols =
+      ParseColRange(flags.GetString("cols", ""), loaded->store->cols());
+  if (!cols.ok()) return Fail(err, cols.status());
+
+  std::vector<ScoredRow> top;
+  if (loaded->kind == "svdd") {
+    top = TopRowsBySum(*static_cast<const SvddModel*>(loaded->store.get()),
+                       *cols, count);
+  } else {
+    top = TopRowsBySum(*SvdViewOf(*loaded), *cols, count);
+  }
+  out << "top " << top.size() << " sequences by sum over " << cols->size()
+      << " columns:\n";
+  for (const ScoredRow& r : top) {
+    out << "  row " << r.row << "  sum " << TablePrinter::Num(r.score)
+        << "\n";
+  }
+  return 0;
+}
+
+int CmdSimilar(const FlagParser& flags, std::ostream& out,
+               std::ostream& err) {
+  auto loaded = LoadModel(flags.GetString("model", ""));
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  const std::size_t row = static_cast<std::size_t>(flags.GetInt("row", 0));
+  const std::size_t count =
+      static_cast<std::size_t>(flags.GetInt("count", 5));
+  auto neighbors = NearestRowsTo(*SvdViewOf(*loaded), row, count);
+  if (!neighbors.ok()) return Fail(err, neighbors.status());
+  out << "nearest sequences to row " << row << " (SVD-space distance):\n";
+  for (const ScoredRow& r : neighbors->neighbors) {
+    out << "  row " << r.row << "  distance " << TablePrinter::Num(r.score)
+        << "\n";
+  }
+  return 0;
+}
+
+int CmdEvaluate(const FlagParser& flags, std::ostream& out,
+                std::ostream& err) {
+  auto loaded = LoadModel(flags.GetString("model", ""));
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  auto dataset = LoadDataset(flags.GetString("input", ""));
+  if (!dataset.ok()) return Fail(err, dataset.status());
+  if (dataset->rows() != loaded->store->rows() ||
+      dataset->cols() != loaded->store->cols()) {
+    return Fail(err, Status::InvalidArgument("model/dataset shape mismatch"));
+  }
+  const ErrorReport report = EvaluateErrors(dataset->values, *loaded->store);
+  out << "rmspe:            " << TablePrinter::Percent(100.0 * report.rmspe)
+      << "\n"
+      << "mean |err|:       " << TablePrinter::Num(report.mean_abs_error)
+      << "\n"
+      << "median |err|:     " << TablePrinter::Num(report.median_abs_error)
+      << "\n"
+      << "worst |err|:      " << TablePrinter::Num(report.max_abs_error)
+      << "\n"
+      << "worst normalized: "
+      << TablePrinter::Percent(100.0 * report.max_normalized_error) << "\n";
+  return 0;
+}
+
+int CmdReconstruct(const FlagParser& flags, std::ostream& out,
+                   std::ostream& err) {
+  auto loaded = LoadModel(flags.GetString("model", ""));
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  const std::string path = flags.GetString("out", "");
+  if (path.empty()) return Fail(err, Status::InvalidArgument("--out required"));
+  const CompressedStore& store = *loaded->store;
+  std::size_t rows = store.rows();
+  if (flags.Has("rows")) {
+    rows = std::min<std::size_t>(
+        rows, static_cast<std::size_t>(flags.GetInt("rows", 0)));
+  }
+  Dataset dataset;
+  dataset.name = "reconstruction";
+  dataset.values = Matrix(rows, store.cols());
+  for (std::size_t i = 0; i < rows; ++i) {
+    store.ReconstructRow(i, dataset.values.Row(i));
+  }
+  const Status status = SaveCsv(dataset, path);
+  if (!status.ok()) return Fail(err, status);
+  out << "wrote " << rows << "x" << store.cols() << " reconstruction to "
+      << path << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    out << kUsage;
+    return args.empty() ? 1 : 0;
+  }
+  const std::string& command = args[0];
+  const FlagParser flags(
+      MakeFlags(std::vector<std::string>(args.begin() + 1, args.end())));
+  if (command == "generate") return CmdGenerate(flags, out, err);
+  if (command == "compress") return CmdCompress(flags, out, err);
+  if (command == "info") return CmdInfo(flags, out, err);
+  if (command == "query") return CmdQuery(flags, out, err);
+  if (command == "sql") return CmdSql(flags, out, err);
+  if (command == "topk") return CmdTopK(flags, out, err);
+  if (command == "similar") return CmdSimilar(flags, out, err);
+  if (command == "evaluate") return CmdEvaluate(flags, out, err);
+  if (command == "reconstruct") return CmdReconstruct(flags, out, err);
+  err << "error: unknown command '" << command << "'\n" << kUsage;
+  return 1;
+}
+
+}  // namespace tsc::cli

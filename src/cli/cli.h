@@ -1,0 +1,28 @@
+#ifndef TSC_CLI_CLI_H_
+#define TSC_CLI_CLI_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace tsc::cli {
+
+/// Entry point of the `tsctool` command-line utility, shared with the
+/// tests. `args` excludes the program name (args[0] is the subcommand).
+/// Human-readable output goes to `out`, diagnostics to `err`; the return
+/// value is the process exit code.
+///
+/// Subcommands:
+///   generate     synthesize a dataset (phone / stocks / lowrank)
+///   compress     build an SVD or SVDD model from a dataset file
+///   info         print a model's parameters and footprint
+///   query        run a cell or aggregate query against a model
+///   evaluate     compare a model against the original dataset
+///   reconstruct  decompress (part of) a model back to CSV
+///   help         usage
+int RunCli(const std::vector<std::string>& args, std::ostream& out,
+           std::ostream& err);
+
+}  // namespace tsc::cli
+
+#endif  // TSC_CLI_CLI_H_

@@ -1,0 +1,27 @@
+#include "core/compressed_store.h"
+
+#include "util/logging.h"
+
+namespace tsc {
+
+void CompressedStore::ReconstructRow(std::size_t row,
+                                     std::span<double> out) const {
+  TSC_CHECK_EQ(out.size(), cols());
+  for (std::size_t j = 0; j < cols(); ++j) out[j] = ReconstructCell(row, j);
+}
+
+Matrix CompressedStore::ReconstructAll() const {
+  Matrix m(rows(), cols());
+  for (std::size_t i = 0; i < rows(); ++i) ReconstructRow(i, m.Row(i));
+  return m;
+}
+
+double CompressedStore::SpacePercent(std::size_t bytes_per_value) const {
+  const double original = static_cast<double>(rows()) *
+                          static_cast<double>(cols()) *
+                          static_cast<double>(bytes_per_value);
+  if (original == 0.0) return 0.0;
+  return 100.0 * static_cast<double>(CompressedBytes()) / original;
+}
+
+}  // namespace tsc

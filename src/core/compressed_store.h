@@ -1,0 +1,50 @@
+#ifndef TSC_CORE_COMPRESSED_STORE_H_
+#define TSC_CORE_COMPRESSED_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "linalg/matrix.h"
+
+namespace tsc {
+
+/// A compressed representation of an N x M time-sequence matrix that
+/// supports "random access": reconstructing any cell in time independent
+/// of N and M. Every compression method in this library (SVD, SVDD, DCT,
+/// clustering) implements this interface, which is what the query engine
+/// and all benchmarks program against.
+class CompressedStore {
+ public:
+  virtual ~CompressedStore() = default;
+
+  virtual std::size_t rows() const = 0;
+  virtual std::size_t cols() const = 0;
+
+  /// Approximate value of cell (row, col). Requires row < rows() and
+  /// col < cols().
+  virtual double ReconstructCell(std::size_t row, std::size_t col) const = 0;
+
+  /// Approximate full row; `out` must have size cols(). The default
+  /// implementation calls ReconstructCell per column; models override it
+  /// when a row can be formed more efficiently.
+  virtual void ReconstructRow(std::size_t row, std::span<double> out) const;
+
+  /// Bytes the compressed representation occupies on disk under the
+  /// space-accounting rules of Section 5.1.
+  virtual std::uint64_t CompressedBytes() const = 0;
+
+  /// Short method label used in benchmark tables, e.g. "svdd".
+  virtual std::string MethodName() const = 0;
+
+  /// Materializes the full reconstruction X-hat (tests and small data).
+  Matrix ReconstructAll() const;
+
+  /// Storage as a percent of the uncompressed matrix at `bytes_per_value`
+  /// bytes per cell (the paper's s%).
+  double SpacePercent(std::size_t bytes_per_value = 8) const;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_COMPRESSED_STORE_H_

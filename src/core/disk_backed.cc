@@ -1,0 +1,106 @@
+#include "core/disk_backed.h"
+
+#include <memory>
+
+#include "storage/serializer.h"
+#include "util/logging.h"
+
+namespace tsc {
+namespace {
+
+constexpr std::uint32_t kSidecarMagic = 0x53494443;  // "SIDC"
+
+}  // namespace
+
+Status ExportSvddToDisk(const SvddModel& model, const std::string& u_path,
+                        const std::string& sidecar_path) {
+  // U, row-wise, as its own row store: the structure the paper assumes
+  // lives on disk and is fetched one row per query.
+  TSC_RETURN_IF_ERROR(WriteMatrixFile(u_path, model.svd().u()));
+
+  TSC_ASSIGN_OR_RETURN(BinaryWriter writer, BinaryWriter::Open(sidecar_path));
+  TSC_RETURN_IF_ERROR(writer.WriteU32(kSidecarMagic));
+  TSC_RETURN_IF_ERROR(
+      writer.WriteDoubleVector(model.svd().singular_values()));
+  TSC_RETURN_IF_ERROR(writer.WriteMatrix(model.svd().v()));
+  TSC_RETURN_IF_ERROR(model.deltas().Serialize(&writer));
+  TSC_RETURN_IF_ERROR(writer.WriteU32(model.has_bloom_filter() ? 1 : 0));
+  if (model.has_bloom_filter()) {
+    // Rebuild the filter from the delta keys: the sidecar stays
+    // self-contained without poking at SvddModel internals.
+    BloomFilter filter(model.deltas().size(), 10.0);
+    model.deltas().ForEach(
+        [&filter](std::uint64_t key, double) { filter.Add(key); });
+    TSC_RETURN_IF_ERROR(filter.Serialize(&writer));
+  }
+  return writer.FinishWithChecksum();
+}
+
+StatusOr<DiskBackedStore> DiskBackedStore::Open(
+    const std::string& u_path, const std::string& sidecar_path) {
+  DiskBackedStore store;
+  TSC_ASSIGN_OR_RETURN(RowStoreReader reader, RowStoreReader::Open(u_path));
+  store.u_reader_ = std::make_unique<RowStoreReader>(std::move(reader));
+
+  TSC_ASSIGN_OR_RETURN(BinaryReader sidecar, BinaryReader::Open(sidecar_path));
+  TSC_ASSIGN_OR_RETURN(const std::uint32_t magic, sidecar.ReadU32());
+  if (magic != kSidecarMagic) return Status::IoError("not a sidecar file");
+  TSC_ASSIGN_OR_RETURN(store.singular_values_, sidecar.ReadDoubleVector());
+  TSC_ASSIGN_OR_RETURN(store.v_, sidecar.ReadMatrix());
+  TSC_ASSIGN_OR_RETURN(store.deltas_, DeltaTable::Deserialize(&sidecar));
+  TSC_ASSIGN_OR_RETURN(const std::uint32_t has_bloom, sidecar.ReadU32());
+  if (has_bloom != 0) {
+    TSC_ASSIGN_OR_RETURN(BloomFilter filter,
+                         BloomFilter::Deserialize(&sidecar));
+    store.bloom_ = std::move(filter);
+  }
+  TSC_RETURN_IF_ERROR(sidecar.VerifyChecksum());
+  if (store.u_reader_->cols() != store.singular_values_.size() ||
+      store.v_.cols() != store.singular_values_.size()) {
+    return Status::IoError("inconsistent disk-backed model dims");
+  }
+  return store;
+}
+
+StatusOr<double> DiskBackedStore::ReconstructCell(std::size_t row,
+                                                  std::size_t col) {
+  if (row >= rows() || col >= cols()) {
+    return Status::OutOfRange("cell out of range");
+  }
+  std::vector<double> urow(k());
+  TSC_RETURN_IF_ERROR(u_reader_->ReadRow(row, urow));  // the 1 disk access
+  double value = 0.0;
+  for (std::size_t m = 0; m < k(); ++m) {
+    value += singular_values_[m] * urow[m] * v_(col, m);
+  }
+  const std::uint64_t key = DeltaTable::CellKey(row, col, cols());
+  if (!bloom_.has_value() || bloom_->MightContain(key)) {
+    const std::optional<double> delta = deltas_.Get(key);
+    if (delta.has_value()) value += *delta;
+  }
+  return value;
+}
+
+Status DiskBackedStore::ReconstructRow(std::size_t row,
+                                       std::span<double> out) {
+  if (row >= rows()) return Status::OutOfRange("row out of range");
+  if (out.size() != cols()) return Status::InvalidArgument("buffer size");
+  std::vector<double> urow(k());
+  TSC_RETURN_IF_ERROR(u_reader_->ReadRow(row, urow));
+  for (std::size_t j = 0; j < cols(); ++j) {
+    double value = 0.0;
+    for (std::size_t m = 0; m < k(); ++m) {
+      value += singular_values_[m] * urow[m] * v_(j, m);
+    }
+    out[j] = value;
+  }
+  for (std::size_t j = 0; j < cols(); ++j) {
+    const std::uint64_t key = DeltaTable::CellKey(row, j, cols());
+    if (bloom_.has_value() && !bloom_->MightContain(key)) continue;
+    const std::optional<double> delta = deltas_.Get(key);
+    if (delta.has_value()) out[j] += *delta;
+  }
+  return Status::Ok();
+}
+
+}  // namespace tsc

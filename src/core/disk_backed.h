@@ -1,0 +1,70 @@
+#ifndef TSC_CORE_DISK_BACKED_H_
+#define TSC_CORE_DISK_BACKED_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/svdd_compressor.h"
+#include "storage/bloom_filter.h"
+#include "storage/delta_table.h"
+#include "storage/row_store.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// The paper's deployment layout made concrete: V and the eigenvalues
+/// pinned in memory, U stored row-wise on disk, the delta hash table and
+/// Bloom filter in memory. Reconstructing cell (i, j) then costs exactly
+/// one disk access — the read of row i of U — which the embedded
+/// DiskAccessCounter proves.
+///
+/// Build with ExportSvddToDisk() + Open(); the exported U file is the
+/// "TSCROWS1" row store, so a row that fits in one block is one access.
+class DiskBackedStore {
+ public:
+  /// Opens the pair of files produced by ExportSvddToDisk.
+  static StatusOr<DiskBackedStore> Open(const std::string& u_path,
+                                        const std::string& sidecar_path);
+
+  DiskBackedStore(DiskBackedStore&&) = default;
+  DiskBackedStore& operator=(DiskBackedStore&&) = default;
+
+  std::size_t rows() const { return u_reader_->rows(); }
+  std::size_t cols() const { return v_.rows(); }
+  std::size_t k() const { return singular_values_.size(); }
+
+  /// Reconstructs one cell; performs one U-row disk read plus O(k) work
+  /// and (for SVDD) one delta-table probe.
+  StatusOr<double> ReconstructCell(std::size_t row, std::size_t col);
+
+  /// Reconstructs a whole row with the same single U-row read.
+  Status ReconstructRow(std::size_t row, std::span<double> out);
+
+  /// Disk accesses performed so far against the U file.
+  std::uint64_t disk_accesses() const { return u_reader_->counter().accesses(); }
+  void ResetCounters() { u_reader_->counter().Reset(); }
+
+  const DeltaTable& deltas() const { return deltas_; }
+
+ private:
+  DiskBackedStore() = default;
+
+  // unique_ptr keeps the reader's ifstream stable across moves.
+  std::unique_ptr<RowStoreReader> u_reader_;
+  std::vector<double> singular_values_;
+  Matrix v_;
+  DeltaTable deltas_;
+  std::optional<BloomFilter> bloom_;
+};
+
+/// Writes `model` into the two-file disk layout: `u_path` holds U as a
+/// row store (one row per sequence), `sidecar_path` holds the memory-
+/// resident parts (eigenvalues, V, deltas, Bloom filter).
+Status ExportSvddToDisk(const SvddModel& model, const std::string& u_path,
+                        const std::string& sidecar_path);
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_DISK_BACKED_H_

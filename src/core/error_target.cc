@@ -1,0 +1,89 @@
+#include "core/error_target.h"
+
+#include <optional>
+
+#include "core/metrics.h"
+#include "storage/row_source.h"
+
+namespace tsc {
+namespace {
+
+struct Trial {
+  SvddModel model;
+  double space = 0.0;
+  double rmspe = 0.0;
+};
+
+StatusOr<std::optional<Trial>> TryBuild(const Matrix& data,
+                                        const ErrorTargetOptions& options,
+                                        double space) {
+  MatrixRowSource source(&data);
+  SvddBuildOptions build = options.build;
+  build.space_percent = space;
+  auto model = BuildSvddModel(&source, build);
+  if (!model.ok()) {
+    // Too small for a single component: treat as "target missed" rather
+    // than a hard error, so bisection can move up.
+    if (model.status().code() == StatusCode::kResourceExhausted) {
+      return std::optional<Trial>();
+    }
+    return model.status();
+  }
+  Trial trial;
+  trial.rmspe = Rmspe(data, *model);
+  trial.model = std::move(*model);
+  trial.space = space;
+  return std::optional<Trial>(std::move(trial));
+}
+
+}  // namespace
+
+StatusOr<ErrorTargetResult> CompressToErrorTarget(
+    const Matrix& data, const ErrorTargetOptions& options) {
+  if (options.target_rmspe <= 0.0) {
+    return Status::InvalidArgument("target_rmspe must be positive");
+  }
+  if (options.min_space_percent <= 0.0 ||
+      options.max_space_percent <= options.min_space_percent) {
+    return Status::InvalidArgument("bad space search interval");
+  }
+  if (data.rows() == 0 || data.cols() == 0) {
+    return Status::InvalidArgument("empty matrix");
+  }
+
+  std::size_t builds = 0;
+
+  // Feasibility check at the top of the interval.
+  TSC_ASSIGN_OR_RETURN(
+      std::optional<Trial> best,
+      TryBuild(data, options, options.max_space_percent));
+  ++builds;
+  if (!best.has_value() || best->rmspe > options.target_rmspe) {
+    return Status::ResourceExhausted(
+        "target error unreachable within max_space_percent");
+  }
+
+  double lo = options.min_space_percent;  // known/assumed failing side
+  double hi = options.max_space_percent;  // known passing side
+  for (std::size_t step = 0; step < options.search_steps; ++step) {
+    const double mid = (lo + hi) / 2.0;
+    TSC_ASSIGN_OR_RETURN(std::optional<Trial> trial,
+                         TryBuild(data, options, mid));
+    ++builds;
+    if (trial.has_value() && trial->rmspe <= options.target_rmspe) {
+      hi = mid;
+      best = std::move(trial);
+    } else {
+      lo = mid;
+    }
+  }
+
+  ErrorTargetResult result;
+  result.model = std::move(best->model);
+  result.space_percent = best->space;
+  result.achieved_rmspe = best->rmspe;
+  result.builds_performed = builds;
+  return result;
+}
+
+}  // namespace tsc

@@ -1,0 +1,44 @@
+#ifndef TSC_CORE_ERROR_TARGET_H_
+#define TSC_CORE_ERROR_TARGET_H_
+
+#include <cstddef>
+
+#include "core/svdd_compressor.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// Error-targeted compression: the inverse of the usual space knob.
+/// Analysts typically know the error they can tolerate ("values within
+/// 2% is fine"), not the disk they should spend; this searches for the
+/// smallest space that meets the target.
+struct ErrorTargetOptions {
+  /// Target RMSPE (Definition 5.1, as a fraction, e.g. 0.02 = 2%).
+  double target_rmspe = 0.02;
+  /// Space search interval, in percent of the original matrix.
+  double min_space_percent = 0.5;
+  double max_space_percent = 60.0;
+  /// Bisection steps; each step is one full 3-pass build + evaluation.
+  std::size_t search_steps = 7;
+  /// Forwarded to every trial build (space_percent is overwritten).
+  SvddBuildOptions build;
+};
+
+struct ErrorTargetResult {
+  SvddModel model;
+  double space_percent = 0.0;  ///< the space the chosen build was given
+  double achieved_rmspe = 0.0;
+  std::size_t builds_performed = 0;
+};
+
+/// Bisects space until the smallest budget meeting `target_rmspe` (within
+/// the search grid) is found. Fails with kResourceExhausted when even
+/// max_space_percent misses the target, and with kInvalidArgument for a
+/// degenerate interval or non-positive target.
+StatusOr<ErrorTargetResult> CompressToErrorTarget(
+    const Matrix& data, const ErrorTargetOptions& options);
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_ERROR_TARGET_H_

@@ -1,0 +1,83 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace tsc {
+
+double MatrixStddev(const Matrix& m) {
+  RunningStats stats;
+  for (double v : m.data()) stats.Add(v);
+  return stats.stddev();
+}
+
+ErrorReport EvaluateErrors(const Matrix& original,
+                           const CompressedStore& store) {
+  TSC_CHECK_EQ(original.rows(), store.rows());
+  TSC_CHECK_EQ(original.cols(), store.cols());
+  ErrorReport report;
+  report.cell_count = original.rows() * original.cols();
+
+  const double mean = original.MeanCell();
+  double sse = 0.0;
+  double denom = 0.0;
+  double abs_sum = 0.0;
+  std::vector<double> abs_errors;
+  abs_errors.reserve(report.cell_count);
+
+  std::vector<double> recon(original.cols());
+  for (std::size_t i = 0; i < original.rows(); ++i) {
+    store.ReconstructRow(i, recon);
+    const std::span<const double> row = original.Row(i);
+    for (std::size_t j = 0; j < original.cols(); ++j) {
+      const double err = recon[j] - row[j];
+      const double dev = row[j] - mean;
+      sse += err * err;
+      denom += dev * dev;
+      const double abs_err = std::abs(err);
+      abs_sum += abs_err;
+      abs_errors.push_back(abs_err);
+      report.max_abs_error = std::max(report.max_abs_error, abs_err);
+    }
+  }
+
+  report.data_stddev =
+      std::sqrt(denom / static_cast<double>(report.cell_count));
+  report.rmspe = denom > 0.0 ? std::sqrt(sse) / std::sqrt(denom) : 0.0;
+  report.max_normalized_error =
+      report.data_stddev > 0.0 ? report.max_abs_error / report.data_stddev
+                               : 0.0;
+  report.mean_abs_error =
+      abs_sum / static_cast<double>(report.cell_count);
+  report.median_abs_error = Quantiles(std::move(abs_errors)).Median();
+  return report;
+}
+
+double Rmspe(const Matrix& original, const CompressedStore& store) {
+  return EvaluateErrors(original, store).rmspe;
+}
+
+std::vector<double> CellErrorsSortedDescending(const Matrix& original,
+                                               const CompressedStore& store,
+                                               std::size_t limit) {
+  TSC_CHECK_EQ(original.rows(), store.rows());
+  TSC_CHECK_EQ(original.cols(), store.cols());
+  std::vector<double> errors;
+  errors.reserve(original.rows() * original.cols());
+  std::vector<double> recon(original.cols());
+  for (std::size_t i = 0; i < original.rows(); ++i) {
+    store.ReconstructRow(i, recon);
+    const std::span<const double> row = original.Row(i);
+    for (std::size_t j = 0; j < original.cols(); ++j) {
+      errors.push_back(std::abs(recon[j] - row[j]));
+    }
+  }
+  std::sort(errors.begin(), errors.end(), std::greater<double>());
+  if (limit > 0 && errors.size() > limit) errors.resize(limit);
+  return errors;
+}
+
+}  // namespace tsc

@@ -1,0 +1,51 @@
+#ifndef TSC_CORE_METRICS_H_
+#define TSC_CORE_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/compressed_store.h"
+#include "linalg/matrix.h"
+
+namespace tsc {
+
+/// Reconstruction-quality summary over a full matrix.
+struct ErrorReport {
+  /// Definition 5.1: sqrt(sum (xhat - x)^2) / sqrt(sum (x - xbar)^2),
+  /// i.e. RMSE normalized by the standard deviation of the data.
+  double rmspe = 0.0;
+  /// Largest |xhat - x| over all cells (Table 3, "Abs Error").
+  double max_abs_error = 0.0;
+  /// max_abs_error / stddev of the data (Table 3, "Normalized"); reported
+  /// as a fraction (multiply by 100 for the paper's percent form).
+  double max_normalized_error = 0.0;
+  /// Median |xhat - x| (the Figure 8 discussion: median is 1-2 orders of
+  /// magnitude below the mean error).
+  double median_abs_error = 0.0;
+  /// Mean |xhat - x|.
+  double mean_abs_error = 0.0;
+  /// Standard deviation of the original data (the normalizer).
+  double data_stddev = 0.0;
+  std::size_t cell_count = 0;
+};
+
+/// Evaluates `store` against the uncompressed `original`.
+/// Shapes must match.
+ErrorReport EvaluateErrors(const Matrix& original,
+                           const CompressedStore& store);
+
+/// RMSPE only (cheaper to state at call sites).
+double Rmspe(const Matrix& original, const CompressedStore& store);
+
+/// All |xhat - x| values sorted descending: the Figure 8 curve. When
+/// `limit` > 0, only the `limit` largest are returned.
+std::vector<double> CellErrorsSortedDescending(const Matrix& original,
+                                               const CompressedStore& store,
+                                               std::size_t limit = 0);
+
+/// Population standard deviation of all cells of `m`.
+double MatrixStddev(const Matrix& m);
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_METRICS_H_

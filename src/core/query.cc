@@ -1,0 +1,200 @@
+#include "core/query.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace tsc {
+namespace {
+
+/// Accumulates cells and finalizes the requested aggregate. Values are
+/// buffered only for the order statistic (median).
+class AggregateAccumulator {
+ public:
+  explicit AggregateAccumulator(AggregateFn fn) : fn_(fn) {}
+
+  void Add(double value) {
+    stats_.Add(value);
+    if (fn_ == AggregateFn::kMedian) values_.push_back(value);
+  }
+
+  double Finalize() const {
+    switch (fn_) {
+      case AggregateFn::kSum:
+        return stats_.sum();
+      case AggregateFn::kAvg:
+        return stats_.mean();
+      case AggregateFn::kCount:
+        return static_cast<double>(stats_.count());
+      case AggregateFn::kMin:
+        return stats_.count() == 0 ? 0.0 : stats_.min();
+      case AggregateFn::kMax:
+        return stats_.count() == 0 ? 0.0 : stats_.max();
+      case AggregateFn::kStddev:
+        return stats_.stddev();
+      case AggregateFn::kMedian:
+        return values_.empty() ? 0.0 : Quantiles(values_).Median();
+    }
+    return 0.0;
+  }
+
+ private:
+  AggregateFn fn_;
+  RunningStats stats_;
+  std::vector<double> values_;
+};
+
+StatusOr<std::vector<std::size_t>> ParseSelection(const std::string& text) {
+  std::vector<std::size_t> ids;
+  std::stringstream ss(text);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) continue;
+    const std::size_t colon = token.find(':');
+    char* end = nullptr;
+    if (colon == std::string::npos) {
+      const long long id = std::strtoll(token.c_str(), &end, 10);
+      if (end == token.c_str() || id < 0) {
+        return Status::InvalidArgument("bad index: " + token);
+      }
+      ids.push_back(static_cast<std::size_t>(id));
+    } else {
+      const std::string lo_text = token.substr(0, colon);
+      const std::string hi_text = token.substr(colon + 1);
+      const long long lo = std::strtoll(lo_text.c_str(), &end, 10);
+      if (end == lo_text.c_str() || lo < 0) {
+        return Status::InvalidArgument("bad range start: " + token);
+      }
+      const long long hi = std::strtoll(hi_text.c_str(), &end, 10);
+      if (end == hi_text.c_str() || hi < lo) {
+        return Status::InvalidArgument("bad range end: " + token);
+      }
+      for (long long i = lo; i <= hi; ++i) {
+        ids.push_back(static_cast<std::size_t>(i));
+      }
+    }
+  }
+  if (ids.empty()) return Status::InvalidArgument("empty selection");
+  return ids;
+}
+
+}  // namespace
+
+const char* AggregateFnName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kSum:
+      return "sum";
+    case AggregateFn::kAvg:
+      return "avg";
+    case AggregateFn::kCount:
+      return "count";
+    case AggregateFn::kMin:
+      return "min";
+    case AggregateFn::kMax:
+      return "max";
+    case AggregateFn::kStddev:
+      return "stddev";
+    case AggregateFn::kMedian:
+      return "median";
+  }
+  return "unknown";
+}
+
+StatusOr<AggregateFn> ParseAggregateFn(const std::string& name) {
+  if (name == "sum") return AggregateFn::kSum;
+  if (name == "avg") return AggregateFn::kAvg;
+  if (name == "count") return AggregateFn::kCount;
+  if (name == "min") return AggregateFn::kMin;
+  if (name == "max") return AggregateFn::kMax;
+  if (name == "stddev") return AggregateFn::kStddev;
+  if (name == "median") return AggregateFn::kMedian;
+  return Status::InvalidArgument("unknown aggregate: " + name);
+}
+
+StatusOr<RegionQuery> ParseRegionQuery(const std::string& text) {
+  std::stringstream ss(text);
+  std::string fn_name;
+  if (!(ss >> fn_name)) return Status::InvalidArgument("empty query");
+  RegionQuery query;
+  TSC_ASSIGN_OR_RETURN(query.fn, ParseAggregateFn(fn_name));
+  std::string clause;
+  bool saw_rows = false;
+  bool saw_cols = false;
+  while (ss >> clause) {
+    if (clause.rfind("rows=", 0) == 0) {
+      TSC_ASSIGN_OR_RETURN(query.row_ids, ParseSelection(clause.substr(5)));
+      saw_rows = true;
+    } else if (clause.rfind("cols=", 0) == 0) {
+      TSC_ASSIGN_OR_RETURN(query.col_ids, ParseSelection(clause.substr(5)));
+      saw_cols = true;
+    } else {
+      return Status::InvalidArgument("unknown clause: " + clause);
+    }
+  }
+  if (!saw_rows || !saw_cols) {
+    return Status::InvalidArgument("query needs rows= and cols= clauses");
+  }
+  return query;
+}
+
+double EvaluateAggregate(const Matrix& matrix, const RegionQuery& query) {
+  AggregateAccumulator acc(query.fn);
+  for (const std::size_t i : query.row_ids) {
+    TSC_DCHECK(i < matrix.rows());
+    const std::span<const double> row = matrix.Row(i);
+    for (const std::size_t j : query.col_ids) {
+      TSC_DCHECK(j < matrix.cols());
+      acc.Add(row[j]);
+    }
+  }
+  return acc.Finalize();
+}
+
+double EvaluateAggregate(const CompressedStore& store,
+                         const RegionQuery& query) {
+  AggregateAccumulator acc(query.fn);
+  // One row reconstruction per selected row (= one "disk access" per row
+  // under the paper's storage layout), then pick the selected columns.
+  std::vector<double> recon(store.cols());
+  for (const std::size_t i : query.row_ids) {
+    store.ReconstructRow(i, recon);
+    for (const std::size_t j : query.col_ids) acc.Add(recon[j]);
+  }
+  return acc.Finalize();
+}
+
+double QueryError(double exact, double approximate) {
+  const double abs_err = std::abs(exact - approximate);
+  if (exact == 0.0) return abs_err;
+  return abs_err / std::abs(exact);
+}
+
+RegionQuery MakeRandomRegionQuery(std::size_t num_rows, std::size_t num_cols,
+                                  double cell_fraction, AggregateFn fn,
+                                  Rng* rng) {
+  TSC_CHECK_GT(num_rows, 0u);
+  TSC_CHECK_GT(num_cols, 0u);
+  cell_fraction = std::clamp(cell_fraction, 1e-9, 1.0);
+  // Split the target fraction between the two dimensions with a random
+  // tilt so query shapes vary (tall, wide and square selections).
+  const double tilt = rng->UniformDouble(0.3, 0.7);
+  const double row_fraction = std::pow(cell_fraction, tilt);
+  const double col_fraction = cell_fraction / row_fraction;
+  const std::size_t rows_wanted = std::clamp<std::size_t>(
+      static_cast<std::size_t>(row_fraction * static_cast<double>(num_rows) + 0.5),
+      1, num_rows);
+  const std::size_t cols_wanted = std::clamp<std::size_t>(
+      static_cast<std::size_t>(col_fraction * static_cast<double>(num_cols) + 0.5),
+      1, num_cols);
+  RegionQuery query;
+  query.fn = fn;
+  query.row_ids = rng->SampleWithoutReplacement(num_rows, rows_wanted);
+  query.col_ids = rng->SampleWithoutReplacement(num_cols, cols_wanted);
+  return query;
+}
+
+}  // namespace tsc

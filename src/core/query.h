@@ -1,0 +1,74 @@
+#ifndef TSC_CORE_QUERY_H_
+#define TSC_CORE_QUERY_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/compressed_store.h"
+#include "linalg/matrix.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// Aggregate functions supported over a selected region (Section 5.2:
+/// "The function f() could be, e.g., sum(), avg(), stddev(), etc.").
+enum class AggregateFn {
+  kSum,
+  kAvg,
+  kCount,
+  kMin,
+  kMax,
+  kStddev,
+  kMedian,
+};
+
+const char* AggregateFnName(AggregateFn fn);
+StatusOr<AggregateFn> ParseAggregateFn(const std::string& name);
+
+/// An ad hoc query: an aggregate over the cross product of selected rows
+/// and columns ("find the total sales to business customers ... for the
+/// week ending July 12").
+struct RegionQuery {
+  AggregateFn fn = AggregateFn::kAvg;
+  std::vector<std::size_t> row_ids;
+  std::vector<std::size_t> col_ids;
+
+  std::size_t CellCount() const { return row_ids.size() * col_ids.size(); }
+};
+
+/// Parses a compact textual query form used by the examples and tests:
+///   "<fn> rows=<sel> cols=<sel>"
+/// where <sel> is a comma list of indices and inclusive ranges, e.g.
+///   "avg rows=0:99,150 cols=3,5,7:9".
+StatusOr<RegionQuery> ParseRegionQuery(const std::string& text);
+
+/// Evaluates `query` against any cell provider. Exact when run on the raw
+/// matrix, approximate when run on a CompressedStore.
+double EvaluateAggregate(const Matrix& matrix, const RegionQuery& query);
+double EvaluateAggregate(const CompressedStore& store,
+                         const RegionQuery& query);
+
+/// Single-cell query against the compressed store (the other query class
+/// of Section 5).
+inline double EvaluateCell(const CompressedStore& store, std::size_t row,
+                           std::size_t col) {
+  return store.ReconstructCell(row, col);
+}
+
+/// Normalized query error of Eq. 14: |f(X) - f(X-hat)| / |f(X)|.
+/// Returns the absolute error when the exact answer is zero.
+double QueryError(double exact, double approximate);
+
+/// Draws a random aggregate query whose selected region covers
+/// approximately `cell_fraction` of the matrix (the Section 5.2 workload:
+/// "the number of rows and columns selected was tuned so that
+/// approximately 10% of the data cells would be included").
+RegionQuery MakeRandomRegionQuery(std::size_t num_rows, std::size_t num_cols,
+                                  double cell_fraction, AggregateFn fn,
+                                  Rng* rng);
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_QUERY_H_

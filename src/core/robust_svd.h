@@ -1,0 +1,54 @@
+#ifndef TSC_CORE_ROBUST_SVD_H_
+#define TSC_CORE_ROBUST_SVD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/svd_compressor.h"
+#include "storage/row_source.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// "Robust" SVD — the paper's future-work item (b): an SVD that
+/// minimizes the influence of outlier cells on the fitted subspace.
+///
+/// Implemented as trimmed EM-style refinement: starting from the plain
+/// SVD, each round streams the data once, replaces cells whose residual
+/// exceeds `trim_sigma` residual-standard-deviations by the current
+/// model's prediction, re-accumulates the column-similarity matrix from
+/// the cleaned rows and re-solves the eigenproblem. A final pass emits U
+/// from the cleaned rows.
+///
+/// The result is a regular SvdModel (same API, same reconstruction
+/// cost). Robustness moves the *subspace* away from the spikes — it
+/// lowers the error on the well-behaved majority of cells — but, unlike
+/// SVDD, it cannot represent the spikes themselves, so the worst-case
+/// error stays large. bench/ablation_robust demonstrates exactly this
+/// complementarity.
+struct RobustSvdOptions {
+  std::size_t k = 10;
+  /// Refinement rounds after the initial plain fit.
+  std::size_t iterations = 2;
+  /// Cells with |residual| > trim_sigma * stddev(residual) are trimmed.
+  double trim_sigma = 3.0;
+  EigenSolverKind solver = EigenSolverKind::kHouseholderQl;
+};
+
+struct RobustSvdDiagnostics {
+  /// Cells trimmed in each refinement round.
+  std::vector<std::size_t> trimmed_cells;
+  /// Residual standard deviation entering each round.
+  std::vector<double> residual_stddev;
+  /// Total sequential passes over the data.
+  std::size_t passes = 0;
+};
+
+/// Builds the robust model with 2 + iterations + 1 streaming passes.
+StatusOr<SvdModel> BuildRobustSvdModel(
+    RowSource* source, const RobustSvdOptions& options,
+    RobustSvdDiagnostics* diagnostics = nullptr);
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_ROBUST_SVD_H_

@@ -1,0 +1,63 @@
+#ifndef TSC_CORE_ROW_OUTLIER_H_
+#define TSC_CORE_ROW_OUTLIER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/compressed_store.h"
+#include "core/svd_compressor.h"
+#include "core/svdd_compressor.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// The design alternative Section 4.2 argues AGAINST: instead of storing
+/// cell-level deltas, store the complete raw rows of the worst-
+/// reconstructed sequences ("treating the whole customer as an outlier").
+///
+/// "The motivation is that a given customer may follow the patterns that
+/// SVD expects, with a few deviations on some particular days. Thus, it
+/// is more reasonable to store the deltas for those specific days" — this
+/// model exists so bench/ablation_svdd can demonstrate that claim
+/// quantitatively: a stored row costs M*b bytes, the price of M/2 cell
+/// deltas, so under the same budget far fewer outliers are repaired.
+class RowOutlierModel : public CompressedStore {
+ public:
+  RowOutlierModel() = default;
+  RowOutlierModel(SvdModel svd, std::unordered_map<std::size_t, std::vector<double>>
+                                   stored_rows);
+
+  std::size_t rows() const override { return svd_.rows(); }
+  std::size_t cols() const override { return svd_.cols(); }
+  std::size_t k() const { return svd_.k(); }
+  std::size_t stored_row_count() const { return stored_rows_.size(); }
+
+  double ReconstructCell(std::size_t row, std::size_t col) const override;
+  void ReconstructRow(std::size_t row, std::span<double> out) const override;
+
+  /// SVD bytes + M*b per stored row + an 8-byte row id each.
+  std::uint64_t CompressedBytes() const override;
+  std::string MethodName() const override { return "svd+rows"; }
+
+  bool IsStoredRow(std::size_t row) const {
+    return stored_rows_.count(row) > 0;
+  }
+
+ private:
+  SvdModel svd_;
+  std::unordered_map<std::size_t, std::vector<double>> stored_rows_;
+};
+
+/// Builds the row-outlier model under the same space rules as SVDD:
+/// choose k and the number of stored rows to minimize total squared
+/// error within `space_percent` of the original, evaluating every
+/// affordable k (the direct analogue of the SVDD optimizer, with rows
+/// ranked by their total squared reconstruction error).
+StatusOr<RowOutlierModel> BuildRowOutlierModel(const Matrix& data,
+                                               const SvddBuildOptions& options);
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_ROW_OUTLIER_H_

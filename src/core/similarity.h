@@ -1,0 +1,69 @@
+#ifndef TSC_CORE_SIMILARITY_H_
+#define TSC_CORE_SIMILARITY_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "core/query.h"
+#include "core/svd_compressor.h"
+#include "core/svdd_compressor.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// Compressed-domain query processing on top of the SVD factors: the
+/// queries run directly on U, Lambda and V without reconstructing the
+/// matrix, which turns O(N * M) scans into O(N * k) scans.
+///
+/// Two query families are supported:
+///  * top-n sequences by an aggregate over a column range ("which
+///    customers spent the most in December?") — computed from the
+///    identity  sum_{j in S} x-hat_ij = sum_m lambda_m u_im (sum_{j in S}
+///    v_jm), i.e. O(|S| k) once, then O(k) per row;
+///  * whole-sequence nearest neighbors ("which customers behave like
+///    this one?") — distances in the k-dim projected space, which
+///    LOWER-BOUND the true Euclidean distances because the projection
+///    is orthogonal (the GEMINI-style guarantee: no false dismissals
+///    when the bound is used to filter).
+
+/// A scored row result.
+struct ScoredRow {
+  std::size_t row = 0;
+  double score = 0.0;
+};
+
+/// Top-`count` rows by the (approximate) sum of the selected columns,
+/// computed entirely in the compressed domain. For SVDD models the
+/// stored deltas are folded in, so cells the model knows exactly
+/// contribute exactly. Larger sums rank first.
+std::vector<ScoredRow> TopRowsBySum(const SvdModel& model,
+                                    const std::vector<std::size_t>& col_ids,
+                                    std::size_t count);
+std::vector<ScoredRow> TopRowsBySum(const SvddModel& model,
+                                    const std::vector<std::size_t>& col_ids,
+                                    std::size_t count);
+
+/// Nearest neighbors of `query` (an M-long sequence) among the modeled
+/// rows, by Euclidean distance. The search projects the query onto the
+/// k retained components and scans U — O(M k + N k). Because the
+/// projection is contractive, the projected distance never exceeds the
+/// true distance between the reconstructions.
+struct NeighborSearchResult {
+  std::vector<ScoredRow> neighbors;  ///< ascending distance
+};
+StatusOr<NeighborSearchResult> NearestRows(const SvdModel& model,
+                                           std::span<const double> query,
+                                           std::size_t count);
+
+/// Nearest neighbors of an already-modeled row (excluding itself).
+StatusOr<NeighborSearchResult> NearestRowsTo(const SvdModel& model,
+                                             std::size_t row,
+                                             std::size_t count);
+
+/// Distance between two rows in the projected k-dim space.
+double ProjectedDistance(const SvdModel& model, std::size_t row_a,
+                         std::size_t row_b);
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_SIMILARITY_H_

@@ -1,0 +1,55 @@
+#include "core/space_budget.h"
+
+#include "util/logging.h"
+
+namespace tsc {
+
+SpaceBudget SpaceBudget::FromPercent(std::size_t num_rows,
+                                     std::size_t num_cols,
+                                     double space_percent,
+                                     std::size_t bytes_per_value) {
+  TSC_CHECK_GT(space_percent, 0.0);
+  SpaceBudget budget;
+  budget.num_rows = num_rows;
+  budget.num_cols = num_cols;
+  budget.bytes_per_value = bytes_per_value;
+  const double original = static_cast<double>(num_rows) *
+                          static_cast<double>(num_cols) *
+                          static_cast<double>(bytes_per_value);
+  budget.total_bytes =
+      static_cast<std::uint64_t>(original * space_percent / 100.0);
+  return budget;
+}
+
+std::uint64_t SpaceBudget::SvdBytes(std::size_t k) const {
+  const std::uint64_t values =
+      static_cast<std::uint64_t>(num_rows) * k + k +
+      static_cast<std::uint64_t>(k) * num_cols;
+  return values * bytes_per_value;
+}
+
+std::size_t SpaceBudget::MaxK() const {
+  // SvdBytes is linear in k; solve directly then adjust for rounding.
+  const std::uint64_t per_component =
+      (static_cast<std::uint64_t>(num_rows) + 1 + num_cols) * bytes_per_value;
+  if (per_component == 0) return 0;
+  std::size_t k = static_cast<std::size_t>(total_bytes / per_component);
+  k = k > num_cols ? num_cols : k;
+  while (k > 0 && SvdBytes(k) > total_bytes) --k;
+  return k;
+}
+
+std::uint64_t SpaceBudget::DeltaCount(std::size_t k,
+                                      std::uint64_t delta_bytes) const {
+  TSC_CHECK_GT(delta_bytes, 0u);
+  const std::uint64_t svd = SvdBytes(k);
+  if (svd >= total_bytes) return 0;
+  return (total_bytes - svd) / delta_bytes;
+}
+
+double SpaceBudget::ApproximateSpaceFraction(std::size_t k) const {
+  if (num_cols == 0) return 0.0;
+  return static_cast<double>(k) / static_cast<double>(num_cols);
+}
+
+}  // namespace tsc

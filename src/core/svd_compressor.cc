@@ -1,0 +1,208 @@
+#include "core/svd_compressor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/svd.h"
+#include "util/logging.h"
+
+namespace tsc {
+namespace {
+
+constexpr std::uint32_t kSvdModelMagic = 0x53564431;  // "SVD1"
+
+}  // namespace
+
+SvdModel::SvdModel(Matrix u, std::vector<double> singular_values, Matrix v)
+    : u_(std::move(u)),
+      singular_values_(std::move(singular_values)),
+      v_(std::move(v)) {
+  TSC_CHECK_EQ(u_.cols(), singular_values_.size());
+  TSC_CHECK_EQ(v_.cols(), singular_values_.size());
+}
+
+double SvdModel::ReconstructCell(std::size_t row, std::size_t col) const {
+  TSC_DCHECK(row < rows() && col < cols());
+  // Eq. 12: sum over retained components of lambda_m * u_im * v_jm.
+  double value = 0.0;
+  const std::span<const double> urow = u_.Row(row);
+  for (std::size_t m = 0; m < singular_values_.size(); ++m) {
+    value += singular_values_[m] * urow[m] * v_(col, m);
+  }
+  return value;
+}
+
+void SvdModel::ReconstructRow(std::size_t row, std::span<double> out) const {
+  TSC_CHECK_EQ(out.size(), cols());
+  const std::span<const double> urow = u_.Row(row);
+  std::fill(out.begin(), out.end(), 0.0);
+  for (std::size_t m = 0; m < singular_values_.size(); ++m) {
+    const double coeff = singular_values_[m] * urow[m];
+    for (std::size_t j = 0; j < cols(); ++j) out[j] += coeff * v_(j, m);
+  }
+}
+
+std::uint64_t SvdModel::CompressedBytes() const {
+  // Section 3.4: N*k for U, k eigenvalues, k*M for V, at b bytes each.
+  const std::uint64_t values =
+      static_cast<std::uint64_t>(u_.rows()) * k() + k() +
+      static_cast<std::uint64_t>(k()) * v_.rows();
+  return values * bytes_per_value_;
+}
+
+std::vector<double> SvdModel::ProjectRow(std::size_t row) const {
+  TSC_CHECK_LT(row, rows());
+  std::vector<double> coords(k());
+  const std::span<const double> urow = u_.Row(row);
+  for (std::size_t m = 0; m < k(); ++m) {
+    coords[m] = urow[m] * singular_values_[m];
+  }
+  return coords;
+}
+
+void SvdModel::QuantizeToFloat() {
+  for (double& v : u_.data()) v = static_cast<float>(v);
+  for (double& v : v_.data()) v = static_cast<float>(v);
+  for (double& v : singular_values_) v = static_cast<float>(v);
+  bytes_per_value_ = 4;
+}
+
+SvdModel::FoldInStats SvdModel::FoldInRows(const Matrix& new_rows) {
+  TSC_CHECK_EQ(new_rows.cols(), cols());
+  FoldInStats stats;
+  stats.rows_added = new_rows.rows();
+  Matrix new_u(new_rows.rows(), k());
+  for (std::size_t i = 0; i < new_rows.rows(); ++i) {
+    const std::span<const double> row = new_rows.Row(i);
+    for (const double v : row) stats.energy_total += v * v;
+    for (std::size_t p = 0; p < k(); ++p) {
+      double proj = 0.0;
+      for (std::size_t j = 0; j < cols(); ++j) proj += row[j] * v_(j, p);
+      new_u(i, p) = proj / singular_values_[p];
+      // The projection coefficient is proj = u * lambda; its squared
+      // magnitude is the energy this component captures (V columns are
+      // orthonormal).
+      stats.energy_captured += proj * proj;
+    }
+  }
+  u_.AppendRows(new_u);
+  return stats;
+}
+
+Status SvdModel::Serialize(BinaryWriter* writer) const {
+  TSC_RETURN_IF_ERROR(writer->WriteU32(kSvdModelMagic));
+  TSC_RETURN_IF_ERROR(writer->WriteU64(bytes_per_value_));
+  TSC_RETURN_IF_ERROR(writer->WriteDoubleVector(singular_values_));
+  TSC_RETURN_IF_ERROR(writer->WriteMatrix(v_));
+  return writer->WriteMatrix(u_);
+}
+
+StatusOr<SvdModel> SvdModel::Deserialize(BinaryReader* reader) {
+  TSC_ASSIGN_OR_RETURN(const std::uint32_t magic, reader->ReadU32());
+  if (magic != kSvdModelMagic) return Status::IoError("not an SVD model");
+  TSC_ASSIGN_OR_RETURN(const std::uint64_t bytes_per_value, reader->ReadU64());
+  TSC_ASSIGN_OR_RETURN(std::vector<double> sv, reader->ReadDoubleVector());
+  TSC_ASSIGN_OR_RETURN(Matrix v, reader->ReadMatrix());
+  TSC_ASSIGN_OR_RETURN(Matrix u, reader->ReadMatrix());
+  if (u.cols() != sv.size() || v.cols() != sv.size()) {
+    return Status::IoError("inconsistent SVD model dims");
+  }
+  SvdModel model(std::move(u), std::move(sv), std::move(v));
+  model.set_bytes_per_value(static_cast<std::size_t>(bytes_per_value));
+  return model;
+}
+
+Status SvdModel::SaveToFile(const std::string& path) const {
+  TSC_ASSIGN_OR_RETURN(BinaryWriter writer, BinaryWriter::Open(path));
+  TSC_RETURN_IF_ERROR(Serialize(&writer));
+  return writer.FinishWithChecksum();
+}
+
+StatusOr<SvdModel> SvdModel::LoadFromFile(const std::string& path) {
+  TSC_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::Open(path));
+  TSC_ASSIGN_OR_RETURN(SvdModel model, Deserialize(&reader));
+  TSC_RETURN_IF_ERROR(reader.VerifyChecksum());
+  return model;
+}
+
+StatusOr<Matrix> AccumulateColumnSimilarity(RowSource* source) {
+  const std::size_t m = source->cols();
+  Matrix c(m, m);
+  std::vector<double> row(m);
+  TSC_RETURN_IF_ERROR(source->Reset());
+  for (;;) {
+    TSC_ASSIGN_OR_RETURN(const bool has_row, source->NextRow(row));
+    if (!has_row) break;
+    // Upper triangle only; mirrored below. This is the Figure 2 kernel.
+    for (std::size_t j = 0; j < m; ++j) {
+      const double xj = row[j];
+      if (xj == 0.0) continue;
+      double* crow = &c(j, 0);
+      for (std::size_t l = j; l < m; ++l) crow[l] += xj * row[l];
+    }
+  }
+  for (std::size_t j = 0; j < m; ++j) {
+    for (std::size_t l = j + 1; l < m; ++l) c(l, j) = c(j, l);
+  }
+  return c;
+}
+
+StatusOr<SvdModel> BuildSvdModel(RowSource* source,
+                                 const SvdBuildOptions& options) {
+  if (source->rows() == 0 || source->cols() == 0) {
+    return Status::InvalidArgument("empty source");
+  }
+  const std::size_t m = source->cols();
+
+  // Pass 1: column-to-column similarity, then the in-memory eigenproblem.
+  TSC_ASSIGN_OR_RETURN(Matrix c, AccumulateColumnSimilarity(source));
+  TSC_ASSIGN_OR_RETURN(EigenDecomposition eigen,
+                       SymmetricEigen(c, options.solver));
+
+  const double lambda_max =
+      eigen.eigenvalues.empty() ? 0.0 : std::max(0.0, eigen.eigenvalues[0]);
+  std::size_t k = std::min(options.k, m);
+  std::size_t effective = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (eigen.eigenvalues[j] > kSvdRelativeTolerance * lambda_max &&
+        eigen.eigenvalues[j] > 0.0) {
+      ++effective;
+    } else {
+      break;
+    }
+  }
+  if (effective == 0) {
+    return Status::InvalidArgument("matrix is numerically zero");
+  }
+
+  std::vector<double> singular_values(effective);
+  Matrix v(m, effective);
+  for (std::size_t j = 0; j < effective; ++j) {
+    singular_values[j] = std::sqrt(eigen.eigenvalues[j]);
+    for (std::size_t i = 0; i < m; ++i) v(i, j) = eigen.eigenvectors(i, j);
+  }
+
+  // Pass 2: U = X V Lambda^-1, one row of U per row of X (Figure 3).
+  Matrix u(source->rows(), effective);
+  std::vector<double> row(m);
+  TSC_RETURN_IF_ERROR(source->Reset());
+  for (std::size_t i = 0;; ++i) {
+    TSC_ASSIGN_OR_RETURN(const bool has_row, source->NextRow(row));
+    if (!has_row) break;
+    if (i >= u.rows()) return Status::Internal("source grew between passes");
+    for (std::size_t j = 0; j < effective; ++j) {
+      double proj = 0.0;
+      for (std::size_t l = 0; l < m; ++l) proj += row[l] * v(l, j);
+      u(i, j) = proj / singular_values[j];
+    }
+  }
+  SvdModel model(std::move(u), std::move(singular_values), std::move(v));
+  if (options.bytes_per_value == 4) {
+    model.QuantizeToFloat();
+  } else {
+    model.set_bytes_per_value(options.bytes_per_value);
+  }
+  return model;
+}
+
+}  // namespace tsc

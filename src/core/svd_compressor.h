@@ -1,0 +1,112 @@
+#ifndef TSC_CORE_SVD_COMPRESSOR_H_
+#define TSC_CORE_SVD_COMPRESSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compressed_store.h"
+#include "linalg/matrix.h"
+#include "linalg/symmetric_eigen.h"
+#include "storage/row_source.h"
+#include "storage/serializer.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// The "plain SVD" compressed representation of Section 3.4: the top-k
+/// principal components. Holds U (N x k), the k singular values, and
+/// V (M x k); a cell is reconstructed with Eq. 12 in O(k).
+class SvdModel : public CompressedStore {
+ public:
+  SvdModel() = default;
+  SvdModel(Matrix u, std::vector<double> singular_values, Matrix v);
+
+  std::size_t rows() const override { return u_.rows(); }
+  std::size_t cols() const override { return v_.rows(); }
+  std::size_t k() const { return singular_values_.size(); }
+
+  double ReconstructCell(std::size_t row, std::size_t col) const override;
+  void ReconstructRow(std::size_t row, std::span<double> out) const override;
+
+  std::uint64_t CompressedBytes() const override;
+  std::string MethodName() const override { return "svd"; }
+
+  const Matrix& u() const { return u_; }
+  const std::vector<double>& singular_values() const {
+    return singular_values_;
+  }
+  const Matrix& v() const { return v_; }
+
+  /// Coordinates of sequence `row` in SVD space (Observation 3.4:
+  /// the row of U x Lambda); the first 2-3 entries drive the Appendix A
+  /// visualization.
+  std::vector<double> ProjectRow(std::size_t row) const;
+
+  /// Per-value bytes used in CompressedBytes() accounting (the paper's b).
+  void set_bytes_per_value(std::size_t b) { bytes_per_value_ = b; }
+  std::size_t bytes_per_value() const { return bytes_per_value_; }
+
+  /// Statistics returned by FoldInRows: how much of the appended rows'
+  /// energy the frozen subspace captured. A ratio near 1 means the new
+  /// sequences follow the existing patterns; a low ratio means the
+  /// subspace is stale and a rebuild is due.
+  struct FoldInStats {
+    std::size_t rows_added = 0;
+    double energy_total = 0.0;     ///< sum of squared new-cell values
+    double energy_captured = 0.0;  ///< energy of their rank-k projections
+
+    double CaptureRatio() const {
+      return energy_total > 0.0 ? energy_captured / energy_total : 1.0;
+    }
+  };
+
+  /// Batched off-line appends (the paper's update model, Section 1):
+  /// folds new raw sequences into the model using the frozen V and
+  /// eigenvalues — the LSI "folding-in" technique. O(k*M) per row, no
+  /// repass over existing data. V/Lambda are NOT refit; monitor
+  /// CaptureRatio() and rebuild when it degrades.
+  FoldInStats FoldInRows(const Matrix& new_rows);
+
+  /// Makes the b=4 storage mode honest: rounds U, V and the eigenvalues
+  /// through single precision and sets bytes_per_value to 4, so
+  /// CompressedBytes() halves and the reported error includes the
+  /// quantization loss.
+  void QuantizeToFloat();
+
+  Status Serialize(BinaryWriter* writer) const;
+  static StatusOr<SvdModel> Deserialize(BinaryReader* reader);
+  Status SaveToFile(const std::string& path) const;
+  static StatusOr<SvdModel> LoadFromFile(const std::string& path);
+
+ protected:
+  Matrix u_;
+  std::vector<double> singular_values_;
+  Matrix v_;
+  std::size_t bytes_per_value_ = 8;
+};
+
+/// Options for the streaming SVD build.
+struct SvdBuildOptions {
+  /// Number of principal components to retain (clipped to numerical rank).
+  std::size_t k = 10;
+  EigenSolverKind solver = EigenSolverKind::kHouseholderQl;
+  /// The paper's b. 8 stores doubles; 4 quantizes the factors through
+  /// single precision (QuantizeToFloat) so the accounting stays honest.
+  std::size_t bytes_per_value = 8;
+};
+
+/// Builds a plain-SVD model with the paper's 2-pass algorithm
+/// (Section 4.1): pass 1 accumulates the M x M column-similarity matrix
+/// C = X^T X (Figure 2) and eigendecomposes it in memory; pass 2 streams
+/// the rows again to form U = X V Lambda^-1 (Figure 3, Eq. 11).
+StatusOr<SvdModel> BuildSvdModel(RowSource* source,
+                                 const SvdBuildOptions& options);
+
+/// Pass 1 in isolation: accumulates C = X^T X in one scan. Exposed
+/// because the SVDD build and the DataCube extension reuse it.
+StatusOr<Matrix> AccumulateColumnSimilarity(RowSource* source);
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_SVD_COMPRESSOR_H_

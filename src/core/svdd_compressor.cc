@@ -1,0 +1,312 @@
+#include "core/svdd_compressor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/svd.h"
+#include "linalg/symmetric_eigen.h"
+#include "util/bounded_heap.h"
+#include "util/logging.h"
+
+namespace tsc {
+namespace {
+
+constexpr std::uint32_t kSvddModelMagic = 0x53564444;  // "SVDD"
+
+/// Evenly spaced candidate cut-offs in [1, k_max], always including both
+/// endpoints. With cap == 0 every k is a candidate (the paper's loop).
+std::vector<std::size_t> ChooseCandidates(std::size_t k_max,
+                                          std::size_t cap) {
+  std::vector<std::size_t> ks;
+  if (k_max == 0) return ks;
+  if (cap == 0 || cap >= k_max) {
+    ks.resize(k_max);
+    for (std::size_t i = 0; i < k_max; ++i) ks[i] = i + 1;
+    return ks;
+  }
+  cap = std::max<std::size_t>(cap, 2);
+  ks.reserve(cap);
+  for (std::size_t i = 0; i < cap; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(cap - 1);
+    std::size_t k = 1 + static_cast<std::size_t>(
+                            t * static_cast<double>(k_max - 1) + 0.5);
+    if (ks.empty() || ks.back() < k) ks.push_back(k);
+  }
+  if (ks.back() != k_max) ks.push_back(k_max);
+  return ks;
+}
+
+}  // namespace
+
+SvddModel::SvddModel(SvdModel svd, DeltaTable deltas,
+                     std::optional<BloomFilter> bloom)
+    : svd_(std::move(svd)),
+      deltas_(std::move(deltas)),
+      bloom_(std::move(bloom)) {}
+
+double SvddModel::ReconstructCell(std::size_t row, std::size_t col) const {
+  const double base = svd_.ReconstructCell(row, col);
+  const std::uint64_t key = DeltaTable::CellKey(row, col, cols());
+  if (bloom_.has_value() && !bloom_->MightContain(key)) return base;
+  const std::optional<double> delta = deltas_.Get(key);
+  return delta.has_value() ? base + *delta : base;
+}
+
+void SvddModel::ReconstructRow(std::size_t row, std::span<double> out) const {
+  svd_.ReconstructRow(row, out);
+  for (std::size_t j = 0; j < cols(); ++j) {
+    const std::uint64_t key = DeltaTable::CellKey(row, j, cols());
+    if (bloom_.has_value() && !bloom_->MightContain(key)) continue;
+    const std::optional<double> delta = deltas_.Get(key);
+    if (delta.has_value()) out[j] += *delta;
+  }
+}
+
+std::uint64_t SvddModel::CompressedBytes() const {
+  return svd_.CompressedBytes() + deltas_.PackedBytes();
+}
+
+Status SvddModel::PatchCell(std::size_t row, std::size_t col,
+                            double exact_value) {
+  if (row >= rows() || col >= cols()) {
+    return Status::OutOfRange("cell out of range");
+  }
+  const std::uint64_t key = DeltaTable::CellKey(row, col, cols());
+  deltas_.Put(key, exact_value - svd_.ReconstructCell(row, col));
+  // The Bloom filter must admit the new key or lookups would skip it.
+  if (bloom_.has_value()) bloom_->Add(key);
+  return Status::Ok();
+}
+
+Status SvddModel::Serialize(BinaryWriter* writer) const {
+  TSC_RETURN_IF_ERROR(writer->WriteU32(kSvddModelMagic));
+  TSC_RETURN_IF_ERROR(svd_.Serialize(writer));
+  TSC_RETURN_IF_ERROR(deltas_.Serialize(writer));
+  TSC_RETURN_IF_ERROR(writer->WriteU32(bloom_.has_value() ? 1 : 0));
+  if (bloom_.has_value()) TSC_RETURN_IF_ERROR(bloom_->Serialize(writer));
+  return Status::Ok();
+}
+
+StatusOr<SvddModel> SvddModel::Deserialize(BinaryReader* reader) {
+  TSC_ASSIGN_OR_RETURN(const std::uint32_t magic, reader->ReadU32());
+  if (magic != kSvddModelMagic) return Status::IoError("not an SVDD model");
+  TSC_ASSIGN_OR_RETURN(SvdModel svd, SvdModel::Deserialize(reader));
+  TSC_ASSIGN_OR_RETURN(DeltaTable deltas, DeltaTable::Deserialize(reader));
+  TSC_ASSIGN_OR_RETURN(const std::uint32_t has_bloom, reader->ReadU32());
+  std::optional<BloomFilter> bloom;
+  if (has_bloom != 0) {
+    TSC_ASSIGN_OR_RETURN(BloomFilter filter, BloomFilter::Deserialize(reader));
+    bloom = std::move(filter);
+  }
+  return SvddModel(std::move(svd), std::move(deltas), std::move(bloom));
+}
+
+Status SvddModel::SaveToFile(const std::string& path) const {
+  TSC_ASSIGN_OR_RETURN(BinaryWriter writer, BinaryWriter::Open(path));
+  TSC_RETURN_IF_ERROR(Serialize(&writer));
+  return writer.FinishWithChecksum();
+}
+
+StatusOr<SvddModel> SvddModel::LoadFromFile(const std::string& path) {
+  TSC_ASSIGN_OR_RETURN(BinaryReader reader, BinaryReader::Open(path));
+  TSC_ASSIGN_OR_RETURN(SvddModel model, Deserialize(&reader));
+  TSC_RETURN_IF_ERROR(reader.VerifyChecksum());
+  return model;
+}
+
+StatusOr<SvddModel> BuildSvddModel(RowSource* source,
+                                   const SvddBuildOptions& options,
+                                   SvddBuildDiagnostics* diagnostics) {
+  if (source->rows() == 0 || source->cols() == 0) {
+    return Status::InvalidArgument("empty source");
+  }
+  const std::size_t n = source->rows();
+  const std::size_t m = source->cols();
+  const SpaceBudget budget = SpaceBudget::FromPercent(
+      n, m, options.space_percent, options.bytes_per_value);
+  const std::uint64_t total_cells =
+      static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
+
+  // ---------------------------------------------------------------------
+  // Pass 1: column similarity -> eigensystem -> k_max and gamma_k.
+  // ---------------------------------------------------------------------
+  TSC_ASSIGN_OR_RETURN(Matrix c, AccumulateColumnSimilarity(source));
+  TSC_ASSIGN_OR_RETURN(EigenDecomposition eigen,
+                       SymmetricEigen(c, options.solver));
+
+  const double lambda_max =
+      eigen.eigenvalues.empty() ? 0.0 : std::max(0.0, eigen.eigenvalues[0]);
+  std::size_t numerical_rank = 0;
+  for (std::size_t j = 0; j < m; ++j) {
+    if (eigen.eigenvalues[j] > kSvdRelativeTolerance * lambda_max &&
+        eigen.eigenvalues[j] > 0.0) {
+      ++numerical_rank;
+    } else {
+      break;
+    }
+  }
+  if (numerical_rank == 0) {
+    return Status::InvalidArgument("matrix is numerically zero");
+  }
+
+  std::size_t k_max = std::min(budget.MaxK(), numerical_rank);
+  if (options.forced_k > 0) {
+    if (options.forced_k > numerical_rank) {
+      return Status::InvalidArgument("forced_k exceeds numerical rank");
+    }
+    k_max = options.forced_k;
+  }
+  if (k_max == 0) {
+    return Status::ResourceExhausted(
+        "space budget cannot fit a single principal component");
+  }
+
+  std::vector<std::size_t> candidate_ks =
+      options.forced_k > 0 ? std::vector<std::size_t>{options.forced_k}
+                           : ChooseCandidates(k_max, options.max_candidates);
+  const std::size_t num_candidates = candidate_ks.size();
+
+  std::vector<std::uint64_t> gamma(num_candidates);
+  for (std::size_t ci = 0; ci < num_candidates; ++ci) {
+    gamma[ci] = std::min(budget.DeltaCount(candidate_ks[ci], options.delta_bytes),
+                         total_cells);
+  }
+
+  // Eigenvectors for all k_max components, used in passes 2 and 3.
+  std::vector<double> singular_values(k_max);
+  Matrix v(m, k_max);
+  for (std::size_t j = 0; j < k_max; ++j) {
+    singular_values[j] = std::sqrt(eigen.eigenvalues[j]);
+    for (std::size_t i = 0; i < m; ++i) v(i, j) = eigen.eigenvectors(i, j);
+  }
+
+  // ---------------------------------------------------------------------
+  // Pass 2: per-candidate bounded queues of the worst cells + epsilon_k.
+  // ---------------------------------------------------------------------
+  struct OutlierCell {
+    std::uint64_t key;
+    double delta;
+  };
+  std::vector<BoundedTopHeap<double, OutlierCell>> queues;
+  queues.reserve(num_candidates);
+  for (std::size_t ci = 0; ci < num_candidates; ++ci) {
+    queues.emplace_back(static_cast<std::size_t>(gamma[ci]));
+  }
+  std::vector<double> sse(num_candidates, 0.0);
+
+  std::vector<double> row(m);
+  std::vector<double> projection(k_max);  // p_m = x_i . v_m
+  TSC_RETURN_IF_ERROR(source->Reset());
+  for (std::size_t i = 0;; ++i) {
+    TSC_ASSIGN_OR_RETURN(const bool has_row, source->NextRow(row));
+    if (!has_row) break;
+    if (i >= n) return Status::Internal("source grew between passes");
+    for (std::size_t p = 0; p < k_max; ++p) {
+      double dot = 0.0;
+      for (std::size_t l = 0; l < m; ++l) dot += row[l] * v(l, p);
+      projection[p] = dot;
+    }
+    for (std::size_t j = 0; j < m; ++j) {
+      // recon_k = sum_{p<k} projection_p * v_jp, accumulated incrementally
+      // so every candidate k reads the partial sum once.
+      double recon = 0.0;
+      std::size_t ci = 0;
+      for (std::size_t p = 0; p < k_max && ci < num_candidates; ++p) {
+        recon += projection[p] * v(j, p);
+        while (ci < num_candidates && candidate_ks[ci] == p + 1) {
+          const double err = row[j] - recon;
+          const double err2 = err * err;
+          sse[ci] += err2;
+          queues[ci].Offer(err2,
+                           OutlierCell{DeltaTable::CellKey(i, j, m), err});
+          ++ci;
+        }
+      }
+    }
+  }
+
+  // epsilon_k: SSE left after the affordable outliers are stored exactly.
+  std::size_t best_ci = 0;
+  double best_eps = std::numeric_limits<double>::infinity();
+  std::vector<double> residual(num_candidates, 0.0);
+  for (std::size_t ci = 0; ci < num_candidates; ++ci) {
+    const double eps = sse[ci] - queues[ci].KeySum();
+    residual[ci] = eps;
+    if (eps < best_eps) {
+      best_eps = eps;
+      best_ci = ci;
+    }
+  }
+  const std::size_t k_opt = candidate_ks[best_ci];
+
+  // ---------------------------------------------------------------------
+  // Pass 3: emit U at k_opt (Figure 5, using Eq. 11).
+  // ---------------------------------------------------------------------
+  Matrix u(n, k_opt);
+  TSC_RETURN_IF_ERROR(source->Reset());
+  for (std::size_t i = 0;; ++i) {
+    TSC_ASSIGN_OR_RETURN(const bool has_row, source->NextRow(row));
+    if (!has_row) break;
+    if (i >= n) return Status::Internal("source grew between passes");
+    for (std::size_t p = 0; p < k_opt; ++p) {
+      double dot = 0.0;
+      for (std::size_t l = 0; l < m; ++l) dot += row[l] * v(l, p);
+      u(i, p) = dot / singular_values[p];
+    }
+  }
+
+  // Assemble: truncate the factor matrices to k_opt and fill the table.
+  std::vector<double> sv_opt(singular_values.begin(),
+                             singular_values.begin() +
+                                 static_cast<std::ptrdiff_t>(k_opt));
+  Matrix v_opt(m, k_opt);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t p = 0; p < k_opt; ++p) v_opt(i, p) = v(i, p);
+  }
+  SvdModel svd(std::move(u), std::move(sv_opt), std::move(v_opt));
+  svd.set_bytes_per_value(options.bytes_per_value);
+
+  auto entries = queues[best_ci].TakeSortedDescending();
+  DeltaTable deltas(entries.size());
+  deltas.set_entry_bytes(options.delta_bytes);
+  if (options.bytes_per_value == 4) {
+    // Quantize the factors first, then re-derive each stored delta
+    // against the QUANTIZED reconstruction so outlier cells still
+    // round-trip (up to float rounding of the delta itself).
+    for (auto& entry : entries) {
+      const std::size_t i = static_cast<std::size_t>(entry.value.key / m);
+      const std::size_t j = static_cast<std::size_t>(entry.value.key % m);
+      entry.value.delta += svd.ReconstructCell(i, j);  // = original x_ij
+    }
+    svd.QuantizeToFloat();
+    for (auto& entry : entries) {
+      const std::size_t i = static_cast<std::size_t>(entry.value.key / m);
+      const std::size_t j = static_cast<std::size_t>(entry.value.key % m);
+      entry.value.delta -= svd.ReconstructCell(i, j);
+    }
+  }
+  for (const auto& entry : entries) {
+    deltas.Put(entry.value.key, entry.value.delta);
+  }
+  if (options.bytes_per_value == 4) deltas.QuantizeValuesToFloat();
+  std::optional<BloomFilter> bloom;
+  if (options.build_bloom_filter && !entries.empty()) {
+    BloomFilter filter(entries.size(), options.bloom_bits_per_entry);
+    for (const auto& entry : entries) filter.Add(entry.value.key);
+    bloom = std::move(filter);
+  }
+
+  if (diagnostics != nullptr) {
+    diagnostics->k_max = k_max;
+    diagnostics->k_opt = k_opt;
+    diagnostics->delta_count = deltas.size();
+    diagnostics->candidate_ks = std::move(candidate_ks);
+    diagnostics->candidate_sse = std::move(sse);
+    diagnostics->candidate_residual_sse = std::move(residual);
+    diagnostics->candidate_delta_counts = std::move(gamma);
+  }
+  return SvddModel(std::move(svd), std::move(deltas), std::move(bloom));
+}
+
+}  // namespace tsc

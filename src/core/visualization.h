@@ -1,0 +1,41 @@
+#ifndef TSC_CORE_VISUALIZATION_H_
+#define TSC_CORE_VISUALIZATION_H_
+
+#include <string>
+#include <vector>
+
+#include "core/svd_compressor.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// 2-d coordinates of every sequence in SVD space (Appendix A): column 0
+/// is the projection on the strongest principal component, column 1 the
+/// second. "Essentially for free" once a model exists.
+struct ScatterPlotData {
+  std::vector<double> x;  ///< first principal coordinate per row
+  std::vector<double> y;  ///< second principal coordinate per row
+};
+
+/// Projects all rows of `model` onto its first two components. The model
+/// must retain k >= 2 components; with k == 1 the y coordinates are zero.
+ScatterPlotData ProjectToSvdSpace(const SvdModel& model);
+
+/// Builds a model with k=2 directly from a matrix and projects it — the
+/// one-call path used by examples ("visualize this dataset").
+StatusOr<ScatterPlotData> ProjectDataset(const Matrix& data);
+
+/// Indices of the `count` rows farthest (Euclidean) from the centroid in
+/// SVD space: the outlier-spotting use the paper describes for analysts
+/// ("a financial analyst should examine those exceptional stocks").
+std::vector<std::size_t> TopOutlierRows(const ScatterPlotData& scatter,
+                                        std::size_t count);
+
+/// Renders the scatter as an ASCII plot (bench/appendix_visualization).
+std::string RenderSvdScatter(const ScatterPlotData& scatter,
+                             const std::string& title);
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_VISUALIZATION_H_

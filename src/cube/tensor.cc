@@ -1,0 +1,189 @@
+#include "cube/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/symmetric_eigen.h"
+#include "linalg/svd.h"
+#include "util/logging.h"
+
+namespace tsc {
+namespace {
+
+/// (row, col) of a multi-index in the mode-n unfolding.
+void UnfoldCoords(const std::vector<std::size_t>& dims, std::size_t mode,
+                  std::span<const std::size_t> index, std::size_t* row,
+                  std::size_t* col) {
+  *row = index[mode];
+  std::size_t c = 0;
+  for (std::size_t axis = 0; axis < dims.size(); ++axis) {
+    if (axis == mode) continue;
+    c = c * dims[axis] + index[axis];
+  }
+  *col = c;
+}
+
+/// Advances a multi-index odometer-style; returns false after the last.
+bool NextIndex(const std::vector<std::size_t>& dims,
+               std::vector<std::size_t>* index) {
+  for (std::size_t axis = dims.size(); axis-- > 0;) {
+    if (++(*index)[axis] < dims[axis]) return true;
+    (*index)[axis] = 0;
+  }
+  return false;
+}
+
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> dims) : dims_(std::move(dims)) {
+  TSC_CHECK(!dims_.empty());
+  std::size_t total = 1;
+  strides_.resize(dims_.size());
+  for (std::size_t axis = dims_.size(); axis-- > 0;) {
+    TSC_CHECK_GT(dims_[axis], 0u);
+    strides_[axis] = total;
+    total *= dims_[axis];
+  }
+  data_.assign(total, 0.0);
+}
+
+std::size_t Tensor::FlatIndex(std::span<const std::size_t> index) const {
+  TSC_DCHECK(index.size() == dims_.size());
+  std::size_t flat = 0;
+  for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
+    TSC_DCHECK(index[axis] < dims_[axis]);
+    flat += index[axis] * strides_[axis];
+  }
+  return flat;
+}
+
+std::vector<std::size_t> Tensor::MultiIndex(std::size_t flat) const {
+  TSC_CHECK_LT(flat, data_.size());
+  std::vector<std::size_t> index(dims_.size());
+  for (std::size_t axis = 0; axis < dims_.size(); ++axis) {
+    index[axis] = flat / strides_[axis];
+    flat %= strides_[axis];
+  }
+  return index;
+}
+
+double Tensor::FrobeniusNormSquared() const {
+  double total = 0.0;
+  for (const double v : data_) total += v * v;
+  return total;
+}
+
+Matrix UnfoldTensor(const Tensor& tensor, std::size_t mode) {
+  TSC_CHECK_LT(mode, tensor.order());
+  const std::size_t rows = tensor.dim(mode);
+  const std::size_t cols = tensor.size() / rows;
+  Matrix out(rows, cols);
+  std::vector<std::size_t> index(tensor.order(), 0);
+  do {
+    std::size_t r = 0;
+    std::size_t c = 0;
+    UnfoldCoords(tensor.dims(), mode, index, &r, &c);
+    out(r, c) = tensor.At(index);
+  } while (NextIndex(tensor.dims(), &index));
+  return out;
+}
+
+Tensor FoldTensor(const Matrix& matrix, const std::vector<std::size_t>& dims,
+                  std::size_t mode) {
+  TSC_CHECK_LT(mode, dims.size());
+  TSC_CHECK_EQ(matrix.rows(), dims[mode]);
+  Tensor out(dims);
+  std::vector<std::size_t> index(dims.size(), 0);
+  do {
+    std::size_t r = 0;
+    std::size_t c = 0;
+    UnfoldCoords(dims, mode, index, &r, &c);
+    out.At(index) = matrix(r, c);
+  } while (NextIndex(dims, &index));
+  return out;
+}
+
+NTuckerModel::NTuckerModel(std::vector<Matrix> factors, Tensor core)
+    : factors_(std::move(factors)), core_(std::move(core)) {
+  TSC_CHECK_EQ(factors_.size(), core_.order());
+  for (std::size_t n = 0; n < factors_.size(); ++n) {
+    TSC_CHECK_EQ(factors_[n].cols(), core_.dim(n));
+  }
+}
+
+std::vector<std::size_t> NTuckerModel::ranks() const {
+  std::vector<std::size_t> r(order());
+  for (std::size_t n = 0; n < order(); ++n) r[n] = core_.dim(n);
+  return r;
+}
+
+double NTuckerModel::ReconstructCell(
+    std::span<const std::size_t> index) const {
+  TSC_CHECK_EQ(index.size(), order());
+  // value = sum over all core entries of G[r] * prod_n A_n(i_n, r_n).
+  double value = 0.0;
+  std::vector<std::size_t> r(order(), 0);
+  do {
+    double term = core_.At(r);
+    if (term != 0.0) {
+      for (std::size_t n = 0; n < order(); ++n) {
+        term *= factors_[n](index[n], r[n]);
+        if (term == 0.0) break;
+      }
+      value += term;
+    }
+  } while (NextIndex(core_.dims(), &r));
+  return value;
+}
+
+std::uint64_t NTuckerModel::CompressedBytes(std::size_t bytes_per_value) const {
+  std::uint64_t values = core_.size();
+  for (const Matrix& f : factors_) values += f.size();
+  return values * bytes_per_value;
+}
+
+StatusOr<NTuckerModel> BuildNTuckerModel(
+    const Tensor& tensor, const std::vector<std::size_t>& ranks) {
+  if (tensor.size() == 0) return Status::InvalidArgument("empty tensor");
+  if (ranks.size() != tensor.order()) {
+    return Status::InvalidArgument("ranks size != tensor order");
+  }
+  std::vector<Matrix> factors(tensor.order());
+  for (std::size_t mode = 0; mode < tensor.order(); ++mode) {
+    if (ranks[mode] == 0 || ranks[mode] > tensor.dim(mode)) {
+      return Status::InvalidArgument("rank out of range for mode");
+    }
+    const Matrix unfolded = UnfoldTensor(tensor, mode);
+    const Matrix gram = GramMatrix(unfolded.Transposed());
+    TSC_ASSIGN_OR_RETURN(EigenDecomposition eigen, SymmetricEigen(gram));
+    Matrix factor(tensor.dim(mode), ranks[mode]);
+    for (std::size_t c = 0; c < ranks[mode]; ++c) {
+      for (std::size_t r = 0; r < tensor.dim(mode); ++r) {
+        factor(r, c) = eigen.eigenvectors(r, c);
+      }
+    }
+    factors[mode] = std::move(factor);
+  }
+
+  // Core: G[r...] = sum_x X[i...] prod_n A_n(i_n, r_n). Direct
+  // O(|X| * |G|) contraction; fine at the library's tensor scales.
+  Tensor core(ranks);
+  std::vector<std::size_t> x_index(tensor.order(), 0);
+  do {
+    const double x = tensor.At(x_index);
+    if (x == 0.0) continue;
+    std::vector<std::size_t> r(tensor.order(), 0);
+    do {
+      double term = x;
+      for (std::size_t n = 0; n < tensor.order(); ++n) {
+        term *= factors[n](x_index[n], r[n]);
+        if (term == 0.0) break;
+      }
+      if (term != 0.0) core.At(r) += term;
+    } while (NextIndex(core.dims(), &r));
+  } while (NextIndex(tensor.dims(), &x_index));
+
+  return NTuckerModel(std::move(factors), std::move(core));
+}
+
+}  // namespace tsc

@@ -1,0 +1,91 @@
+#ifndef TSC_CUBE_TENSOR_H_
+#define TSC_CUBE_TENSOR_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// Dense tensor of arbitrary order — the "N-mode analysis" the paper
+/// notes 3-mode PCA extends to (Section 6.1). Row-major layout: the last
+/// axis varies fastest.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> dims);
+
+  std::size_t order() const { return dims_.size(); }
+  const std::vector<std::size_t>& dims() const { return dims_; }
+  std::size_t dim(std::size_t axis) const { return dims_[axis]; }
+  std::size_t size() const { return data_.size(); }
+
+  /// Element access by multi-index (size must equal order()).
+  double& At(std::span<const std::size_t> index) {
+    return data_[FlatIndex(index)];
+  }
+  double At(std::span<const std::size_t> index) const {
+    return data_[FlatIndex(index)];
+  }
+
+  /// Row-major flat offset of a multi-index.
+  std::size_t FlatIndex(std::span<const std::size_t> index) const;
+  /// Inverse of FlatIndex.
+  std::vector<std::size_t> MultiIndex(std::size_t flat) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  double FrobeniusNormSquared() const;
+
+ private:
+  std::vector<std::size_t> dims_;
+  std::vector<std::size_t> strides_;
+  std::vector<double> data_;
+};
+
+/// Mode-n unfolding: dims[n] x (size / dims[n]); the column index
+/// enumerates the remaining axes in ascending order, later axes fastest
+/// (consistent with the 3-d DataCube convention).
+Matrix UnfoldTensor(const Tensor& tensor, std::size_t mode);
+
+/// Inverse of UnfoldTensor.
+Tensor FoldTensor(const Matrix& matrix, const std::vector<std::size_t>& dims,
+                  std::size_t mode);
+
+/// Truncated Tucker decomposition of arbitrary order, via HOSVD:
+/// X[i...] ~= sum over core entries of G[r...] * prod_n A_n(i_n, r_n).
+class NTuckerModel {
+ public:
+  NTuckerModel() = default;
+  NTuckerModel(std::vector<Matrix> factors, Tensor core);
+
+  std::size_t order() const { return factors_.size(); }
+  std::vector<std::size_t> ranks() const;
+
+  /// O(prod of ranks) per cell.
+  double ReconstructCell(std::span<const std::size_t> index) const;
+
+  std::uint64_t CompressedBytes(std::size_t bytes_per_value = 8) const;
+
+  const std::vector<Matrix>& factors() const { return factors_; }
+  const Tensor& core() const { return core_; }
+
+ private:
+  std::vector<Matrix> factors_;  ///< factors_[n]: dims[n] x ranks[n]
+  Tensor core_;
+};
+
+/// HOSVD build: per-mode factors from the top eigenvectors of the mode-n
+/// Gram matrices, core by contracting X with the factor transposes.
+/// `ranks` must have one entry per mode, each in [1, dims[n]].
+StatusOr<NTuckerModel> BuildNTuckerModel(const Tensor& tensor,
+                                         const std::vector<std::size_t>& ranks);
+
+}  // namespace tsc
+
+#endif  // TSC_CUBE_TENSOR_H_

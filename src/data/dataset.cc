@@ -1,0 +1,106 @@
+#include "data/dataset.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "storage/row_store.h"
+#include "util/logging.h"
+
+namespace tsc {
+
+Dataset Dataset::Subset(std::size_t n) const {
+  TSC_CHECK_LE(n, rows());
+  Dataset out;
+  out.name = name + "_" + std::to_string(n);
+  out.values = values.TopRows(n);
+  if (row_labels.size() >= n) {
+    out.row_labels.assign(row_labels.begin(),
+                          row_labels.begin() + static_cast<std::ptrdiff_t>(n));
+  }
+  out.col_labels = col_labels;
+  return out;
+}
+
+Status SaveCsv(const Dataset& dataset, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  if (!dataset.col_labels.empty()) {
+    for (std::size_t j = 0; j < dataset.col_labels.size(); ++j) {
+      if (j > 0) out << ',';
+      out << dataset.col_labels[j];
+    }
+    out << '\n';
+  }
+  char buf[48];
+  for (std::size_t i = 0; i < dataset.rows(); ++i) {
+    for (std::size_t j = 0; j < dataset.cols(); ++j) {
+      if (j > 0) out << ',';
+      std::snprintf(buf, sizeof(buf), "%.17g", dataset.values(i, j));
+      out << buf;
+    }
+    out << '\n';
+  }
+  out.flush();
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::Ok();
+}
+
+StatusOr<Dataset> LoadCsv(const std::string& path, const std::string& name) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open: " + path);
+  Dataset dataset;
+  dataset.name = name;
+  std::vector<std::vector<double>> rows;
+  std::string line;
+  bool first_line = true;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::vector<double> row;
+    std::stringstream ss(line);
+    std::string token;
+    bool numeric = true;
+    std::vector<std::string> tokens;
+    while (std::getline(ss, token, ',')) {
+      tokens.push_back(token);
+      char* end = nullptr;
+      const double value = std::strtod(token.c_str(), &end);
+      if (end == token.c_str()) {
+        numeric = false;
+      } else {
+        row.push_back(value);
+      }
+    }
+    if (first_line && !numeric) {
+      dataset.col_labels = std::move(tokens);
+      first_line = false;
+      continue;
+    }
+    first_line = false;
+    if (!numeric) {
+      return Status::IoError("non-numeric cell in data row of " + path);
+    }
+    if (!rows.empty() && row.size() != rows.front().size()) {
+      return Status::IoError("ragged rows in " + path);
+    }
+    rows.push_back(std::move(row));
+  }
+  if (rows.empty()) return Status::IoError("no data rows in " + path);
+  dataset.values = Matrix::FromRows(rows);
+  return dataset;
+}
+
+Status SaveBinary(const Dataset& dataset, const std::string& path) {
+  return WriteMatrixFile(path, dataset.values);
+}
+
+StatusOr<Dataset> LoadBinary(const std::string& path,
+                             const std::string& name) {
+  TSC_ASSIGN_OR_RETURN(RowStoreReader reader, RowStoreReader::Open(path));
+  Dataset dataset;
+  dataset.name = name;
+  TSC_ASSIGN_OR_RETURN(dataset.values, reader.ReadAll());
+  return dataset;
+}
+
+}  // namespace tsc

@@ -1,0 +1,270 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tsc {
+namespace internal_generators {
+
+/// Builds the `num_patterns` day-profiles the customer mixture draws from.
+/// Each profile is a non-negative M-vector normalized to mean 1 over its
+/// active days, so customer volume separates cleanly from shape.
+std::vector<std::vector<double>> BuildPhoneDayPatterns(
+    std::size_t num_patterns, std::size_t num_days, Rng* rng) {
+  std::vector<std::vector<double>> patterns;
+  patterns.reserve(num_patterns);
+  auto day_of_week = [](std::size_t d) { return d % 7; };  // 0 = Monday
+
+  for (std::size_t p = 0; p < num_patterns; ++p) {
+    std::vector<double> profile(num_days, 0.0);
+    switch (p % 6) {
+      case 0:  // weekday business caller
+        for (std::size_t d = 0; d < num_days; ++d) {
+          profile[d] = day_of_week(d) < 5 ? 1.0 : 0.05;
+        }
+        break;
+      case 1:  // weekend residential caller
+        for (std::size_t d = 0; d < num_days; ++d) {
+          profile[d] = day_of_week(d) >= 5 ? 1.0 : 0.10;
+        }
+        break;
+      case 2:  // every-day flat usage
+        for (std::size_t d = 0; d < num_days; ++d) profile[d] = 1.0;
+        break;
+      case 3:  // month-end billing burst (last 3 days of each 30-day cycle)
+        for (std::size_t d = 0; d < num_days; ++d) {
+          profile[d] = (d % 30) >= 27 ? 1.0 : 0.15;
+        }
+        break;
+      case 4:  // seasonal (summer-heavy sinusoid over the year)
+        for (std::size_t d = 0; d < num_days; ++d) {
+          const double phase =
+              2.0 * M_PI * static_cast<double>(d) / static_cast<double>(num_days);
+          profile[d] = 1.0 + 0.8 * std::sin(phase - M_PI / 2.0);
+        }
+        break;
+      default: {  // smooth irregular shape: low-pass filtered noise
+        double state = 1.0;
+        for (std::size_t d = 0; d < num_days; ++d) {
+          state = 0.92 * state + 0.08 * (1.0 + rng->Gaussian(0.0, 0.8));
+          profile[d] = std::max(0.0, state);
+        }
+        break;
+      }
+    }
+    // Normalize to mean 1 so mixtures keep volume semantics.
+    double mean = 0.0;
+    for (double v : profile) mean += v;
+    mean /= static_cast<double>(num_days);
+    if (mean > 0) {
+      for (double& v : profile) v /= mean;
+    }
+    patterns.push_back(std::move(profile));
+  }
+  return patterns;
+}
+
+}  // namespace internal_generators
+
+Dataset GeneratePhoneDataset(const PhoneDatasetConfig& config) {
+  TSC_CHECK_GT(config.num_customers, 0u);
+  TSC_CHECK_GT(config.num_days, 0u);
+  TSC_CHECK_GT(config.num_patterns, 0u);
+  Rng rng(config.seed);
+
+  const std::vector<std::vector<double>> patterns =
+      internal_generators::BuildPhoneDayPatterns(config.num_patterns,
+                                                  config.num_days, &rng);
+
+  // Heavy-tailed per-customer volumes: Zipf over ranks, then shuffled so
+  // big customers land anywhere in row order (subsets stay representative).
+  std::vector<double> volumes(config.num_customers);
+  for (std::size_t i = 0; i < config.num_customers; ++i) {
+    const double rank = static_cast<double>(i + 1);
+    volumes[i] =
+        config.base_volume *
+        std::pow(static_cast<double>(config.num_customers) / rank,
+                 config.zipf_skew) /
+        std::pow(static_cast<double>(config.num_customers), config.zipf_skew - 1.0);
+  }
+  rng.Shuffle(&volumes);
+
+  Dataset dataset;
+  dataset.name = "phone" + std::to_string(config.num_customers);
+  dataset.values = Matrix(config.num_customers, config.num_days);
+  dataset.row_labels.reserve(config.num_customers);
+  dataset.col_labels.reserve(config.num_days);
+  for (std::size_t j = 0; j < config.num_days; ++j) {
+    dataset.col_labels.push_back("day" + std::to_string(j));
+  }
+
+  for (std::size_t i = 0; i < config.num_customers; ++i) {
+    dataset.row_labels.push_back("cust" + std::to_string(i));
+    if (rng.Bernoulli(config.zero_customer_fraction)) {
+      continue;  // all-zero customer, the Section 6.2 practical issue
+    }
+    // Mixture: one dominant pattern plus a little of one other.
+    const std::size_t main_pattern =
+        static_cast<std::size_t>(rng.UniformUint64(patterns.size()));
+    std::size_t side_pattern =
+        static_cast<std::size_t>(rng.UniformUint64(patterns.size()));
+    if (side_pattern == main_pattern) {
+      side_pattern = (side_pattern + 1) % patterns.size();
+    }
+    const double w_main = config.mixture_concentration +
+                          rng.UniformDouble() * (1.0 - config.mixture_concentration);
+    const double w_side = 1.0 - w_main;
+    const double volume = volumes[i];
+
+    const std::span<double> row = dataset.values.Row(i);
+    for (std::size_t d = 0; d < config.num_days; ++d) {
+      const double shape = w_main * patterns[main_pattern][d] +
+                           w_side * patterns[side_pattern][d];
+      double value = volume * shape *
+                     std::max(0.0, 1.0 + rng.Gaussian(0.0, config.noise_level));
+      if (rng.Bernoulli(config.spike_probability)) {
+        // Isolated busy day: the SVDD outlier population.
+        value += volume * config.spike_scale *
+                 (0.5 + rng.UniformDouble());
+      }
+      row[d] = value;
+    }
+  }
+  return dataset;
+}
+
+Dataset GenerateStockDataset(const StockDatasetConfig& config) {
+  TSC_CHECK_GT(config.num_stocks, 0u);
+  TSC_CHECK_GT(config.num_days, 0u);
+  TSC_CHECK_GT(config.min_initial_price, 0.0);
+  TSC_CHECK_GE(config.max_initial_price, config.min_initial_price);
+  Rng rng(config.seed);
+
+  // One common market factor: daily log-returns of "the market".
+  std::vector<double> market_return(config.num_days, 0.0);
+  for (std::size_t d = 1; d < config.num_days; ++d) {
+    market_return[d] =
+        rng.Gaussian(config.market_drift, config.market_volatility);
+  }
+
+  Dataset dataset;
+  dataset.name = "stocks";
+  dataset.values = Matrix(config.num_stocks, config.num_days);
+  dataset.row_labels.reserve(config.num_stocks);
+  for (std::size_t j = 0; j < config.num_days; ++j) {
+    dataset.col_labels.push_back("day" + std::to_string(j));
+  }
+
+  const double log_lo = std::log(config.min_initial_price);
+  const double log_hi = std::log(config.max_initial_price);
+  for (std::size_t i = 0; i < config.num_stocks; ++i) {
+    dataset.row_labels.push_back("stock" + std::to_string(i));
+    const double beta = rng.Gaussian(config.beta_mean, config.beta_stddev);
+    double log_price = rng.UniformDouble(log_lo, log_hi);
+    const std::span<double> row = dataset.values.Row(i);
+    for (std::size_t d = 0; d < config.num_days; ++d) {
+      if (d > 0) {
+        log_price += beta * market_return[d] +
+                     rng.Gaussian(0.0, config.idiosyncratic_volatility);
+      }
+      row[d] = std::exp(log_price);
+    }
+  }
+  return dataset;
+}
+
+Dataset GeneratePatientDataset(const PatientDatasetConfig& config) {
+  TSC_CHECK_GT(config.num_patients, 0u);
+  TSC_CHECK_GT(config.num_hours, 0u);
+  Rng rng(config.seed);
+
+  Dataset dataset;
+  dataset.name = "patients" + std::to_string(config.num_patients);
+  dataset.values = Matrix(config.num_patients, config.num_hours);
+  dataset.row_labels.reserve(config.num_patients);
+  for (std::size_t h = 0; h < config.num_hours; ++h) {
+    dataset.col_labels.push_back("hour" + std::to_string(h));
+  }
+
+  for (std::size_t i = 0; i < config.num_patients; ++i) {
+    dataset.row_labels.push_back("patient" + std::to_string(i));
+    const double baseline =
+        rng.Gaussian(config.baseline_mean_c, config.baseline_stddev_c);
+    // Personal circadian phase: everyone troughs early morning, but
+    // wake/sleep schedules shift the curve by a few hours.
+    const double phase = rng.Gaussian(0.0, 1.5);
+
+    // Fever episode parameters (if any): onset hour, ramp, plateau.
+    const bool has_fever = rng.Bernoulli(config.fever_fraction);
+    const double onset =
+        rng.UniformDouble(0.0, static_cast<double>(config.num_hours));
+    const double rise_hours = rng.UniformDouble(2.0, 5.0);
+    const double plateau_hours = rng.UniformDouble(3.0, 10.0);
+    const double fall_hours = rng.UniformDouble(4.0, 10.0);
+    const double peak = config.fever_peak_c * rng.UniformDouble(0.5, 1.0);
+
+    const std::span<double> row = dataset.values.Row(i);
+    for (std::size_t h = 0; h < config.num_hours; ++h) {
+      const double hour = static_cast<double>(h);
+      // Circadian rhythm: minimum ~4am, maximum ~4pm (period 24h).
+      const double circadian =
+          config.circadian_amplitude_c *
+          std::sin(2.0 * M_PI * (hour + phase - 10.0) / 24.0);
+      double temperature =
+          baseline + circadian + rng.Gaussian(0.0, config.measurement_noise_c);
+      if (has_fever) {
+        const double t = hour - onset;
+        double envelope = 0.0;
+        if (t >= 0.0 && t < rise_hours) {
+          envelope = t / rise_hours;
+        } else if (t >= rise_hours && t < rise_hours + plateau_hours) {
+          envelope = 1.0;
+        } else if (t >= rise_hours + plateau_hours &&
+                   t < rise_hours + plateau_hours + fall_hours) {
+          envelope = 1.0 - (t - rise_hours - plateau_hours) / fall_hours;
+        }
+        temperature += peak * envelope;
+      }
+      row[h] = temperature;
+    }
+  }
+  return dataset;
+}
+
+Dataset GenerateLowRankDataset(std::size_t rows, std::size_t cols,
+                               std::size_t rank, std::uint64_t seed,
+                               double noise) {
+  TSC_CHECK_GT(rows, 0u);
+  TSC_CHECK_GT(cols, 0u);
+  TSC_CHECK_LE(rank, std::min(rows, cols));
+  Rng rng(seed);
+  Dataset dataset;
+  dataset.name = "lowrank_r" + std::to_string(rank);
+  dataset.values = Matrix(rows, cols);
+  for (std::size_t p = 0; p < rank; ++p) {
+    std::vector<double> left(rows);
+    std::vector<double> right(cols);
+    for (double& v : left) v = rng.Gaussian();
+    for (double& v : right) v = rng.Gaussian();
+    const double strength = std::pow(0.6, static_cast<double>(p)) * 10.0;
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        dataset.values(i, j) += strength * left[i] * right[j];
+      }
+    }
+  }
+  if (noise > 0.0) {
+    for (std::size_t i = 0; i < rows; ++i) {
+      for (std::size_t j = 0; j < cols; ++j) {
+        dataset.values(i, j) += rng.Gaussian(0.0, noise);
+      }
+    }
+  }
+  return dataset;
+}
+
+}  // namespace tsc

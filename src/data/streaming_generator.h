@@ -1,0 +1,69 @@
+#ifndef TSC_DATA_STREAMING_GENERATOR_H_
+#define TSC_DATA_STREAMING_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "data/generators.h"
+#include "storage/row_source.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// Phone-style data generated row by row — for datasets that should never
+/// be materialized in memory (the paper's multi-gigabyte setting). Each
+/// row is a deterministic function of (seed, row index), so any row can
+/// be produced independently and repeatedly: exactly what a multi-pass
+/// RowSource needs.
+///
+/// Statistically this matches GeneratePhoneDataset (same pattern mixture,
+/// Zipf-tailed volumes, spikes, zero customers) but is NOT bit-identical
+/// to it: the in-memory generator draws customers from one sequential
+/// stream, while this one derives an independent stream per row.
+class StreamingPhoneGenerator {
+ public:
+  explicit StreamingPhoneGenerator(const PhoneDatasetConfig& config);
+
+  std::size_t rows() const { return config_.num_customers; }
+  std::size_t cols() const { return config_.num_days; }
+
+  /// Generates row `index` into `out` (size cols()). Deterministic.
+  void FillRow(std::size_t index, std::span<double> out) const;
+
+  /// Streams every row into a "TSCROWS1" file without materializing the
+  /// matrix.
+  Status WriteToFile(const std::string& path) const;
+
+ private:
+  PhoneDatasetConfig config_;
+  std::vector<std::vector<double>> patterns_;
+};
+
+/// RowSource over a StreamingPhoneGenerator: the 2- and 3-pass builds run
+/// directly against synthetic data with O(M) memory and no file at all.
+class GeneratedPhoneRowSource final : public RowSource {
+ public:
+  explicit GeneratedPhoneRowSource(const PhoneDatasetConfig& config)
+      : generator_(config) {}
+
+  std::size_t rows() const override { return generator_.rows(); }
+  std::size_t cols() const override { return generator_.cols(); }
+
+  StatusOr<bool> NextRow(std::span<double> out) override;
+
+  const StreamingPhoneGenerator& generator() const { return generator_; }
+
+ protected:
+  Status ResetImpl() override {
+    next_row_ = 0;
+    return Status::Ok();
+  }
+
+ private:
+  StreamingPhoneGenerator generator_;
+  std::size_t next_row_ = 0;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_DATA_STREAMING_GENERATOR_H_

@@ -1,0 +1,182 @@
+#include "linalg/matrix.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace tsc {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  TSC_CHECK_EQ(rows_ * cols_, data_.size());
+}
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(rows.size(), rows[0].size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    TSC_CHECK_EQ(rows[i].size(), m.cols_);
+    for (std::size_t j = 0; j < m.cols_; ++j) m(i, j) = rows[i][j];
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+std::vector<double> Matrix::Col(std::size_t j) const {
+  TSC_CHECK_LT(j, cols_);
+  std::vector<double> out(rows_);
+  for (std::size_t i = 0; i < rows_; ++i) out[i] = (*this)(i, j);
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    for (std::size_t j = 0; j < cols_; ++j) t(j, i) = (*this)(i, j);
+  }
+  return t;
+}
+
+double Matrix::FrobeniusNormSquared() const {
+  double total = 0.0;
+  for (double v : data_) total += v * v;
+  return total;
+}
+
+double Matrix::FrobeniusNorm() const { return std::sqrt(FrobeniusNormSquared()); }
+
+double Matrix::MeanCell() const {
+  if (data_.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : data_) total += v;
+  return total / static_cast<double>(data_.size());
+}
+
+void Matrix::Scale(double factor) {
+  for (double& v : data_) v *= factor;
+}
+
+void Matrix::Add(const Matrix& other) {
+  TSC_CHECK_EQ(rows_, other.rows_);
+  TSC_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Subtract(const Matrix& other) {
+  TSC_CHECK_EQ(rows_, other.rows_);
+  TSC_CHECK_EQ(cols_, other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+}
+
+Matrix Matrix::TopRows(std::size_t rows) const {
+  TSC_CHECK_LE(rows, rows_);
+  Matrix out(rows, cols_);
+  std::copy(data_.begin(),
+            data_.begin() + static_cast<std::ptrdiff_t>(rows * cols_),
+            out.data_.begin());
+  return out;
+}
+
+void Matrix::AppendRows(const Matrix& other) {
+  if (other.rows_ == 0) return;
+  if (rows_ == 0) {
+    *this = other;
+    return;
+  }
+  TSC_CHECK_EQ(cols_, other.cols_);
+  data_.insert(data_.end(), other.data_.begin(), other.data_.end());
+  rows_ += other.rows_;
+}
+
+std::string Matrix::ToString(int precision) const {
+  std::ostringstream out;
+  char buf[48];
+  for (std::size_t i = 0; i < rows_; ++i) {
+    out << "[";
+    for (std::size_t j = 0; j < cols_; ++j) {
+      std::snprintf(buf, sizeof(buf), "%*.*f", precision + 6, precision,
+                    (*this)(i, j));
+      out << buf;
+    }
+    out << " ]\n";
+  }
+  return out.str();
+}
+
+Matrix Multiply(const Matrix& a, const Matrix& b) {
+  TSC_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  // ikj loop order: streams through b and c rows for cache friendliness.
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a(i, k);
+      if (aik == 0.0) continue;
+      const std::span<const double> brow = b.Row(k);
+      const std::span<double> crow = c.Row(i);
+      for (std::size_t j = 0; j < b.cols(); ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix GramMatrix(const Matrix& a) {
+  Matrix c(a.cols(), a.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const std::span<const double> row = a.Row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      const double xj = row[j];
+      if (xj == 0.0) continue;
+      double* crow = &c(j, 0);
+      for (std::size_t l = j; l < a.cols(); ++l) crow[l] += xj * row[l];
+    }
+  }
+  // Mirror the upper triangle computed above.
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    for (std::size_t l = j + 1; l < a.cols(); ++l) c(l, j) = c(j, l);
+  }
+  return c;
+}
+
+std::vector<double> MultiplyVector(const Matrix& a, std::span<const double> v) {
+  TSC_CHECK_EQ(a.cols(), v.size());
+  std::vector<double> out(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const std::span<const double> row = a.Row(i);
+    double total = 0.0;
+    for (std::size_t j = 0; j < a.cols(); ++j) total += row[j] * v[j];
+    out[i] = total;
+  }
+  return out;
+}
+
+std::vector<double> MultiplyTransposeVector(const Matrix& a,
+                                            std::span<const double> v) {
+  TSC_CHECK_EQ(a.rows(), v.size());
+  std::vector<double> out(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    const std::span<const double> row = a.Row(i);
+    for (std::size_t j = 0; j < a.cols(); ++j) out[j] += vi * row[j];
+  }
+  return out;
+}
+
+double MaxAbsDifference(const Matrix& a, const Matrix& b) {
+  TSC_CHECK_EQ(a.rows(), b.rows());
+  TSC_CHECK_EQ(a.cols(), b.cols());
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.data().size(); ++i) {
+    worst = std::max(worst, std::abs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+}  // namespace tsc

@@ -1,0 +1,118 @@
+#ifndef TSC_LINALG_MATRIX_H_
+#define TSC_LINALG_MATRIX_H_
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace tsc {
+
+/// Dense row-major matrix of doubles. This is the in-memory workhorse for
+/// datasets, covariance matrices and factor matrices. Row-major layout
+/// matches the on-disk format (see storage/row_store.h), so a row of a
+/// Matrix and a row read from disk are interchangeable spans.
+class Matrix {
+ public:
+  /// Empty 0x0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// Zero-initialized rows x cols matrix.
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  /// Takes ownership of `data`, which must have rows*cols entries.
+  Matrix(std::size_t rows, std::size_t cols, std::vector<double> data);
+
+  /// Builds from nested initializer-style data (convenient in tests).
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// n x n identity.
+  static Matrix Identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(std::size_t i, std::size_t j) {
+    return data_[i * cols_ + j];
+  }
+  double operator()(std::size_t i, std::size_t j) const {
+    return data_[i * cols_ + j];
+  }
+
+  /// Mutable view of row i.
+  std::span<double> Row(std::size_t i) {
+    return std::span<double>(data_.data() + i * cols_, cols_);
+  }
+  std::span<const double> Row(std::size_t i) const {
+    return std::span<const double>(data_.data() + i * cols_, cols_);
+  }
+
+  /// Copy of column j (columns are strided, so a copy is returned).
+  std::vector<double> Col(std::size_t j) const;
+
+  const std::vector<double>& data() const { return data_; }
+  std::vector<double>& data() { return data_; }
+
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// Square of the Frobenius norm, sum of squared entries.
+  double FrobeniusNormSquared() const;
+  double FrobeniusNorm() const;
+
+  /// Mean over all cells (the x-bar of the paper's RMSPE definition).
+  double MeanCell() const;
+
+  /// In-place scalar multiply.
+  void Scale(double factor);
+
+  /// this += other (element-wise). Shapes must match.
+  void Add(const Matrix& other);
+  /// this -= other (element-wise). Shapes must match.
+  void Subtract(const Matrix& other);
+
+  /// Keeps only the first `rows` rows (the phoneNNNN "subset" operation).
+  Matrix TopRows(std::size_t rows) const;
+
+  /// Appends the rows of `other` below this matrix. Column counts must
+  /// match (any column count is accepted when this matrix is empty).
+  void AppendRows(const Matrix& other);
+
+  /// Multi-line human-readable rendering (small matrices in tests/docs).
+  std::string ToString(int precision = 3) const;
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_;
+  std::size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Returns a * b. Requires a.cols() == b.rows().
+Matrix Multiply(const Matrix& a, const Matrix& b);
+
+/// Returns a^T * a accumulated in one sweep over the rows of a: the
+/// column-to-column similarity matrix C of the paper (Figure 2) for an
+/// in-memory matrix.
+Matrix GramMatrix(const Matrix& a);
+
+/// Returns a * v. Requires a.cols() == v.size().
+std::vector<double> MultiplyVector(const Matrix& a,
+                                   std::span<const double> v);
+
+/// Returns a^T * v. Requires a.rows() == v.size().
+std::vector<double> MultiplyTransposeVector(const Matrix& a,
+                                            std::span<const double> v);
+
+/// Max absolute element of (a - b); shapes must match.
+double MaxAbsDifference(const Matrix& a, const Matrix& b);
+
+}  // namespace tsc
+
+#endif  // TSC_LINALG_MATRIX_H_

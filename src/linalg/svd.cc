@@ -1,0 +1,92 @@
+#include "linalg/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/vector_ops.h"
+#include "util/logging.h"
+
+namespace tsc {
+
+StatusOr<SvdResult> TruncatedSvd(const Matrix& x, std::size_t k,
+                                 EigenSolverKind kind) {
+  if (x.cols() == 0 || x.rows() == 0) {
+    return Status::InvalidArgument("TruncatedSvd requires a non-empty matrix");
+  }
+  const std::size_t m = x.cols();
+  k = std::min(k, std::min(m, x.rows()));
+
+  const Matrix c = GramMatrix(x);
+  TSC_ASSIGN_OR_RETURN(EigenDecomposition eigen, SymmetricEigen(c, kind));
+
+  // Eigenvalues of C are squared singular values; clamp the tiny negatives
+  // that finite precision can produce and drop components below the
+  // relative tolerance (they carry no signal and make U columns undefined).
+  const double lambda_max = std::max(0.0, eigen.eigenvalues.empty()
+                                              ? 0.0
+                                              : eigen.eigenvalues.front());
+  std::size_t effective = 0;
+  for (std::size_t j = 0; j < k; ++j) {
+    if (eigen.eigenvalues[j] > kSvdRelativeTolerance * lambda_max &&
+        eigen.eigenvalues[j] > 0.0) {
+      ++effective;
+    } else {
+      break;
+    }
+  }
+
+  SvdResult result;
+  result.singular_values.resize(effective);
+  result.v = Matrix(m, effective);
+  for (std::size_t j = 0; j < effective; ++j) {
+    result.singular_values[j] = std::sqrt(eigen.eigenvalues[j]);
+    for (std::size_t i = 0; i < m; ++i) {
+      result.v(i, j) = eigen.eigenvectors(i, j);
+    }
+  }
+
+  // U = X V diag(s)^-1, row by row (Eq. 11 of the paper).
+  result.u = Matrix(x.rows(), effective);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const std::span<const double> row = x.Row(i);
+    for (std::size_t j = 0; j < effective; ++j) {
+      double proj = 0.0;
+      for (std::size_t l = 0; l < m; ++l) proj += row[l] * result.v(l, j);
+      result.u(i, j) = proj / result.singular_values[j];
+    }
+  }
+  return result;
+}
+
+Matrix ReconstructFromSvd(const SvdResult& svd) {
+  const std::size_t n = svd.u.rows();
+  const std::size_t m = svd.v.rows();
+  Matrix out(n, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < m; ++j) {
+      double value = 0.0;
+      for (std::size_t p = 0; p < svd.rank(); ++p) {
+        value += svd.singular_values[p] * svd.u(i, p) * svd.v(j, p);
+      }
+      out(i, j) = value;
+    }
+  }
+  return out;
+}
+
+double OrthonormalityDefect(const Matrix& a) {
+  const std::size_t k = a.cols();
+  double worst = 0.0;
+  for (std::size_t p = 0; p < k; ++p) {
+    const std::vector<double> cp = a.Col(p);
+    for (std::size_t q = p; q < k; ++q) {
+      const std::vector<double> cq = a.Col(q);
+      const double dot = Dot(cp, cq);
+      const double expected = p == q ? 1.0 : 0.0;
+      worst = std::max(worst, std::abs(dot - expected));
+    }
+  }
+  return worst;
+}
+
+}  // namespace tsc

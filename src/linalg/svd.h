@@ -1,0 +1,47 @@
+#ifndef TSC_LINALG_SVD_H_
+#define TSC_LINALG_SVD_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/symmetric_eigen.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// Truncated singular value decomposition X ~= U diag(s) V^T with
+/// U: N x k column-orthonormal, V: M x k column-orthonormal and
+/// s the k largest singular values in decreasing order.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> singular_values;
+  Matrix v;
+
+  std::size_t rank() const { return singular_values.size(); }
+};
+
+/// Computes a rank-k truncated SVD of an in-memory matrix through the
+/// covariance route of the paper (Lemma 3.2): eigendecompose C = X^T X,
+/// whose eigenvalues are the squared singular values and whose eigenvectors
+/// form V, then recover U = X V diag(s)^-1. If X has numerical rank
+/// r < k, only r components are returned. Requires x.cols() >= 1.
+StatusOr<SvdResult> TruncatedSvd(
+    const Matrix& x, std::size_t k,
+    EigenSolverKind kind = EigenSolverKind::kHouseholderQl);
+
+/// Rank used when truncating tiny eigenvalues of C: components with
+/// sigma^2 <= tol * sigma_max^2 are dropped. Mirrors LAPACK-style
+/// relative thresholds.
+constexpr double kSvdRelativeTolerance = 1e-12;
+
+/// Materializes U diag(s) V^T (small matrices; tests and examples).
+Matrix ReconstructFromSvd(const SvdResult& svd);
+
+/// Max |A^T A - I| over an N x k matrix: orthonormality defect, used by
+/// tests on both U and V factors.
+double OrthonormalityDefect(const Matrix& a);
+
+}  // namespace tsc
+
+#endif  // TSC_LINALG_SVD_H_

@@ -1,0 +1,298 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace tsc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Householder tridiagonalization with accumulation of the orthogonal
+// transform (classic tred2, rewritten 0-based). On return `a` holds the
+// accumulated transform Q, `d` the diagonal and `e` the subdiagonal
+// (e[0] = 0, e[i] couples d[i-1] and d[i]).
+// ---------------------------------------------------------------------------
+void HouseholderTridiagonalize(Matrix* a_ptr, std::vector<double>* d_ptr,
+                               std::vector<double>* e_ptr) {
+  Matrix& a = *a_ptr;
+  std::vector<double>& d = *d_ptr;
+  std::vector<double>& e = *e_ptr;
+  const std::size_t n = a.rows();
+  d.assign(n, 0.0);
+  e.assign(n, 0.0);
+
+  for (std::size_t i = n - 1; i >= 1; --i) {
+    const std::size_t l = i - 1;
+    double h = 0.0;
+    double scale = 0.0;
+    if (l > 0) {
+      for (std::size_t k = 0; k <= l; ++k) scale += std::abs(a(i, k));
+      if (scale == 0.0) {
+        e[i] = a(i, l);
+      } else {
+        for (std::size_t k = 0; k <= l; ++k) {
+          a(i, k) /= scale;
+          h += a(i, k) * a(i, k);
+        }
+        double f = a(i, l);
+        double g = f >= 0.0 ? -std::sqrt(h) : std::sqrt(h);
+        e[i] = scale * g;
+        h -= f * g;
+        a(i, l) = f - g;
+        f = 0.0;
+        for (std::size_t j = 0; j <= l; ++j) {
+          a(j, i) = a(i, j) / h;
+          g = 0.0;
+          for (std::size_t k = 0; k <= j; ++k) g += a(j, k) * a(i, k);
+          for (std::size_t k = j + 1; k <= l; ++k) g += a(k, j) * a(i, k);
+          e[j] = g / h;
+          f += e[j] * a(i, j);
+        }
+        const double hh = f / (h + h);
+        for (std::size_t j = 0; j <= l; ++j) {
+          f = a(i, j);
+          g = e[j] - hh * f;
+          e[j] = g;
+          for (std::size_t k = 0; k <= j; ++k) {
+            a(j, k) -= f * e[k] + g * a(i, k);
+          }
+        }
+      }
+    } else {
+      e[i] = a(i, l);
+    }
+    d[i] = h;
+    if (i == 1) break;  // avoid size_t underflow in the loop decrement
+  }
+
+  d[0] = 0.0;
+  e[0] = 0.0;
+  // Accumulate the transformation into `a`.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (d[i] != 0.0) {
+      for (std::size_t j = 0; j < i; ++j) {
+        double g = 0.0;
+        for (std::size_t k = 0; k < i; ++k) g += a(i, k) * a(k, j);
+        for (std::size_t k = 0; k < i; ++k) a(k, j) -= g * a(k, i);
+      }
+    }
+    d[i] = a(i, i);
+    a(i, i) = 1.0;
+    for (std::size_t j = 0; j < i; ++j) {
+      a(j, i) = 0.0;
+      a(i, j) = 0.0;
+    }
+  }
+}
+
+double SignLike(double magnitude, double sign_source) {
+  return sign_source >= 0.0 ? std::abs(magnitude) : -std::abs(magnitude);
+}
+
+// ---------------------------------------------------------------------------
+// Implicit-shift QL iteration on a symmetric tridiagonal matrix (classic
+// tqli, 0-based), rotating the columns of `z` along. Returns false if a
+// single eigenvalue fails to converge within the iteration cap.
+// ---------------------------------------------------------------------------
+bool TridiagonalQl(std::vector<double>* d_ptr, std::vector<double>* e_ptr,
+                   Matrix* z_ptr) {
+  std::vector<double>& d = *d_ptr;
+  std::vector<double>& e = *e_ptr;
+  Matrix& z = *z_ptr;
+  const std::size_t n = d.size();
+  if (n == 0) return true;
+
+  // Shift the subdiagonal so e[i] couples d[i] and d[i+1].
+  for (std::size_t i = 1; i < n; ++i) e[i - 1] = e[i];
+  e[n - 1] = 0.0;
+
+  constexpr int kMaxIterations = 64;
+  for (std::size_t l = 0; l < n; ++l) {
+    int iter = 0;
+    std::size_t m;
+    do {
+      for (m = l; m + 1 < n; ++m) {
+        const double dd = std::abs(d[m]) + std::abs(d[m + 1]);
+        if (std::abs(e[m]) <= std::numeric_limits<double>::epsilon() * dd) {
+          break;
+        }
+      }
+      if (m != l) {
+        if (iter++ == kMaxIterations) return false;
+        double g = (d[l + 1] - d[l]) / (2.0 * e[l]);
+        double r = std::hypot(g, 1.0);
+        g = d[m] - d[l] + e[l] / (g + SignLike(r, g));
+        double s = 1.0;
+        double c = 1.0;
+        double p = 0.0;
+        for (std::size_t i = m; i > l; --i) {
+          const std::size_t im1 = i - 1;
+          double f = s * e[im1];
+          const double b = c * e[im1];
+          r = std::hypot(f, g);
+          e[i] = r;
+          if (r == 0.0) {
+            d[i] -= p;
+            e[m] = 0.0;
+            break;
+          }
+          s = f / r;
+          c = g / r;
+          g = d[i] - p;
+          r = (d[im1] - g) * s + 2.0 * c * b;
+          p = s * r;
+          d[i] = g + p;
+          g = c * r - b;
+          for (std::size_t k = 0; k < n; ++k) {
+            f = z(k, i);
+            z(k, i) = s * z(k, im1) + c * f;
+            z(k, im1) = c * z(k, im1) - s * f;
+          }
+        }
+        if (r == 0.0 && m > l) continue;
+        d[l] -= p;
+        e[l] = g;
+        e[m] = 0.0;
+      }
+    } while (m != l);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Cyclic Jacobi: repeated 2x2 rotations annihilating the largest remaining
+// off-diagonal entries, sweeping all (p, q) pairs until the off-diagonal
+// Frobenius norm is negligible.
+// ---------------------------------------------------------------------------
+bool JacobiEigen(Matrix* a_ptr, Matrix* v_ptr, std::vector<double>* d_ptr) {
+  Matrix& a = *a_ptr;
+  Matrix& v = *v_ptr;
+  const std::size_t n = a.rows();
+  v = Matrix::Identity(n);
+
+  constexpr int kMaxSweeps = 64;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a(p, q) * a(p, q);
+    }
+    if (off <= 1e-26 * std::max(1.0, a.FrobeniusNormSquared())) {
+      d_ptr->resize(n);
+      for (std::size_t i = 0; i < n; ++i) (*d_ptr)[i] = a(i, i);
+      return true;
+    }
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (apq == 0.0) continue;
+        const double theta = (a(q, q) - a(p, p)) / (2.0 * apq);
+        const double t = SignLike(1.0, theta) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        const double tau = s / (1.0 + c);
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        a(p, p) = app - t * apq;
+        a(q, q) = aqq + t * apq;
+        a(p, q) = 0.0;
+        a(q, p) = 0.0;
+        for (std::size_t k = 0; k < n; ++k) {
+          if (k != p && k != q) {
+            const double akp = a(k, p);
+            const double akq = a(k, q);
+            a(k, p) = akp - s * (akq + tau * akp);
+            a(p, k) = a(k, p);
+            a(k, q) = akq + s * (akp - tau * akq);
+            a(q, k) = a(k, q);
+          }
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = vkp - s * (vkq + tau * vkp);
+          v(k, q) = vkq + s * (vkp - tau * vkq);
+        }
+      }
+    }
+  }
+  return false;
+}
+
+void SortDescendingInPlace(std::vector<double>* eigenvalues, Matrix* vectors) {
+  const std::size_t n = eigenvalues->size();
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return (*eigenvalues)[a] > (*eigenvalues)[b];
+  });
+  std::vector<double> sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = (*eigenvalues)[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted_vectors(i, j) = (*vectors)(i, order[j]);
+    }
+  }
+  *eigenvalues = std::move(sorted_values);
+  *vectors = std::move(sorted_vectors);
+}
+
+}  // namespace
+
+StatusOr<EigenDecomposition> SymmetricEigen(const Matrix& s,
+                                            EigenSolverKind kind) {
+  if (s.rows() != s.cols()) {
+    return Status::InvalidArgument("SymmetricEigen requires a square matrix");
+  }
+  const std::size_t n = s.rows();
+  EigenDecomposition result;
+  if (n == 0) {
+    result.eigenvectors = Matrix(0, 0);
+    return result;
+  }
+  if (n == 1) {
+    result.eigenvalues = {s(0, 0)};
+    result.eigenvectors = Matrix::Identity(1);
+    return result;
+  }
+
+  if (kind == EigenSolverKind::kHouseholderQl) {
+    Matrix work = s;
+    std::vector<double> d;
+    std::vector<double> e;
+    HouseholderTridiagonalize(&work, &d, &e);
+    if (!TridiagonalQl(&d, &e, &work)) {
+      return Status::Internal("QL iteration failed to converge");
+    }
+    result.eigenvalues = std::move(d);
+    result.eigenvectors = std::move(work);
+  } else {
+    Matrix work = s;
+    Matrix vectors;
+    std::vector<double> d;
+    if (!JacobiEigen(&work, &vectors, &d)) {
+      return Status::Internal("Jacobi iteration failed to converge");
+    }
+    result.eigenvalues = std::move(d);
+    result.eigenvectors = std::move(vectors);
+  }
+  SortDescendingInPlace(&result.eigenvalues, &result.eigenvectors);
+  return result;
+}
+
+double EigenResidual(const Matrix& s, const EigenDecomposition& eigen) {
+  const std::size_t n = s.rows();
+  double worst = 0.0;
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::vector<double> z = eigen.eigenvectors.Col(j);
+    const std::vector<double> sz = MultiplyVector(s, z);
+    for (std::size_t i = 0; i < n; ++i) {
+      worst = std::max(worst, std::abs(sz[i] - eigen.eigenvalues[j] * z[i]));
+    }
+  }
+  return worst;
+}
+
+}  // namespace tsc

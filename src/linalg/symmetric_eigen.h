@@ -1,0 +1,42 @@
+#ifndef TSC_LINALG_SYMMETRIC_EIGEN_H_
+#define TSC_LINALG_SYMMETRIC_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// Result of a symmetric eigendecomposition S = Z diag(w) Z^T.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in decreasing order.
+  std::vector<double> eigenvalues;
+  /// n x n orthonormal matrix; column j is the eigenvector of eigenvalues[j].
+  Matrix eigenvectors;
+};
+
+enum class EigenSolverKind {
+  /// Householder tridiagonalization followed by implicit-shift QL.
+  /// O(n^3) with a small constant; the default.
+  kHouseholderQl,
+  /// Cyclic Jacobi rotations. Slower but simpler and extremely robust;
+  /// retained as a validation oracle and for the solver ablation bench.
+  kCyclicJacobi,
+};
+
+/// Computes the full eigendecomposition of the symmetric matrix `s`.
+/// Only the lower triangle is required to be populated consistently; the
+/// matrix is treated as exactly symmetric. Fails with kInvalidArgument on
+/// non-square input and kInternal if the iteration fails to converge
+/// (practically unreachable for the covariance matrices this library
+/// produces).
+StatusOr<EigenDecomposition> SymmetricEigen(
+    const Matrix& s, EigenSolverKind kind = EigenSolverKind::kHouseholderQl);
+
+/// Max |S z - w z| over all eigenpairs: residual check used by tests.
+double EigenResidual(const Matrix& s, const EigenDecomposition& eigen);
+
+}  // namespace tsc
+
+#endif  // TSC_LINALG_SYMMETRIC_EIGEN_H_

@@ -1,0 +1,56 @@
+#include "linalg/vector_ops.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace tsc {
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  TSC_DCHECK(a.size() == b.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
+  return total;
+}
+
+double Norm2Squared(std::span<const double> v) {
+  double total = 0.0;
+  for (double x : v) total += x * x;
+  return total;
+}
+
+double Norm2(std::span<const double> v) { return std::sqrt(Norm2Squared(v)); }
+
+double EuclideanDistance(std::span<const double> a,
+                         std::span<const double> b) {
+  TSC_DCHECK(a.size() == b.size());
+  double total = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    total += d * d;
+  }
+  return std::sqrt(total);
+}
+
+void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  TSC_DCHECK(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void ScaleInPlace(std::span<double> v, double alpha) {
+  for (double& x : v) x *= alpha;
+}
+
+double NormalizeInPlace(std::span<double> v) {
+  const double norm = Norm2(v);
+  if (norm > 0.0) ScaleInPlace(v, 1.0 / norm);
+  return norm;
+}
+
+double Sum(std::span<const double> v) {
+  double total = 0.0;
+  for (double x : v) total += x;
+  return total;
+}
+
+}  // namespace tsc

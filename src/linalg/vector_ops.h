@@ -1,0 +1,36 @@
+#ifndef TSC_LINALG_VECTOR_OPS_H_
+#define TSC_LINALG_VECTOR_OPS_H_
+
+#include <span>
+#include <vector>
+
+namespace tsc {
+
+/// Dot product. Sizes must match.
+double Dot(std::span<const double> a, std::span<const double> b);
+
+/// Euclidean (L2) norm.
+double Norm2(std::span<const double> v);
+
+/// Squared Euclidean norm.
+double Norm2Squared(std::span<const double> v);
+
+/// Euclidean distance between two vectors of equal size.
+double EuclideanDistance(std::span<const double> a, std::span<const double> b);
+
+/// y += alpha * x, in place. Sizes must match.
+void Axpy(double alpha, std::span<const double> x, std::span<double> y);
+
+/// v *= alpha, in place.
+void ScaleInPlace(std::span<double> v, double alpha);
+
+/// Normalizes v to unit L2 norm in place; returns the original norm.
+/// A zero vector is left unchanged and 0 is returned.
+double NormalizeInPlace(std::span<double> v);
+
+/// Sum of elements.
+double Sum(std::span<const double> v);
+
+}  // namespace tsc
+
+#endif  // TSC_LINALG_VECTOR_OPS_H_

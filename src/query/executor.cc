@@ -1,0 +1,309 @@
+#include "query/executor.h"
+
+#include <algorithm>
+
+#include "query/parser.h"
+#include "storage/delta_table.h"
+#include "util/logging.h"
+#include "util/stats.h"
+
+namespace tsc {
+namespace {
+
+/// Per-group accumulator: streaming moments always, buffered values only
+/// when an order statistic (median) is requested.
+struct GroupAcc {
+  RunningStats stats;
+  std::vector<double> values;
+};
+
+/// Finalizes one aggregate from per-group statistics.
+double Finalize(AggregateFn fn, const GroupAcc& acc) {
+  const RunningStats& stats = acc.stats;
+  switch (fn) {
+    case AggregateFn::kSum:
+      return stats.sum();
+    case AggregateFn::kAvg:
+      return stats.mean();
+    case AggregateFn::kCount:
+      return static_cast<double>(stats.count());
+    case AggregateFn::kMin:
+      return stats.count() == 0 ? 0.0 : stats.min();
+    case AggregateFn::kMax:
+      return stats.count() == 0 ? 0.0 : stats.max();
+    case AggregateFn::kStddev:
+      return stats.stddev();
+    case AggregateFn::kMedian:
+      return acc.values.empty() ? 0.0 : Quantiles(acc.values).Median();
+  }
+  return 0.0;
+}
+
+bool NeedsValueBuffer(const QueryPlan& plan) {
+  for (std::size_t a = 0; a < plan.aggregates.size(); ++a) {
+    if (plan.aggregates[a] == AggregateFn::kMedian &&
+        plan.strategies[a] == ExecutionStrategy::kRowReconstruction) {
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<std::size_t> GroupKeysFor(const QueryPlan& plan) {
+  switch (plan.group_by) {
+    case GroupBy::kRow:
+      return plan.row_ids;
+    case GroupBy::kCol:
+      return plan.col_ids;
+    case GroupBy::kNone:
+      return {};
+  }
+  return {};
+}
+
+/// Per-group sums of the selected region, straight from the factors:
+/// no grouping -> one total; by row -> dot(u_i, w) per row; by col ->
+/// s_j = sum_m (sum_{i in R} u_im) * lambda_m * v_jm per column.
+/// Deltas inside the region are folded into their group.
+std::vector<double> CompressedDomainSums(
+    const SvddModel& model, const std::vector<std::size_t>& row_ids,
+    const std::vector<std::size_t>& col_ids, GroupBy group_by) {
+  const SvdModel& svd = model.svd();
+  const std::size_t k = svd.k();
+
+  std::vector<double> sums;
+  if (group_by == GroupBy::kCol) {
+    // Column direction: accumulate the selected rows' U mass once.
+    std::vector<double> u_mass(k, 0.0);
+    for (const std::size_t i : row_ids) {
+      const std::span<const double> urow = svd.u().Row(i);
+      for (std::size_t m = 0; m < k; ++m) u_mass[m] += urow[m];
+    }
+    sums.assign(col_ids.size(), 0.0);
+    for (std::size_t g = 0; g < col_ids.size(); ++g) {
+      const std::size_t j = col_ids[g];
+      double total = 0.0;
+      for (std::size_t m = 0; m < k; ++m) {
+        total += u_mass[m] * svd.singular_values()[m] * svd.v()(j, m);
+      }
+      sums[g] = total;
+    }
+  } else {
+    // Row direction (and the ungrouped total): weights over columns.
+    std::vector<double> weights(k, 0.0);
+    for (std::size_t m = 0; m < k; ++m) {
+      double vsum = 0.0;
+      for (const std::size_t j : col_ids) vsum += svd.v()(j, m);
+      weights[m] = svd.singular_values()[m] * vsum;
+    }
+    const std::size_t groups =
+        group_by == GroupBy::kRow ? row_ids.size() : 1;
+    sums.assign(groups, 0.0);
+    for (std::size_t g = 0; g < row_ids.size(); ++g) {
+      const std::span<const double> urow = svd.u().Row(row_ids[g]);
+      double dot = 0.0;
+      for (std::size_t m = 0; m < k; ++m) dot += urow[m] * weights[m];
+      sums[group_by == GroupBy::kRow ? g : 0] += dot;
+    }
+  }
+
+  // Fold in the deltas that fall inside the region.
+  std::vector<std::size_t> row_group(model.rows(), SIZE_MAX);
+  for (std::size_t g = 0; g < row_ids.size(); ++g) row_group[row_ids[g]] = g;
+  std::vector<std::size_t> col_group(model.cols(), SIZE_MAX);
+  for (std::size_t g = 0; g < col_ids.size(); ++g) col_group[col_ids[g]] = g;
+  model.deltas().ForEach([&](std::uint64_t key, double delta) {
+    const std::size_t i = static_cast<std::size_t>(key / model.cols());
+    const std::size_t j = static_cast<std::size_t>(key % model.cols());
+    if (row_group[i] == SIZE_MAX || col_group[j] == SIZE_MAX) return;
+    switch (group_by) {
+      case GroupBy::kRow:
+        sums[row_group[i]] += delta;
+        break;
+      case GroupBy::kCol:
+        sums[col_group[j]] += delta;
+        break;
+      case GroupBy::kNone:
+        sums[0] += delta;
+        break;
+    }
+  });
+  return sums;
+}
+
+/// Shared finalization: per-group statistics -> flat result values for
+/// the row-reconstruction strategy, compressed-domain sums for the rest.
+class ResultBuilder {
+ public:
+  ResultBuilder(const QueryPlan& plan, const SvddModel* svdd)
+      : plan_(plan), svdd_(svdd) {}
+
+  /// Per-group cell count (for count/avg in the compressed domain).
+  std::size_t GroupCells() const {
+    switch (plan_.group_by) {
+      case GroupBy::kRow:
+        return plan_.col_ids.size();
+      case GroupBy::kCol:
+        return plan_.row_ids.size();
+      case GroupBy::kNone:
+        return plan_.CellCount();
+    }
+    return 0;
+  }
+
+  StatusOr<QueryResult> Build(const std::vector<GroupAcc>& group_stats,
+                              std::uint64_t rows_reconstructed) const {
+    QueryResult result;
+    result.plan_text = plan_.ToString();
+    result.group_keys = GroupKeysFor(plan_);
+    result.aggregate_count = plan_.aggregates.size();
+    result.rows_reconstructed = rows_reconstructed;
+    const std::size_t groups = plan_.GroupCount();
+    result.values.assign(groups * plan_.aggregates.size(), 0.0);
+
+    std::vector<double> sums;  // lazily computed compressed-domain sums
+    for (std::size_t a = 0; a < plan_.aggregates.size(); ++a) {
+      const AggregateFn fn = plan_.aggregates[a];
+      if (plan_.strategies[a] == ExecutionStrategy::kCompressedDomain) {
+        if (svdd_ == nullptr) {
+          return Status::Internal(
+              "compressed-domain plan without SVDD model");
+        }
+        ++result.compressed_domain_aggregates;
+        if (sums.empty() && fn != AggregateFn::kCount) {
+          sums = CompressedDomainSums(*svdd_, plan_.row_ids, plan_.col_ids,
+                                      plan_.group_by);
+        }
+        for (std::size_t g = 0; g < groups; ++g) {
+          double value = 0.0;
+          switch (fn) {
+            case AggregateFn::kCount:
+              value = static_cast<double>(GroupCells());
+              break;
+            case AggregateFn::kSum:
+              value = sums[g];
+              break;
+            case AggregateFn::kAvg:
+              value = sums[g] / static_cast<double>(GroupCells());
+              break;
+            default:
+              return Status::Internal("non-linear fn planned compressed");
+          }
+          result.values[g * result.aggregate_count + a] = value;
+        }
+        continue;
+      }
+      TSC_CHECK_EQ(group_stats.size(), groups);
+      for (std::size_t g = 0; g < groups; ++g) {
+        result.values[g * result.aggregate_count + a] =
+            Finalize(fn, group_stats[g]);
+      }
+    }
+    return result;
+  }
+
+ private:
+  const QueryPlan& plan_;
+  const SvddModel* svdd_;
+};
+
+/// Accumulates per-group statistics by scanning reconstructed (or raw)
+/// rows; `row_provider` fills a buffer for a given row id.
+template <typename RowProvider>
+std::vector<GroupAcc> ScanGroups(const QueryPlan& plan, std::size_t num_cols,
+                                 RowProvider&& row_provider,
+                                 std::uint64_t* rows_scanned) {
+  std::vector<GroupAcc> accs(plan.GroupCount());
+  const bool keep_values = NeedsValueBuffer(plan);
+  std::vector<double> row(num_cols);
+  for (std::size_t r = 0; r < plan.row_ids.size(); ++r) {
+    row_provider(plan.row_ids[r], std::span<double>(row));
+    ++*rows_scanned;
+    for (std::size_t c = 0; c < plan.col_ids.size(); ++c) {
+      const double value = row[plan.col_ids[c]];
+      std::size_t g = 0;
+      switch (plan.group_by) {
+        case GroupBy::kRow:
+          g = r;
+          break;
+        case GroupBy::kCol:
+          g = c;
+          break;
+        case GroupBy::kNone:
+          g = 0;
+          break;
+      }
+      accs[g].stats.Add(value);
+      if (keep_values) accs[g].values.push_back(value);
+    }
+  }
+  return accs;
+}
+
+}  // namespace
+
+QueryExecutor::QueryExecutor(const CompressedStore* store) : store_(store) {
+  TSC_CHECK(store != nullptr);
+}
+
+QueryExecutor::QueryExecutor(const SvddModel* model)
+    : store_(model), svdd_(model) {
+  TSC_CHECK(model != nullptr);
+}
+
+StatusOr<QueryPlan> QueryExecutor::Plan(const std::string& query_text) const {
+  TSC_ASSIGN_OR_RETURN(const QueryAst ast, ParseQuery(query_text));
+  const std::size_t model_k = svdd_ != nullptr ? svdd_->k() : 0;
+  return PlanQuery(ast, rows(), cols(), model_k);
+}
+
+StatusOr<std::string> QueryExecutor::Explain(
+    const std::string& query_text) const {
+  TSC_ASSIGN_OR_RETURN(const QueryPlan plan, Plan(query_text));
+  return plan.ToString();
+}
+
+StatusOr<QueryResult> QueryExecutor::Execute(
+    const std::string& query_text) const {
+  TSC_ASSIGN_OR_RETURN(const QueryPlan plan, Plan(query_text));
+  return ExecutePlan(plan);
+}
+
+StatusOr<QueryResult> QueryExecutor::ExecutePlan(const QueryPlan& plan) const {
+  const bool any_reconstruction =
+      std::any_of(plan.strategies.begin(), plan.strategies.end(),
+                  [&](ExecutionStrategy s) {
+                    return s == ExecutionStrategy::kRowReconstruction;
+                  });
+  std::uint64_t rows_scanned = 0;
+  std::vector<GroupAcc> group_stats(plan.GroupCount());
+  if (any_reconstruction) {
+    group_stats = ScanGroups(
+        plan, cols(),
+        [&](std::size_t i, std::span<double> out) {
+          store_->ReconstructRow(i, out);
+        },
+        &rows_scanned);
+  }
+  const ResultBuilder builder(plan, svdd_);
+  return builder.Build(group_stats, rows_scanned);
+}
+
+StatusOr<QueryResult> ExecuteExact(const Matrix& data,
+                                   const std::string& query_text) {
+  TSC_ASSIGN_OR_RETURN(const QueryAst ast, ParseQuery(query_text));
+  TSC_ASSIGN_OR_RETURN(const QueryPlan plan,
+                       PlanQuery(ast, data.rows(), data.cols(), 0));
+  std::uint64_t rows_scanned = 0;
+  const std::vector<GroupAcc> group_stats = ScanGroups(
+      plan, data.cols(),
+      [&](std::size_t i, std::span<double> out) {
+        const std::span<const double> row = data.Row(i);
+        std::copy(row.begin(), row.end(), out.begin());
+      },
+      &rows_scanned);
+  const ResultBuilder builder(plan, nullptr);
+  return builder.Build(group_stats, rows_scanned);
+}
+
+}  // namespace tsc

@@ -1,0 +1,75 @@
+#ifndef TSC_QUERY_EXECUTOR_H_
+#define TSC_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/compressed_store.h"
+#include "core/svd_compressor.h"
+#include "core/svdd_compressor.h"
+#include "linalg/matrix.h"
+#include "query/planner.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// One executed query's results plus execution statistics. Without
+/// GROUP BY there is exactly one group; with it, one group per selected
+/// row (or column), identified by `group_keys`.
+struct QueryResult {
+  /// Flat group-major layout: values[g * aggregates + a].
+  std::vector<double> values;
+  /// Row or col ids of the groups; empty when the query had no GROUP BY.
+  std::vector<std::size_t> group_keys;
+  std::size_t aggregate_count = 0;
+  std::uint64_t rows_reconstructed = 0;
+  std::uint64_t compressed_domain_aggregates = 0;
+  std::string plan_text;
+
+  std::size_t group_count() const {
+    return aggregate_count == 0 ? 0 : values.size() / aggregate_count;
+  }
+  double ValueAt(std::size_t group, std::size_t aggregate) const {
+    return values[group * aggregate_count + aggregate];
+  }
+};
+
+/// Runs ad hoc SQL-ish queries against a compressed model. The executor
+/// prefers the SVDD fast path (compressed-domain evaluation with delta
+/// folding) when the planner selects it; everything else goes through
+/// row reconstruction on the generic CompressedStore interface.
+class QueryExecutor {
+ public:
+  /// Generic store: every aggregate runs by row reconstruction.
+  explicit QueryExecutor(const CompressedStore* store);
+  /// SVDD model: linear aggregates can run in the compressed domain.
+  explicit QueryExecutor(const SvddModel* model);
+
+  std::size_t rows() const { return store_->rows(); }
+  std::size_t cols() const { return store_->cols(); }
+
+  /// Parse + plan + execute in one call.
+  StatusOr<QueryResult> Execute(const std::string& query_text) const;
+
+  /// Execute a pre-built plan.
+  StatusOr<QueryResult> ExecutePlan(const QueryPlan& plan) const;
+
+  /// EXPLAIN: parse + plan, no execution.
+  StatusOr<std::string> Explain(const std::string& query_text) const;
+
+ private:
+  StatusOr<QueryPlan> Plan(const std::string& query_text) const;
+
+  const CompressedStore* store_;
+  const SvddModel* svdd_ = nullptr;  ///< non-null enables the fast path
+};
+
+/// Exact reference executor over the raw matrix (tests, accuracy
+/// comparisons). All aggregates run directly on the data.
+StatusOr<QueryResult> ExecuteExact(const Matrix& data,
+                                   const std::string& query_text);
+
+}  // namespace tsc
+
+#endif  // TSC_QUERY_EXECUTOR_H_

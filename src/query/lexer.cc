@@ -1,0 +1,152 @@
+#include "query/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+
+namespace tsc {
+namespace {
+
+std::string ToLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+}  // namespace
+
+const char* TokenKindName(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kSelect:
+      return "SELECT";
+    case TokenKind::kWhere:
+      return "WHERE";
+    case TokenKind::kAnd:
+      return "AND";
+    case TokenKind::kIn:
+      return "IN";
+    case TokenKind::kBetween:
+      return "BETWEEN";
+    case TokenKind::kGroup:
+      return "GROUP";
+    case TokenKind::kBy:
+      return "BY";
+    case TokenKind::kRow:
+      return "row";
+    case TokenKind::kCol:
+      return "col";
+    case TokenKind::kValue:
+      return "value";
+    case TokenKind::kIdentifier:
+      return "identifier";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kLparen:
+      return "'('";
+    case TokenKind::kRparen:
+      return "')'";
+    case TokenKind::kStar:
+      return "'*'";
+    case TokenKind::kEnd:
+      return "end of query";
+  }
+  return "?";
+}
+
+StatusOr<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < input.size()) {
+    const char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.position = i;
+    if (c == ',') {
+      token.kind = TokenKind::kComma;
+      ++i;
+    } else if (c == ':') {
+      token.kind = TokenKind::kColon;
+      ++i;
+    } else if (c == '(') {
+      token.kind = TokenKind::kLparen;
+      ++i;
+    } else if (c == ')') {
+      token.kind = TokenKind::kRparen;
+      ++i;
+    } else if (c == '*') {
+      token.kind = TokenKind::kStar;
+      ++i;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      std::size_t end = i;
+      while (end < input.size() &&
+             (std::isdigit(static_cast<unsigned char>(input[end])) ||
+              input[end] == '.' || input[end] == 'e' || input[end] == 'E' ||
+              ((input[end] == '+' || input[end] == '-') && end > i &&
+               (input[end - 1] == 'e' || input[end - 1] == 'E')))) {
+        ++end;
+      }
+      token.kind = TokenKind::kNumber;
+      token.text = input.substr(i, end - i);
+      char* parse_end = nullptr;
+      token.number = std::strtod(token.text.c_str(), &parse_end);
+      if (parse_end != token.text.c_str() + token.text.size()) {
+        return Status::InvalidArgument("bad number '" + token.text +
+                                       "' at position " + std::to_string(i));
+      }
+      i = end;
+    } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t end = i;
+      while (end < input.size() &&
+             (std::isalnum(static_cast<unsigned char>(input[end])) ||
+              input[end] == '_')) {
+        ++end;
+      }
+      token.text = input.substr(i, end - i);
+      const std::string lower = ToLower(token.text);
+      if (lower == "select") {
+        token.kind = TokenKind::kSelect;
+      } else if (lower == "where") {
+        token.kind = TokenKind::kWhere;
+      } else if (lower == "and") {
+        token.kind = TokenKind::kAnd;
+      } else if (lower == "in") {
+        token.kind = TokenKind::kIn;
+      } else if (lower == "between") {
+        token.kind = TokenKind::kBetween;
+      } else if (lower == "group") {
+        token.kind = TokenKind::kGroup;
+      } else if (lower == "by") {
+        token.kind = TokenKind::kBy;
+      } else if (lower == "row") {
+        token.kind = TokenKind::kRow;
+      } else if (lower == "col" || lower == "column" || lower == "day") {
+        token.kind = TokenKind::kCol;
+      } else if (lower == "value") {
+        token.kind = TokenKind::kValue;
+      } else {
+        token.kind = TokenKind::kIdentifier;
+        token.text = lower;
+      }
+      i = end;
+    } else {
+      return Status::InvalidArgument(
+          std::string("unexpected character '") + c + "' at position " +
+          std::to_string(i));
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end_token;
+  end_token.kind = TokenKind::kEnd;
+  end_token.position = input.size();
+  tokens.push_back(end_token);
+  return tokens;
+}
+
+}  // namespace tsc

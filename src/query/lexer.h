@@ -1,0 +1,49 @@
+#ifndef TSC_QUERY_LEXER_H_
+#define TSC_QUERY_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tsc {
+
+/// Token kinds of the ad hoc query language (see parser.h for the
+/// grammar). Keywords are case-insensitive.
+enum class TokenKind {
+  kSelect,
+  kWhere,
+  kAnd,
+  kIn,
+  kBetween,
+  kGroup,
+  kBy,
+  kRow,
+  kCol,
+  kValue,
+  kIdentifier,  ///< aggregate names: sum, avg, ...
+  kNumber,
+  kComma,
+  kColon,
+  kLparen,
+  kRparen,
+  kStar,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;      ///< raw text (identifiers, numbers)
+  double number = 0.0;   ///< value for kNumber
+  std::size_t position = 0;  ///< byte offset in the input, for errors
+};
+
+const char* TokenKindName(TokenKind kind);
+
+/// Tokenizes a query string. Fails with kInvalidArgument on characters
+/// outside the language.
+StatusOr<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace tsc
+
+#endif  // TSC_QUERY_LEXER_H_

@@ -1,0 +1,104 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+namespace tsc {
+namespace {
+
+/// Materializes the intersection of all constraints on one dimension as
+/// a sorted id list; no constraint selects everything.
+StatusOr<std::vector<std::size_t>> ResolveDimension(
+    const QueryAst& ast, bool is_row, std::size_t extent) {
+  std::vector<bool> selected(extent, true);
+  bool constrained = false;
+  for (const DimensionConstraint& constraint : ast.constraints) {
+    if (constraint.is_row != is_row) continue;
+    std::vector<bool> in_constraint(extent, false);
+    for (const IndexRange& range : constraint.ranges) {
+      if (range.hi >= extent) {
+        return Status::OutOfRange(
+            std::string(is_row ? "row" : "col") + " index " +
+            std::to_string(range.hi) + " out of range (extent " +
+            std::to_string(extent) + ")");
+      }
+      for (std::size_t i = range.lo; i <= range.hi; ++i) {
+        in_constraint[i] = true;
+      }
+    }
+    for (std::size_t i = 0; i < extent; ++i) {
+      selected[i] = selected[i] && in_constraint[i];
+    }
+    constrained = true;
+  }
+  std::vector<std::size_t> ids;
+  for (std::size_t i = 0; i < extent; ++i) {
+    if (selected[i]) ids.push_back(i);
+  }
+  if (constrained && ids.empty()) {
+    return Status::InvalidArgument("predicate selects no " +
+                                   std::string(is_row ? "rows" : "columns"));
+  }
+  return ids;
+}
+
+bool IsLinearAggregate(AggregateFn fn) {
+  return fn == AggregateFn::kSum || fn == AggregateFn::kAvg ||
+         fn == AggregateFn::kCount;
+}
+
+}  // namespace
+
+const char* ExecutionStrategyName(ExecutionStrategy strategy) {
+  switch (strategy) {
+    case ExecutionStrategy::kRowReconstruction:
+      return "row-reconstruction";
+    case ExecutionStrategy::kCompressedDomain:
+      return "compressed-domain";
+  }
+  return "?";
+}
+
+std::string QueryPlan::ToString() const {
+  std::ostringstream out;
+  out << "plan: " << row_ids.size() << " rows x " << col_ids.size()
+      << " cols (" << CellCount() << " cells)";
+  if (group_by == GroupBy::kRow) out << ", grouped by row";
+  if (group_by == GroupBy::kCol) out << ", grouped by col";
+  out << "\n";
+  for (std::size_t i = 0; i < aggregates.size(); ++i) {
+    out << "  " << AggregateFnName(aggregates[i]) << "(value) via "
+        << ExecutionStrategyName(strategies[i]) << "\n";
+  }
+  return out.str();
+}
+
+StatusOr<QueryPlan> PlanQuery(const QueryAst& ast, std::size_t num_rows,
+                              std::size_t num_cols, std::size_t model_k) {
+  if (num_rows == 0 || num_cols == 0) {
+    return Status::InvalidArgument("empty relation");
+  }
+  QueryPlan plan;
+  TSC_ASSIGN_OR_RETURN(plan.row_ids,
+                       ResolveDimension(ast, /*is_row=*/true, num_rows));
+  TSC_ASSIGN_OR_RETURN(plan.col_ids,
+                       ResolveDimension(ast, /*is_row=*/false, num_cols));
+  plan.aggregates = ast.aggregates;
+  plan.group_by = ast.group_by;
+
+  // Cost model: row reconstruction pays ~k * M + |cols| per selected row;
+  // the compressed domain pays |cols| * k once plus ~k per selected row.
+  // The latter wins whenever it is available unless the selection is a
+  // single row (setup cost dominates).
+  for (const AggregateFn fn : plan.aggregates) {
+    const bool compressed_ok = IsLinearAggregate(fn) && model_k > 0 &&
+                               plan.row_ids.size() > 1;
+    plan.strategies.push_back(compressed_ok
+                                  ? ExecutionStrategy::kCompressedDomain
+                                  : ExecutionStrategy::kRowReconstruction);
+  }
+  return plan;
+}
+
+}  // namespace tsc

@@ -1,0 +1,49 @@
+#include "storage/block_cache.h"
+
+#include "util/logging.h"
+
+namespace tsc {
+
+BlockCache::BlockCache(std::size_t capacity_blocks, std::size_t block_size)
+    : capacity_blocks_(capacity_blocks), block_size_(block_size) {
+  TSC_CHECK_GT(capacity_blocks, 0u);
+  TSC_CHECK_GT(block_size, 0u);
+}
+
+StatusOr<const std::vector<std::uint8_t>*> BlockCache::Get(
+    std::uint64_t block_id, const FetchFn& fetch) {
+  const auto it = entries_.find(block_id);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to front
+    return &it->second->data;
+  }
+  ++misses_;
+  Entry entry;
+  entry.block_id = block_id;
+  entry.data.resize(block_size_);
+  TSC_RETURN_IF_ERROR(fetch(block_id, &entry.data));
+  if (entries_.size() >= capacity_blocks_) {
+    const Entry& victim = lru_.back();
+    entries_.erase(victim.block_id);
+    lru_.pop_back();
+    ++evictions_;
+  }
+  lru_.push_front(std::move(entry));
+  entries_[block_id] = lru_.begin();
+  return &lru_.front().data;
+}
+
+void BlockCache::Invalidate(std::uint64_t block_id) {
+  const auto it = entries_.find(block_id);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second);
+  entries_.erase(it);
+}
+
+void BlockCache::Clear() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace tsc

@@ -1,0 +1,71 @@
+#ifndef TSC_STORAGE_BLOCK_CACHE_H_
+#define TSC_STORAGE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tsc {
+
+/// Fixed-capacity LRU cache of disk blocks — the buffer pool in front of
+/// the row store. A query-serving deployment keeps V, the eigenvalues
+/// and the delta table pinned; the U rows stream through this cache, so
+/// repeated access to hot sequences (skewed, Zipf-like workloads are the
+/// norm per Appendix A) costs no disk reads.
+class BlockCache {
+ public:
+  /// `capacity_blocks` blocks of `block_size` bytes each.
+  BlockCache(std::size_t capacity_blocks, std::size_t block_size);
+
+  using FetchFn =
+      std::function<Status(std::uint64_t block_id, std::vector<std::uint8_t>*)>;
+
+  /// Returns the cached block, fetching through `fetch` on a miss. The
+  /// pointer is valid until the next Get/Invalidate call.
+  StatusOr<const std::vector<std::uint8_t>*> Get(std::uint64_t block_id,
+                                                 const FetchFn& fetch);
+
+  /// Drops one block (e.g. after an off-line batch update touched it).
+  void Invalidate(std::uint64_t block_id);
+  /// Drops everything.
+  void Clear();
+
+  std::size_t capacity_blocks() const { return capacity_blocks_; }
+  std::size_t block_size() const { return block_size_; }
+  std::size_t cached_blocks() const { return entries_.size(); }
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t evictions() const { return evictions_; }
+  double HitRate() const {
+    const std::uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
+  }
+  void ResetStats() {
+    hits_ = 0;
+    misses_ = 0;
+    evictions_ = 0;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t block_id;
+    std::vector<std::uint8_t> data;
+  };
+
+  std::size_t capacity_blocks_;
+  std::size_t block_size_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> entries_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_STORAGE_BLOCK_CACHE_H_

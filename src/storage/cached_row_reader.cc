@@ -1,0 +1,45 @@
+#include "storage/cached_row_reader.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace tsc {
+
+CachedRowReader::CachedRowReader(RowStoreReader reader,
+                                 std::size_t capacity_blocks)
+    : reader_(std::make_unique<RowStoreReader>(std::move(reader))),
+      cache_(capacity_blocks, reader_->counter().block_size()) {}
+
+Status CachedRowReader::ReadRow(std::size_t index, std::span<double> out) {
+  if (index >= rows()) return Status::OutOfRange("row index out of range");
+  if (out.size() != cols()) return Status::InvalidArgument("buffer size");
+  const std::size_t block_size = cache_.block_size();
+  const std::uint64_t offset =
+      reader_->header_bytes() +
+      static_cast<std::uint64_t>(index) * cols() * sizeof(double);
+  const std::uint64_t length = cols() * sizeof(double);
+
+  std::uint8_t* dest = reinterpret_cast<std::uint8_t*>(out.data());
+  std::uint64_t remaining = length;
+  std::uint64_t cursor = offset;
+  while (remaining > 0) {
+    const std::uint64_t block_id = cursor / block_size;
+    const std::uint64_t in_block = cursor % block_size;
+    const std::uint64_t take =
+        std::min<std::uint64_t>(remaining, block_size - in_block);
+    TSC_ASSIGN_OR_RETURN(
+        const std::vector<std::uint8_t>* block,
+        cache_.Get(block_id, [this](std::uint64_t id,
+                                    std::vector<std::uint8_t>* data) {
+          return reader_->ReadBlock(id, *data);
+        }));
+    std::memcpy(dest, block->data() + in_block, take);
+    dest += take;
+    cursor += take;
+    remaining -= take;
+  }
+  return Status::Ok();
+}
+
+}  // namespace tsc

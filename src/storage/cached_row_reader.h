@@ -1,0 +1,44 @@
+#ifndef TSC_STORAGE_CACHED_ROW_READER_H_
+#define TSC_STORAGE_CACHED_ROW_READER_H_
+
+#include <memory>
+
+#include "storage/block_cache.h"
+#include "storage/row_store.h"
+
+namespace tsc {
+
+/// Row access through a buffer pool: rows are assembled from cached
+/// blocks and only cache misses reach the disk. With a skewed access
+/// pattern (hot customers queried repeatedly) the effective disk cost
+/// per query drops well below the cold 1-access bound.
+class CachedRowReader {
+ public:
+  /// Takes ownership of `reader`; the cache holds `capacity_blocks`
+  /// blocks of the reader's block size.
+  CachedRowReader(RowStoreReader reader, std::size_t capacity_blocks);
+
+  std::size_t rows() const { return reader_->rows(); }
+  std::size_t cols() const { return reader_->cols(); }
+
+  /// Reads row `index` into `out` (size cols()) via the cache.
+  Status ReadRow(std::size_t index, std::span<double> out);
+
+  /// Disk accesses actually performed (i.e. cache misses, in blocks).
+  std::uint64_t disk_accesses() const {
+    return reader_->counter().accesses();
+  }
+  const BlockCache& cache() const { return cache_; }
+  void ResetStats() {
+    reader_->counter().Reset();
+    cache_.ResetStats();
+  }
+
+ private:
+  std::unique_ptr<RowStoreReader> reader_;
+  BlockCache cache_;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_STORAGE_CACHED_ROW_READER_H_

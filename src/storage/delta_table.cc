@@ -1,0 +1,115 @@
+#include "storage/delta_table.h"
+
+#include <bit>
+
+#include "util/logging.h"
+
+namespace tsc {
+namespace {
+
+constexpr double kMaxLoadFactor = 0.7;
+constexpr std::size_t kMinBuckets = 16;
+
+std::size_t BucketCountFor(std::size_t entries) {
+  std::size_t wanted = kMinBuckets;
+  while (static_cast<double>(entries) >
+         kMaxLoadFactor * static_cast<double>(wanted)) {
+    wanted <<= 1;
+  }
+  return wanted;
+}
+
+}  // namespace
+
+DeltaTable::DeltaTable(std::size_t expected_entries)
+    : buckets_(BucketCountFor(expected_entries)) {}
+
+std::uint64_t DeltaTable::HashKey(std::uint64_t key) {
+  // splitmix64 finalizer: cheap and well-mixed for sequential cell keys.
+  std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+void DeltaTable::Put(std::uint64_t key, double delta) {
+  if (static_cast<double>(size_ + 1) >
+      kMaxLoadFactor * static_cast<double>(buckets_.size())) {
+    Grow();
+  }
+  std::size_t slot = HashKey(key) & Mask();
+  for (;;) {
+    Bucket& b = buckets_[slot];
+    if (!b.occupied) {
+      b.key = key;
+      b.delta = delta;
+      b.occupied = true;
+      ++size_;
+      return;
+    }
+    if (b.key == key) {
+      b.delta = delta;
+      return;
+    }
+    slot = (slot + 1) & Mask();
+  }
+}
+
+std::optional<double> DeltaTable::Get(std::uint64_t key) const {
+  std::size_t slot = HashKey(key) & Mask();
+  for (;;) {
+    ++probe_count_;
+    const Bucket& b = buckets_[slot];
+    if (!b.occupied) return std::nullopt;
+    if (b.key == key) return b.delta;
+    slot = (slot + 1) & Mask();
+  }
+}
+
+void DeltaTable::Grow() {
+  std::vector<Bucket> old = std::move(buckets_);
+  buckets_.assign(old.size() * 2, Bucket{});
+  size_ = 0;
+  const std::uint64_t saved_probes = probe_count_;
+  for (const Bucket& b : old) {
+    if (b.occupied) Put(b.key, b.delta);
+  }
+  probe_count_ = saved_probes;
+}
+
+void DeltaTable::QuantizeValuesToFloat() {
+  for (Bucket& b : buckets_) {
+    if (b.occupied) b.delta = static_cast<float>(b.delta);
+  }
+}
+
+Status DeltaTable::Serialize(BinaryWriter* writer) const {
+  TSC_RETURN_IF_ERROR(writer->WriteU64(entry_bytes_));
+  TSC_RETURN_IF_ERROR(writer->WriteU64(size_));
+  Status status = Status::Ok();
+  ForEach([&](std::uint64_t key, double delta) {
+    if (!status.ok()) return;
+    status = writer->WriteU64(key);
+    if (status.ok()) status = writer->WriteDouble(delta);
+  });
+  return status;
+}
+
+StatusOr<DeltaTable> DeltaTable::Deserialize(BinaryReader* reader) {
+  TSC_ASSIGN_OR_RETURN(const std::uint64_t entry_bytes, reader->ReadU64());
+  TSC_ASSIGN_OR_RETURN(const std::uint64_t count, reader->ReadU64());
+  if (count > (1ULL << 32)) return Status::IoError("corrupt delta count");
+  if (entry_bytes == 0 || entry_bytes > 64) {
+    return Status::IoError("corrupt delta entry size");
+  }
+  DeltaTable table(static_cast<std::size_t>(count));
+  table.set_entry_bytes(entry_bytes);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    TSC_ASSIGN_OR_RETURN(const std::uint64_t key, reader->ReadU64());
+    TSC_ASSIGN_OR_RETURN(const double delta, reader->ReadDouble());
+    table.Put(key, delta);
+  }
+  return table;
+}
+
+}  // namespace tsc

@@ -1,0 +1,94 @@
+#ifndef TSC_STORAGE_DELTA_TABLE_H_
+#define TSC_STORAGE_DELTA_TABLE_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "storage/serializer.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// Hash table from cell key to outlier delta, exactly the SVDD side
+/// structure of Section 4.2: the key is the cell's row-major rank
+/// (row * M + column) and the value is the difference between the true
+/// value and the plain-SVD reconstruction.
+///
+/// Open addressing with linear probing over a power-of-two table; probe
+/// counts are tracked so the Bloom-filter ablation can report the probes
+/// a front filter saves.
+class DeltaTable {
+ public:
+  /// `expected_entries` pre-sizes the table (load factor <= 0.7).
+  explicit DeltaTable(std::size_t expected_entries = 0);
+
+  static std::uint64_t CellKey(std::size_t row, std::size_t col,
+                               std::size_t num_cols) {
+    return static_cast<std::uint64_t>(row) * num_cols + col;
+  }
+
+  /// Inserts or overwrites the delta for `key`.
+  void Put(std::uint64_t key, double delta);
+
+  /// Delta for `key`, or nullopt when the cell is not an outlier.
+  std::optional<double> Get(std::uint64_t key) const;
+
+  bool Contains(std::uint64_t key) const { return Get(key).has_value(); }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+  /// Total slots inspected by Get() so far (the Bloom ablation metric).
+  /// Like the count itself, resetting is a statistics operation and does
+  /// not mutate logical state, hence const.
+  std::uint64_t probe_count() const { return probe_count_; }
+  void ResetProbeCount() const { probe_count_ = 0; }
+
+  /// Bytes this table would occupy on disk if stored as packed
+  /// (key, delta) pairs; this is the "O(b) bytes per delta" accounting the
+  /// paper uses for the SVDD space budget. The per-entry cost defaults to
+  /// an 8-byte key + 8-byte double and is configurable so alternative
+  /// encodings (e.g. float deltas at b=4, or naive 3x8 triplets) account
+  /// honestly.
+  std::uint64_t PackedBytes() const { return size_ * entry_bytes_; }
+  static constexpr std::uint64_t kPackedEntryBytes = 8 + 8;
+  void set_entry_bytes(std::uint64_t bytes) { entry_bytes_ = bytes; }
+  std::uint64_t entry_bytes() const { return entry_bytes_; }
+
+  /// Rounds every stored delta through single precision (the b=4 storage
+  /// mode of the quantized models).
+  void QuantizeValuesToFloat();
+
+  /// Visits every (key, delta) pair in unspecified order.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Bucket& b : buckets_) {
+      if (b.occupied) fn(b.key, b.delta);
+    }
+  }
+
+  Status Serialize(BinaryWriter* writer) const;
+  static StatusOr<DeltaTable> Deserialize(BinaryReader* reader);
+
+ private:
+  struct Bucket {
+    std::uint64_t key = 0;
+    double delta = 0.0;
+    bool occupied = false;
+  };
+
+  static std::uint64_t HashKey(std::uint64_t key);
+  void Grow();
+  std::size_t Mask() const { return buckets_.size() - 1; }
+
+  std::vector<Bucket> buckets_;
+  std::size_t size_ = 0;
+  std::uint64_t entry_bytes_ = kPackedEntryBytes;
+  mutable std::uint64_t probe_count_ = 0;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_STORAGE_DELTA_TABLE_H_

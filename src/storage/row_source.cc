@@ -1,0 +1,18 @@
+#include "storage/row_source.h"
+
+#include <algorithm>
+
+namespace tsc {
+
+StatusOr<bool> MatrixRowSource::NextRow(std::span<double> out) {
+  if (next_row_ >= matrix_->rows()) return false;
+  if (out.size() != matrix_->cols()) {
+    return Status::InvalidArgument("NextRow buffer size != cols");
+  }
+  const std::span<const double> row = matrix_->Row(next_row_);
+  std::copy(row.begin(), row.end(), out.begin());
+  ++next_row_;
+  return true;
+}
+
+}  // namespace tsc

@@ -1,0 +1,173 @@
+#include "storage/row_store.h"
+
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace tsc {
+namespace {
+
+constexpr char kMagic[8] = {'T', 'S', 'C', 'R', 'O', 'W', 'S', '1'};
+constexpr std::uint64_t kHeaderBytes = 8 + 8 + 8;  // magic + rows + cols
+
+}  // namespace
+
+void DiskAccessCounter::RecordRead(std::uint64_t offset,
+                                   std::uint64_t length) {
+  if (length == 0) return;
+  const std::uint64_t first = offset / block_size_;
+  const std::uint64_t last = (offset + length - 1) / block_size_;
+  accesses_ += last - first + 1;
+  bytes_read_ += length;
+}
+
+StatusOr<RowStoreWriter> RowStoreWriter::Create(const std::string& path,
+                                                std::size_t cols) {
+  if (cols == 0) return Status::InvalidArgument("cols must be positive");
+  RowStoreWriter writer;
+  writer.out_.open(path, std::ios::binary | std::ios::trunc);
+  if (!writer.out_) return Status::IoError("cannot create: " + path);
+  writer.cols_ = cols;
+  writer.closed_ = false;
+  writer.out_.write(kMagic, sizeof(kMagic));
+  const std::uint64_t zero_rows = 0;
+  const std::uint64_t cols64 = cols;
+  writer.out_.write(reinterpret_cast<const char*>(&zero_rows), 8);
+  writer.out_.write(reinterpret_cast<const char*>(&cols64), 8);
+  if (!writer.out_) return Status::IoError("header write failed: " + path);
+  return writer;
+}
+
+Status RowStoreWriter::AppendRow(std::span<const double> row) {
+  if (closed_) return Status::FailedPrecondition("writer is closed");
+  if (row.size() != cols_) {
+    return Status::InvalidArgument("row width mismatch");
+  }
+  out_.write(reinterpret_cast<const char*>(row.data()),
+             static_cast<std::streamsize>(row.size() * sizeof(double)));
+  if (!out_) return Status::IoError("row write failed");
+  ++rows_written_;
+  return Status::Ok();
+}
+
+Status RowStoreWriter::AppendMatrix(const Matrix& m) {
+  if (m.cols() != cols_) return Status::InvalidArgument("cols mismatch");
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    TSC_RETURN_IF_ERROR(AppendRow(m.Row(i)));
+  }
+  return Status::Ok();
+}
+
+Status RowStoreWriter::Close() {
+  if (closed_) return Status::FailedPrecondition("writer already closed");
+  closed_ = true;
+  out_.seekp(sizeof(kMagic), std::ios::beg);
+  const std::uint64_t rows64 = rows_written_;
+  out_.write(reinterpret_cast<const char*>(&rows64), 8);
+  out_.flush();
+  if (!out_) return Status::IoError("header patch failed");
+  out_.close();
+  return Status::Ok();
+}
+
+StatusOr<RowStoreReader> RowStoreReader::Open(const std::string& path) {
+  RowStoreReader reader;
+  reader.in_.open(path, std::ios::binary);
+  if (!reader.in_) return Status::IoError("cannot open: " + path);
+  char magic[8] = {};
+  reader.in_.read(magic, sizeof(magic));
+  if (!reader.in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::IoError("bad magic in " + path);
+  }
+  std::uint64_t rows = 0;
+  std::uint64_t cols = 0;
+  reader.in_.read(reinterpret_cast<char*>(&rows), 8);
+  reader.in_.read(reinterpret_cast<char*>(&cols), 8);
+  if (!reader.in_ || cols == 0) return Status::IoError("bad header in " + path);
+  reader.rows_ = rows;
+  reader.cols_ = cols;
+  reader.header_bytes_ = kHeaderBytes;
+  reader.payload_bytes_ = rows * cols * sizeof(double);
+  return reader;
+}
+
+Status RowStoreReader::ReadRow(std::size_t index, std::span<double> out) {
+  if (index >= rows_) return Status::OutOfRange("row index out of range");
+  if (out.size() != cols_) return Status::InvalidArgument("buffer size");
+  const std::uint64_t offset =
+      header_bytes_ + static_cast<std::uint64_t>(index) * cols_ * sizeof(double);
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+  in_.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(cols_ * sizeof(double)));
+  if (in_.gcount() != static_cast<std::streamsize>(cols_ * sizeof(double))) {
+    return Status::IoError("short row read");
+  }
+  counter_.RecordRead(offset, cols_ * sizeof(double));
+  return Status::Ok();
+}
+
+StatusOr<double> RowStoreReader::ReadCell(std::size_t row, std::size_t col) {
+  if (row >= rows_ || col >= cols_) {
+    return Status::OutOfRange("cell out of range");
+  }
+  const std::uint64_t offset =
+      header_bytes_ +
+      (static_cast<std::uint64_t>(row) * cols_ + col) * sizeof(double);
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+  double value = 0.0;
+  in_.read(reinterpret_cast<char*>(&value), sizeof(value));
+  if (in_.gcount() != sizeof(value)) return Status::IoError("short cell read");
+  // A real disk still fetches the whole block containing the cell.
+  const std::uint64_t block = offset / counter_.block_size();
+  counter_.RecordRead(block * counter_.block_size(), counter_.block_size());
+  return value;
+}
+
+Status RowStoreReader::ReadBlock(std::uint64_t block_id,
+                                 std::span<std::uint8_t> out) {
+  const std::size_t block_size = counter_.block_size();
+  if (out.size() != block_size) {
+    return Status::InvalidArgument("block buffer size mismatch");
+  }
+  const std::uint64_t offset = block_id * block_size;
+  const std::uint64_t file_size = file_bytes();
+  if (offset >= file_size) return Status::OutOfRange("block beyond file");
+  in_.clear();
+  in_.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+  const std::uint64_t want = std::min<std::uint64_t>(block_size,
+                                                     file_size - offset);
+  in_.read(reinterpret_cast<char*>(out.data()),
+           static_cast<std::streamsize>(want));
+  if (in_.gcount() != static_cast<std::streamsize>(want)) {
+    return Status::IoError("short block read");
+  }
+  std::fill(out.begin() + static_cast<std::ptrdiff_t>(want), out.end(), 0);
+  counter_.RecordRead(offset, want);
+  return Status::Ok();
+}
+
+StatusOr<Matrix> RowStoreReader::ReadAll() {
+  Matrix m(rows_, cols_);
+  for (std::size_t i = 0; i < rows_; ++i) {
+    TSC_RETURN_IF_ERROR(ReadRow(i, m.Row(i)));
+  }
+  return m;
+}
+
+Status WriteMatrixFile(const std::string& path, const Matrix& m) {
+  TSC_ASSIGN_OR_RETURN(RowStoreWriter writer,
+                       RowStoreWriter::Create(path, m.cols()));
+  TSC_RETURN_IF_ERROR(writer.AppendMatrix(m));
+  return writer.Close();
+}
+
+StatusOr<bool> FileRowSource::NextRow(std::span<double> out) {
+  if (next_row_ >= reader_.rows()) return false;
+  TSC_RETURN_IF_ERROR(reader_.ReadRow(next_row_, out));
+  ++next_row_;
+  return true;
+}
+
+}  // namespace tsc

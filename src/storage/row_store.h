@@ -1,0 +1,155 @@
+#ifndef TSC_STORAGE_ROW_STORE_H_
+#define TSC_STORAGE_ROW_STORE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "storage/row_source.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// Counts simulated disk-block accesses. Every read through a RowStoreReader
+/// reports the set of `block_size`-byte blocks it touched; this is how the
+/// library demonstrates the paper's headline property that one cell
+/// reconstruction costs ~1 disk access.
+class DiskAccessCounter {
+ public:
+  explicit DiskAccessCounter(std::size_t block_size = kDefaultBlockSize)
+      : block_size_(block_size) {}
+
+  static constexpr std::size_t kDefaultBlockSize = 8192;
+
+  /// Records a contiguous byte-range read; counts the blocks it spans.
+  void RecordRead(std::uint64_t offset, std::uint64_t length);
+
+  std::uint64_t accesses() const { return accesses_; }
+  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::size_t block_size() const { return block_size_; }
+  void Reset() {
+    accesses_ = 0;
+    bytes_read_ = 0;
+  }
+
+ private:
+  std::size_t block_size_;
+  std::uint64_t accesses_ = 0;
+  std::uint64_t bytes_read_ = 0;
+};
+
+/// Writes an N x M matrix file in the row-major binary "TSCROWS1" format.
+/// Rows are appended one at a time so a dataset larger than memory can be
+/// produced by a streaming generator.
+class RowStoreWriter {
+ public:
+  /// Creates `path`, fixing the column count; rows() is finalized by the
+  /// number of AppendRow calls (the header is patched on Close).
+  static StatusOr<RowStoreWriter> Create(const std::string& path,
+                                         std::size_t cols);
+
+  RowStoreWriter(RowStoreWriter&&) = default;
+  RowStoreWriter& operator=(RowStoreWriter&&) = default;
+
+  Status AppendRow(std::span<const double> row);
+
+  /// Convenience: appends every row of `m` (cols must match).
+  Status AppendMatrix(const Matrix& m);
+
+  /// Patches the row count into the header and closes the file. Must be
+  /// called exactly once; the destructor does not write.
+  Status Close();
+
+  std::size_t rows_written() const { return rows_written_; }
+  std::size_t cols() const { return cols_; }
+
+ private:
+  RowStoreWriter() = default;
+
+  std::ofstream out_;
+  std::size_t cols_ = 0;
+  std::size_t rows_written_ = 0;
+  bool closed_ = true;
+};
+
+/// Random and sequential access to a "TSCROWS1" matrix file, with every
+/// read accounted against a DiskAccessCounter.
+class RowStoreReader {
+ public:
+  /// Opens `path` and validates the header.
+  static StatusOr<RowStoreReader> Open(const std::string& path);
+
+  RowStoreReader(RowStoreReader&&) = default;
+  RowStoreReader& operator=(RowStoreReader&&) = default;
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::uint64_t file_bytes() const { return header_bytes_ + payload_bytes_; }
+  std::uint64_t header_bytes() const { return header_bytes_; }
+
+  /// Reads row `index` into `out` (size cols()); one random access.
+  Status ReadRow(std::size_t index, std::span<double> out);
+
+  /// Reads the single cell (row, col); still a whole-block access, exactly
+  /// like a real disk would behave.
+  StatusOr<double> ReadCell(std::size_t row, std::size_t col);
+
+  /// Loads the full matrix (small files, tests).
+  StatusOr<Matrix> ReadAll();
+
+  /// Reads one whole `counter().block_size()`-byte block by id (block 0
+  /// starts at byte 0 of the file, header included). Short reads at the
+  /// file tail are zero-padded. One disk access. This is the fetch path
+  /// of the BlockCache buffer pool.
+  Status ReadBlock(std::uint64_t block_id, std::span<std::uint8_t> out);
+
+  DiskAccessCounter& counter() { return counter_; }
+  const DiskAccessCounter& counter() const { return counter_; }
+
+ private:
+  RowStoreReader() = default;
+
+  mutable std::ifstream in_;
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::uint64_t header_bytes_ = 0;
+  std::uint64_t payload_bytes_ = 0;
+  DiskAccessCounter counter_;
+};
+
+/// Writes `m` to `path` in one call.
+Status WriteMatrixFile(const std::string& path, const Matrix& m);
+
+/// RowSource streaming a "TSCROWS1" file front to back with a bounded
+/// buffer: the multi-pass build path for datasets that do not fit in
+/// memory. Reads are accounted in the shared reader's counter.
+class FileRowSource final : public RowSource {
+ public:
+  explicit FileRowSource(RowStoreReader reader)
+      : reader_(std::move(reader)) {}
+
+  std::size_t rows() const override { return reader_.rows(); }
+  std::size_t cols() const override { return reader_.cols(); }
+
+  StatusOr<bool> NextRow(std::span<double> out) override;
+
+  RowStoreReader& reader() { return reader_; }
+
+ protected:
+  Status ResetImpl() override {
+    next_row_ = 0;
+    return Status::Ok();
+  }
+
+ private:
+  RowStoreReader reader_;
+  std::size_t next_row_ = 0;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_STORAGE_ROW_STORE_H_

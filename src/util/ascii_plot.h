@@ -1,0 +1,43 @@
+#ifndef TSC_UTIL_ASCII_PLOT_H_
+#define TSC_UTIL_ASCII_PLOT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsc {
+
+/// Options shared by the ASCII plot renderers used in the benchmark
+/// harnesses to show the paper's figures directly in a terminal.
+struct PlotOptions {
+  std::size_t width = 72;   ///< plot-area columns
+  std::size_t height = 20;  ///< plot-area rows
+  bool log_y = false;       ///< log10 scale on y (Figure 8 style)
+  bool log_x = false;       ///< log10 scale on x
+  std::string x_label;
+  std::string y_label;
+  std::string title;
+};
+
+/// One named series of (x, y) points.
+struct Series {
+  std::string name;
+  char marker = '*';
+  std::vector<double> x;
+  std::vector<double> y;
+};
+
+/// Renders a scatter/line plot of the given series into a multi-line string.
+/// Points sharing a cell keep the marker of the first series plotted there.
+/// Non-finite and (when log-scaled) non-positive points are skipped.
+std::string RenderPlot(const std::vector<Series>& series,
+                       const PlotOptions& options);
+
+/// Renders a scatter of raw points (Appendix A style visualization).
+std::string RenderScatter(const std::vector<double>& x,
+                          const std::vector<double>& y,
+                          const PlotOptions& options);
+
+}  // namespace tsc
+
+#endif  // TSC_UTIL_ASCII_PLOT_H_

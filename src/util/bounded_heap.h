@@ -1,0 +1,91 @@
+#ifndef TSC_UTIL_BOUNDED_HEAP_H_
+#define TSC_UTIL_BOUNDED_HEAP_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "util/logging.h"
+
+namespace tsc {
+
+/// Keeps the `capacity` items with the LARGEST keys seen so far, in O(log c)
+/// per offer, using a min-heap on the key. This is the per-candidate-k
+/// priority queue of the SVDD pass-2 algorithm (Figure 5 of the paper):
+/// each queue retains the gamma_k cells with the largest reconstruction
+/// error.
+template <typename Key, typename Value>
+class BoundedTopHeap {
+ public:
+  struct Entry {
+    Key key;
+    Value value;
+  };
+
+  explicit BoundedTopHeap(std::size_t capacity) : capacity_(capacity) {
+    heap_.reserve(capacity);
+  }
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return heap_.size(); }
+  bool empty() const { return heap_.empty(); }
+
+  /// Smallest retained key; only meaningful when size() == capacity().
+  const Key& MinKey() const {
+    TSC_CHECK(!heap_.empty());
+    return heap_.front().key;
+  }
+
+  /// Returns true when the item was retained (possibly evicting the current
+  /// minimum). Capacity-zero heaps retain nothing.
+  bool Offer(const Key& key, const Value& value) {
+    if (capacity_ == 0) return false;
+    if (heap_.size() < capacity_) {
+      heap_.push_back(Entry{key, value});
+      std::push_heap(heap_.begin(), heap_.end(), GreaterByKey());
+      return true;
+    }
+    if (!(heap_.front().key < key)) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), GreaterByKey());
+    heap_.back() = Entry{key, value};
+    std::push_heap(heap_.begin(), heap_.end(), GreaterByKey());
+    return true;
+  }
+
+  /// Sum of keys currently retained (used to credit outlier deltas against
+  /// the accumulated SSE when evaluating a candidate k).
+  Key KeySum() const {
+    Key total{};
+    for (const Entry& e : heap_) total += e.key;
+    return total;
+  }
+
+  /// Extracts all retained entries, largest key first. The heap is emptied.
+  std::vector<Entry> TakeSortedDescending() {
+    std::vector<Entry> out = std::move(heap_);
+    heap_.clear();
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      return b.key < a.key;
+    });
+    return out;
+  }
+
+  /// Read-only access in heap order (no ordering guarantee).
+  const std::vector<Entry>& entries() const { return heap_; }
+
+ private:
+  struct GreaterByKey {
+    bool operator()(const Entry& a, const Entry& b) const {
+      return b.key < a.key;
+    }
+  };
+
+  std::size_t capacity_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_UTIL_BOUNDED_HEAP_H_

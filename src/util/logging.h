@@ -1,0 +1,83 @@
+#ifndef TSC_UTIL_LOGGING_H_
+#define TSC_UTIL_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace tsc {
+namespace internal_logging {
+
+/// Accumulates a message and aborts the process on destruction. Used as the
+/// right-hand side of the CHECK macros so callers can stream context:
+///   TSC_CHECK(x > 0) << "x was " << x;
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+  ~FatalMessage() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Lowers a streamed expression to void so it can sit in a ternary whose
+/// other branch is (void)0. operator& binds more loosely than <<.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+/// Swallows streamed output when a debug check is compiled out.
+class NullMessage {
+ public:
+  template <typename T>
+  NullMessage& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace tsc
+
+/// Aborts with file/line context when `condition` is false. Active in all
+/// build modes: these guard internal invariants whose violation means the
+/// process must not continue (a database-style always-on assertion).
+#define TSC_CHECK(condition)                                    \
+  (condition) ? (void)0                                         \
+              : ::tsc::internal_logging::Voidify() &            \
+                    ::tsc::internal_logging::FatalMessage(      \
+                        __FILE__, __LINE__, #condition)         \
+                        .stream()
+
+#define TSC_CHECK_OK(expr)                                                 \
+  do {                                                                     \
+    const ::tsc::Status tsc_check_status_ = (expr);                        \
+    if (!tsc_check_status_.ok()) {                                         \
+      ::tsc::internal_logging::FatalMessage(__FILE__, __LINE__, #expr)     \
+              .stream()                                                    \
+          << tsc_check_status_.ToString();                                 \
+    }                                                                      \
+  } while (false)
+
+#define TSC_CHECK_EQ(a, b) TSC_CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSC_CHECK_NE(a, b) TSC_CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSC_CHECK_LT(a, b) TSC_CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSC_CHECK_LE(a, b) TSC_CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSC_CHECK_GT(a, b) TSC_CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define TSC_CHECK_GE(a, b) TSC_CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+
+/// Debug-only check; compiles out in NDEBUG builds.
+#ifdef NDEBUG
+#define TSC_DCHECK(condition) \
+  while (false) ::tsc::internal_logging::NullMessage()
+#else
+#define TSC_DCHECK(condition) TSC_CHECK(condition)
+#endif
+
+#endif  // TSC_UTIL_LOGGING_H_

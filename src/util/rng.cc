@@ -1,0 +1,187 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace tsc {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t* state) {
+  std::uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t RotL(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = SplitMix64(&sm);
+  // A state of all zeros is the one forbidden xoshiro state.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+std::uint64_t Rng::NextUint64() {
+  const std::uint64_t result = RotL(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = RotL(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::UniformUint64(std::uint64_t n) {
+  TSC_CHECK_GT(n, 0u);
+  // Lemire-style rejection: reject the biased low region.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    const std::uint64_t r = NextUint64();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::UniformInt(std::int64_t lo, std::int64_t hi) {
+  TSC_CHECK_LE(lo, hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(NextUint64());  // full range
+  return lo + static_cast<std::int64_t>(UniformUint64(span));
+}
+
+double Rng::UniformDouble() {
+  // 53 high bits to a double in [0, 1).
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformDouble(double lo, double hi) {
+  return lo + (hi - lo) * UniformDouble();
+}
+
+double Rng::Gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 must be strictly positive for the log.
+  double u1 = 0.0;
+  do {
+    u1 = UniformDouble();
+  } while (u1 <= 0.0);
+  const double u2 = UniformDouble();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = radius * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return radius * std::cos(theta);
+}
+
+double Rng::Gaussian(double mean, double stddev) {
+  return mean + stddev * Gaussian();
+}
+
+double Rng::Exponential(double lambda) {
+  TSC_CHECK_GT(lambda, 0.0);
+  double u = 0.0;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return -std::log(u) / lambda;
+}
+
+bool Rng::Bernoulli(double p) { return UniformDouble() < p; }
+
+double Rng::Pareto(double xm, double alpha) {
+  TSC_CHECK_GT(xm, 0.0);
+  TSC_CHECK_GT(alpha, 0.0);
+  double u = 0.0;
+  do {
+    u = UniformDouble();
+  } while (u <= 0.0);
+  return xm / std::pow(u, 1.0 / alpha);
+}
+
+std::uint64_t Rng::Poisson(double mean) {
+  TSC_CHECK_GT(mean, 0.0);
+  if (mean < 30.0) {
+    // Knuth: multiply uniforms until below e^-mean.
+    const double limit = std::exp(-mean);
+    std::uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= UniformDouble();
+    } while (p > limit);
+    return k - 1;
+  }
+  // Normal approximation with continuity correction for large means.
+  const double value = Gaussian(mean, std::sqrt(mean)) + 0.5;
+  return value <= 0.0 ? 0 : static_cast<std::uint64_t>(value);
+}
+
+std::vector<std::size_t> Rng::SampleWithoutReplacement(std::size_t n,
+                                                       std::size_t count) {
+  TSC_CHECK_LE(count, n);
+  std::vector<std::size_t> picked;
+  picked.reserve(count);
+  if (count == 0) return picked;
+  if (count * 2 >= n) {
+    // Dense case: partial Fisher-Yates over all indices.
+    std::vector<std::size_t> all(n);
+    for (std::size_t i = 0; i < n; ++i) all[i] = i;
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t j = i + static_cast<std::size_t>(UniformUint64(n - i));
+      std::swap(all[i], all[j]);
+    }
+    picked.assign(all.begin(), all.begin() + static_cast<std::ptrdiff_t>(count));
+  } else {
+    // Sparse case: rejection into a hash set.
+    std::unordered_set<std::size_t> seen;
+    seen.reserve(count * 2);
+    while (seen.size() < count) {
+      seen.insert(static_cast<std::size_t>(UniformUint64(n)));
+    }
+    picked.assign(seen.begin(), seen.end());
+  }
+  std::sort(picked.begin(), picked.end());
+  return picked;
+}
+
+ZipfSampler::ZipfSampler(std::size_t n, double s) : s_(s) {
+  TSC_CHECK_GE(n, 1u);
+  TSC_CHECK_GE(s, 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (std::size_t r = 1; r <= n; ++r) {
+    total += 1.0 / std::pow(static_cast<double>(r), s);
+    cdf_[r - 1] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // guard against rounding
+}
+
+std::size_t ZipfSampler::Sample(Rng* rng) const {
+  const double u = rng->UniformDouble();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(it - cdf_.begin()) + 1;
+}
+
+double ZipfSampler::Pmf(std::size_t rank) const {
+  TSC_CHECK_GE(rank, 1u);
+  TSC_CHECK_LE(rank, cdf_.size());
+  if (rank == 1) return cdf_[0];
+  return cdf_[rank - 1] - cdf_[rank - 2];
+}
+
+}  // namespace tsc

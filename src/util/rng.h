@@ -1,0 +1,96 @@
+#ifndef TSC_UTIL_RNG_H_
+#define TSC_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tsc {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256++), seeded via
+/// splitmix64. All synthetic workloads in this repository draw from Rng so
+/// experiments are exactly reproducible from a seed.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Uniform 64-bit word.
+  std::uint64_t NextUint64();
+
+  /// Uniform in [0, n). Requires n > 0. Uses rejection to avoid modulo bias.
+  std::uint64_t UniformUint64(std::uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t UniformInt(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi);
+
+  /// Standard normal via Box-Muller (cached second variate).
+  double Gaussian();
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Exponential with the given rate lambda (> 0).
+  double Exponential(double lambda);
+
+  /// Bernoulli trial with success probability p in [0, 1].
+  bool Bernoulli(double p);
+
+  /// Pareto-distributed value with scale xm > 0 and shape alpha > 0;
+  /// produces the heavy tails typical of customer-volume data.
+  double Pareto(double xm, double alpha);
+
+  /// Poisson-distributed count with the given mean (> 0). Uses Knuth's
+  /// method for small means and a normal approximation for large ones.
+  std::uint64_t Poisson(double mean);
+
+  /// Fisher-Yates shuffle of `values`.
+  template <typename T>
+  void Shuffle(std::vector<T>* values) {
+    if (values->empty()) return;
+    for (std::size_t i = values->size() - 1; i > 0; --i) {
+      const std::size_t j = static_cast<std::size_t>(UniformUint64(i + 1));
+      std::swap((*values)[i], (*values)[j]);
+    }
+  }
+
+  /// Samples `count` distinct indices from [0, n) in increasing order.
+  /// Requires count <= n.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t count);
+
+ private:
+  std::uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Zipf(s, n) sampler over ranks {1, ..., n}: P(rank = r) proportional to
+/// r^-s. Precomputes the CDF for O(log n) sampling; suitable for the
+/// "Zipf-like distribution of customers" the paper observes.
+class ZipfSampler {
+ public:
+  /// Requires n >= 1 and s >= 0 (s = 0 degenerates to uniform).
+  ZipfSampler(std::size_t n, double s);
+
+  /// Returns a rank in [1, n].
+  std::size_t Sample(Rng* rng) const;
+
+  /// Probability mass of rank r (1-based).
+  double Pmf(std::size_t rank) const;
+
+  std::size_t n() const { return cdf_.size(); }
+  double s() const { return s_; }
+
+ private:
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_UTIL_RNG_H_

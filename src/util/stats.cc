@@ -1,0 +1,78 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.h"
+
+namespace tsc {
+
+void RunningStats::Add(double value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(count_);
+  const double nb = static_cast<double>(other.count_);
+  const double delta = other.mean_ - mean_;
+  const double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double RunningStats::variance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+Quantiles::Quantiles(std::vector<double> values) : sorted_(std::move(values)) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Quantiles::Quantile(double q) const {
+  TSC_CHECK(!sorted_.empty());
+  TSC_CHECK_GE(q, 0.0);
+  TSC_CHECK_LE(q, 1.0);
+  if (sorted_.size() == 1) return sorted_[0];
+  const double pos = q * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::string SummaryLine(const std::vector<double>& values) {
+  if (values.empty()) return "n=0";
+  RunningStats stats;
+  for (double v : values) stats.Add(v);
+  const Quantiles q(values);
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "n=%zu mean=%.6g sd=%.6g min=%.6g med=%.6g max=%.6g",
+                stats.count(), stats.mean(), stats.stddev(), stats.min(),
+                q.Median(), stats.max());
+  return buf;
+}
+
+}  // namespace tsc

@@ -1,0 +1,154 @@
+#ifndef TSC_UTIL_STATUS_H_
+#define TSC_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace tsc {
+
+/// Canonical error space, modeled after the usual database-systems set.
+enum class StatusCode : std::uint8_t {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+  kIoError,
+  kUnimplemented,
+  kResourceExhausted,
+};
+
+/// Returns a stable human-readable name, e.g. "INVALID_ARGUMENT".
+const char* StatusCodeName(StatusCode code);
+
+/// A cheap value type carrying success or an error code plus message.
+///
+/// The library does not throw exceptions; every fallible operation returns
+/// Status or StatusOr<T>. Use the TSC_RETURN_IF_ERROR / TSC_ASSIGN_OR_RETURN
+/// macros to propagate.
+class Status {
+ public:
+  /// Constructs OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Union of a T or an error Status. `value()` aborts if not ok; check
+/// `ok()` first or use TSC_ASSIGN_OR_RETURN.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(Status status)  // NOLINT: implicit by design, mirrors absl
+      : status_(std::move(status)) {}
+  StatusOr(T value)  // NOLINT: implicit by design
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    AbortIfError();
+    return *value_;
+  }
+  T& value() & {
+    AbortIfError();
+    return *value_;
+  }
+  T&& value() && {
+    AbortIfError();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void AbortIfError() const;
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal_status {
+[[noreturn]] void DieOnBadStatusAccess(const Status& status);
+}  // namespace internal_status
+
+template <typename T>
+void StatusOr<T>::AbortIfError() const {
+  if (!status_.ok()) internal_status::DieOnBadStatusAccess(status_);
+}
+
+}  // namespace tsc
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define TSC_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::tsc::Status tsc_status_internal_ = (expr);    \
+    if (!tsc_status_internal_.ok()) {               \
+      return tsc_status_internal_;                  \
+    }                                               \
+  } while (false)
+
+#define TSC_STATUS_CONCAT_INNER_(x, y) x##y
+#define TSC_STATUS_CONCAT_(x, y) TSC_STATUS_CONCAT_INNER_(x, y)
+
+/// TSC_ASSIGN_OR_RETURN(auto v, Compute()): assigns on success, propagates
+/// the error Status otherwise.
+#define TSC_ASSIGN_OR_RETURN(lhs, expr)                                     \
+  auto TSC_STATUS_CONCAT_(tsc_statusor_, __LINE__) = (expr);                \
+  if (!TSC_STATUS_CONCAT_(tsc_statusor_, __LINE__).ok()) {                  \
+    return TSC_STATUS_CONCAT_(tsc_statusor_, __LINE__).status();            \
+  }                                                                         \
+  lhs = std::move(TSC_STATUS_CONCAT_(tsc_statusor_, __LINE__)).value()
+
+#endif  // TSC_UTIL_STATUS_H_

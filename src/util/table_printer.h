@@ -1,0 +1,35 @@
+#ifndef TSC_UTIL_TABLE_PRINTER_H_
+#define TSC_UTIL_TABLE_PRINTER_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace tsc {
+
+/// Accumulates rows of string cells and renders an aligned text table;
+/// every benchmark harness prints its paper table through this.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with `precision` significant digits.
+  static std::string Num(double value, int precision = 4);
+  /// Formats a percentage with a trailing '%'.
+  static std::string Percent(double value, int precision = 3);
+
+  /// Renders the table with a separator under the header.
+  std::string ToString() const;
+
+  std::size_t row_count() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,245 @@
+#include "cli/cli.h"
+
+#include <fstream>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+
+namespace tsc::cli {
+namespace {
+
+struct CliResult {
+  int exit_code;
+  std::string out;
+  std::string err;
+};
+
+CliResult RunTool(const std::vector<std::string>& args) {
+  std::ostringstream out;
+  std::ostringstream err;
+  const int code = RunCli(args, out, err);
+  return CliResult{code, out.str(), err.str()};
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliTest, HelpAndNoArgs) {
+  const CliResult help = RunTool({"help"});
+  EXPECT_EQ(help.exit_code, 0);
+  EXPECT_NE(help.out.find("usage:"), std::string::npos);
+  const CliResult none = RunTool({});
+  EXPECT_EQ(none.exit_code, 1);
+}
+
+TEST(CliTest, UnknownCommandFails) {
+  const CliResult result = RunTool({"frobnicate"});
+  EXPECT_EQ(result.exit_code, 1);
+  EXPECT_NE(result.err.find("unknown command"), std::string::npos);
+}
+
+TEST(CliTest, GenerateBinaryAndCsv) {
+  const std::string bin = TempPath("cli_phone.mat");
+  const CliResult r1 = RunTool({"generate", "--kind=phone", "--rows=50",
+                            "--cols=30", "--out=" + bin});
+  EXPECT_EQ(r1.exit_code, 0) << r1.err;
+  const auto loaded = LoadBinary(bin, "x");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->rows(), 50u);
+  EXPECT_EQ(loaded->cols(), 30u);
+
+  const std::string csv = TempPath("cli_stocks.csv");
+  const CliResult r2 = RunTool({"generate", "--kind=stocks", "--rows=20",
+                            "--cols=16", "--out=" + csv});
+  EXPECT_EQ(r2.exit_code, 0) << r2.err;
+  const auto loaded_csv = LoadCsv(csv, "y");
+  ASSERT_TRUE(loaded_csv.ok());
+  EXPECT_EQ(loaded_csv->rows(), 20u);
+}
+
+TEST(CliTest, GenerateRejectsBadKind) {
+  const CliResult result =
+      RunTool({"generate", "--kind=nonsense", "--out=" + TempPath("x.mat")});
+  EXPECT_EQ(result.exit_code, 1);
+}
+
+TEST(CliTest, GenerateRequiresOut) {
+  EXPECT_EQ(RunTool({"generate", "--kind=phone"}).exit_code, 1);
+}
+
+/// Fixture running the full generate -> compress -> query pipeline once.
+class CliPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data_path_ = new std::string(TempPath("pipe_data.mat"));
+    model_path_ = new std::string(TempPath("pipe_model.bin"));
+    ASSERT_EQ(RunTool({"generate", "--kind=phone", "--rows=200", "--cols=40",
+                   "--seed=5", "--out=" + *data_path_})
+                  .exit_code,
+              0);
+    ASSERT_EQ(RunTool({"compress", "--input=" + *data_path_,
+                   "--out=" + *model_path_, "--space=15"})
+                  .exit_code,
+              0);
+  }
+  static void TearDownTestSuite() {
+    delete data_path_;
+    delete model_path_;
+  }
+  static std::string* data_path_;
+  static std::string* model_path_;
+};
+
+std::string* CliPipelineTest::data_path_ = nullptr;
+std::string* CliPipelineTest::model_path_ = nullptr;
+
+TEST_F(CliPipelineTest, InfoShowsModel) {
+  const CliResult result = RunTool({"info", "--model=" + *model_path_});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("kind:        svdd"), std::string::npos);
+  EXPECT_NE(result.out.find("sequences:   200"), std::string::npos);
+  EXPECT_NE(result.out.find("length:      40"), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, CellQueryMatchesAggregate) {
+  const CliResult cell =
+      RunTool({"query", "--model=" + *model_path_, "--cell=3,7"});
+  ASSERT_EQ(cell.exit_code, 0) << cell.err;
+  const CliResult agg = RunTool(
+      {"query", "--model=" + *model_path_, "--q=sum rows=3 cols=7"});
+  ASSERT_EQ(agg.exit_code, 0) << agg.err;
+  EXPECT_NEAR(std::stod(cell.out), std::stod(agg.out), 1e-9);
+}
+
+TEST_F(CliPipelineTest, QueryValidatesRanges) {
+  EXPECT_EQ(RunTool({"query", "--model=" + *model_path_, "--cell=999,0"})
+                .exit_code,
+            1);
+  EXPECT_EQ(RunTool({"query", "--model=" + *model_path_,
+                 "--q=avg rows=0 cols=400"})
+                .exit_code,
+            1);
+  EXPECT_EQ(RunTool({"query", "--model=" + *model_path_}).exit_code, 1);
+}
+
+TEST_F(CliPipelineTest, EvaluateReportsErrors) {
+  const CliResult result = RunTool(
+      {"evaluate", "--model=" + *model_path_, "--input=" + *data_path_});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("rmspe:"), std::string::npos);
+  EXPECT_NE(result.out.find("worst normalized:"), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, ReconstructWritesCsv) {
+  const std::string out_path = TempPath("pipe_recon.csv");
+  const CliResult result = RunTool({"reconstruct", "--model=" + *model_path_,
+                                "--out=" + out_path, "--rows=10"});
+  EXPECT_EQ(result.exit_code, 0) << result.err;
+  const auto recon = LoadCsv(out_path, "r");
+  ASSERT_TRUE(recon.ok());
+  EXPECT_EQ(recon->rows(), 10u);
+  EXPECT_EQ(recon->cols(), 40u);
+}
+
+TEST_F(CliPipelineTest, SqlQueryAndExplain) {
+  const CliResult sql =
+      RunTool({"sql", "--model=" + *model_path_,
+               "--query=SELECT count(*) WHERE row IN 0:9 AND col IN 0:3"});
+  ASSERT_EQ(sql.exit_code, 0) << sql.err;
+  EXPECT_NEAR(std::stod(sql.out), 40.0, 1e-9);
+
+  const CliResult explain =
+      RunTool({"sql", "--model=" + *model_path_, "--explain",
+               "--query=SELECT sum(value) WHERE row IN 0:9"});
+  ASSERT_EQ(explain.exit_code, 0) << explain.err;
+  EXPECT_NE(explain.out.find("compressed-domain"), std::string::npos);
+
+  EXPECT_EQ(RunTool({"sql", "--model=" + *model_path_,
+                     "--query=SELEKT sum(value)"})
+                .exit_code,
+            1);
+  EXPECT_EQ(RunTool({"sql", "--model=" + *model_path_}).exit_code, 1);
+}
+
+TEST_F(CliPipelineTest, TopKAndSimilar) {
+  const CliResult top = RunTool(
+      {"topk", "--model=" + *model_path_, "--count=3", "--cols=0:9"});
+  ASSERT_EQ(top.exit_code, 0) << top.err;
+  EXPECT_NE(top.out.find("top 3 sequences"), std::string::npos);
+  EXPECT_NE(top.out.find("row "), std::string::npos);
+
+  const CliResult similar =
+      RunTool({"similar", "--model=" + *model_path_, "--row=7", "--count=4"});
+  ASSERT_EQ(similar.exit_code, 0) << similar.err;
+  EXPECT_NE(similar.out.find("nearest sequences to row 7"),
+            std::string::npos);
+
+  EXPECT_EQ(RunTool({"topk", "--model=" + *model_path_, "--cols=90:10"})
+                .exit_code,
+            1);
+  EXPECT_EQ(RunTool({"similar", "--model=" + *model_path_, "--row=9999"})
+                .exit_code,
+            1);
+}
+
+TEST_F(CliPipelineTest, SvdMethodWorksToo) {
+  const std::string model = TempPath("pipe_svd.bin");
+  ASSERT_EQ(RunTool({"compress", "--input=" + *data_path_, "--out=" + model,
+                 "--space=10", "--method=svd"})
+                .exit_code,
+            0);
+  const CliResult info = RunTool({"info", "--model=" + model});
+  EXPECT_EQ(info.exit_code, 0);
+  EXPECT_NE(info.out.find("kind:        svd"), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, QuantizedCompress) {
+  const std::string model = TempPath("pipe_b4.bin");
+  ASSERT_EQ(RunTool({"compress", "--input=" + *data_path_, "--out=" + model,
+                 "--space=10", "--b=4"})
+                .exit_code,
+            0);
+  const CliResult info = RunTool({"info", "--model=" + model});
+  EXPECT_EQ(info.exit_code, 0) << info.err;
+}
+
+TEST(CliTest, CompressRejectsMissingInput) {
+  EXPECT_EQ(RunTool({"compress", "--out=" + TempPath("m.bin")}).exit_code, 1);
+  EXPECT_EQ(RunTool({"compress", "--input=/nonexistent.mat",
+                 "--out=" + TempPath("m.bin")})
+                .exit_code,
+            1);
+}
+
+TEST(CliTest, InfoRejectsGarbageFile) {
+  const std::string path = TempPath("garbage.bin");
+  std::ofstream(path) << "not a model";
+  EXPECT_EQ(RunTool({"info", "--model=" + path}).exit_code, 1);
+}
+
+TEST(CliTest, EvaluateRejectsShapeMismatch) {
+  const std::string data1 = TempPath("shape1.mat");
+  const std::string data2 = TempPath("shape2.mat");
+  const std::string model = TempPath("shape.binmodel");
+  ASSERT_EQ(RunTool({"generate", "--kind=phone", "--rows=60", "--cols=20",
+                 "--out=" + data1})
+                .exit_code,
+            0);
+  ASSERT_EQ(RunTool({"generate", "--kind=phone", "--rows=30", "--cols=20",
+                 "--out=" + data2})
+                .exit_code,
+            0);
+  ASSERT_EQ(RunTool({"compress", "--input=" + data1, "--out=" + model,
+                 "--space=20"})
+                .exit_code,
+            0);
+  EXPECT_EQ(RunTool({"evaluate", "--model=" + model, "--input=" + data2})
+                .exit_code,
+            1);
+}
+
+}  // namespace
+}  // namespace tsc::cli

@@ -1,0 +1,93 @@
+#include "core/error_target.h"
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "data/generators.h"
+
+namespace tsc {
+namespace {
+
+Matrix TestData(std::size_t n = 400, std::size_t m = 60) {
+  PhoneDatasetConfig config;
+  config.num_customers = n;
+  config.num_days = m;
+  config.seed = 51;
+  return GeneratePhoneDataset(config).values;
+}
+
+TEST(ErrorTargetTest, MeetsTarget) {
+  const Matrix x = TestData();
+  ErrorTargetOptions options;
+  options.target_rmspe = 0.02;
+  const auto result = CompressToErrorTarget(x, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LE(result->achieved_rmspe, 0.02);
+  EXPECT_NEAR(Rmspe(x, result->model), result->achieved_rmspe, 1e-12);
+  EXPECT_GE(result->builds_performed, 2u);
+}
+
+TEST(ErrorTargetTest, TighterTargetCostsMoreSpace) {
+  const Matrix x = TestData();
+  ErrorTargetOptions loose;
+  loose.target_rmspe = 0.05;
+  ErrorTargetOptions tight;
+  tight.target_rmspe = 0.005;
+  const auto loose_result = CompressToErrorTarget(x, loose);
+  const auto tight_result = CompressToErrorTarget(x, tight);
+  ASSERT_TRUE(loose_result.ok());
+  ASSERT_TRUE(tight_result.ok());
+  EXPECT_LT(loose_result->space_percent, tight_result->space_percent);
+  EXPECT_LE(tight_result->achieved_rmspe, 0.005);
+}
+
+TEST(ErrorTargetTest, SpaceIsNearMinimal) {
+  // The returned space should be within one bisection step of the
+  // smallest passing point: building at a noticeably smaller budget
+  // must miss the target.
+  const Matrix x = TestData();
+  ErrorTargetOptions options;
+  options.target_rmspe = 0.02;
+  options.search_steps = 8;
+  const auto result = CompressToErrorTarget(x, options);
+  ASSERT_TRUE(result.ok());
+  const double margin =
+      (options.max_space_percent - options.min_space_percent) /
+      static_cast<double>(1 << options.search_steps);
+  const double smaller = result->space_percent - 2.0 * margin - 0.25;
+  if (smaller > options.min_space_percent) {
+    // Direct build at the smaller budget.
+    MatrixRowSource source(&x);
+    SvddBuildOptions build;
+    build.space_percent = smaller;
+    const auto model = BuildSvddModel(&source, build);
+    if (model.ok()) {
+      EXPECT_GT(Rmspe(x, *model), options.target_rmspe * 0.95);
+    }
+  }
+}
+
+TEST(ErrorTargetTest, UnreachableTargetFails) {
+  const Matrix x = TestData(100, 40);
+  ErrorTargetOptions options;
+  options.target_rmspe = 1e-12;  // effectively lossless: not reachable
+  options.max_space_percent = 5.0;
+  EXPECT_EQ(CompressToErrorTarget(x, options).status().code(),
+            StatusCode::kResourceExhausted);
+}
+
+TEST(ErrorTargetTest, InvalidArgumentsRejected) {
+  const Matrix x = TestData(50, 20);
+  ErrorTargetOptions options;
+  options.target_rmspe = 0.0;
+  EXPECT_FALSE(CompressToErrorTarget(x, options).ok());
+  options.target_rmspe = 0.05;
+  options.min_space_percent = 10.0;
+  options.max_space_percent = 5.0;
+  EXPECT_FALSE(CompressToErrorTarget(x, options).ok());
+  ErrorTargetOptions fine;
+  EXPECT_FALSE(CompressToErrorTarget(Matrix(0, 0), fine).ok());
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,104 @@
+#include "core/metrics.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+/// A fake store that returns a fixed matrix: lets tests pin the metric
+/// definitions against hand computation.
+class FixedStore : public CompressedStore {
+ public:
+  explicit FixedStore(Matrix values) : values_(std::move(values)) {}
+  std::size_t rows() const override { return values_.rows(); }
+  std::size_t cols() const override { return values_.cols(); }
+  double ReconstructCell(std::size_t i, std::size_t j) const override {
+    return values_(i, j);
+  }
+  std::uint64_t CompressedBytes() const override { return 0; }
+  std::string MethodName() const override { return "fixed"; }
+
+ private:
+  Matrix values_;
+};
+
+TEST(MetricsTest, PerfectReconstructionIsZeroError) {
+  const Matrix x = Matrix::FromRows({{1, 2}, {3, 4}});
+  const FixedStore store(x);
+  const ErrorReport report = EvaluateErrors(x, store);
+  EXPECT_EQ(report.rmspe, 0.0);
+  EXPECT_EQ(report.max_abs_error, 0.0);
+  EXPECT_EQ(report.median_abs_error, 0.0);
+  EXPECT_EQ(report.cell_count, 4u);
+}
+
+TEST(MetricsTest, RmspeMatchesDefinitionFiveOne) {
+  // x = [[0, 2], [4, 6]], xbar = 3, denom = sqrt(9+1+1+9) = sqrt(20).
+  // xhat = x + 1 everywhere: numerator = sqrt(4) = 2.
+  const Matrix x = Matrix::FromRows({{0, 2}, {4, 6}});
+  Matrix xhat = x;
+  for (auto& v : xhat.data()) v += 1.0;
+  const FixedStore store(xhat);
+  const ErrorReport report = EvaluateErrors(x, store);
+  EXPECT_NEAR(report.rmspe, 2.0 / std::sqrt(20.0), 1e-12);
+  EXPECT_NEAR(report.max_abs_error, 1.0, 1e-12);
+  EXPECT_NEAR(report.mean_abs_error, 1.0, 1e-12);
+  EXPECT_NEAR(report.median_abs_error, 1.0, 1e-12);
+  // data stddev = sqrt(20/4) = sqrt(5).
+  EXPECT_NEAR(report.data_stddev, std::sqrt(5.0), 1e-12);
+  EXPECT_NEAR(report.max_normalized_error, 1.0 / std::sqrt(5.0), 1e-12);
+}
+
+TEST(MetricsTest, SingleBadCellDominatesMax) {
+  const Matrix x = Matrix::FromRows({{1, 1, 1}, {1, 1, 1}});
+  Matrix xhat = x;
+  xhat(1, 2) = 11.0;
+  const FixedStore store(xhat);
+  const ErrorReport report = EvaluateErrors(x, store);
+  EXPECT_NEAR(report.max_abs_error, 10.0, 1e-12);
+  EXPECT_EQ(report.median_abs_error, 0.0);
+}
+
+TEST(MetricsTest, SortedErrorsDescending) {
+  const Matrix x = Matrix::FromRows({{0, 0}, {0, 0}});
+  const Matrix xhat = Matrix::FromRows({{3, 1}, {4, 2}});
+  const FixedStore store(xhat);
+  const std::vector<double> errors = CellErrorsSortedDescending(x, store);
+  ASSERT_EQ(errors.size(), 4u);
+  EXPECT_EQ(errors[0], 4.0);
+  EXPECT_EQ(errors[1], 3.0);
+  EXPECT_EQ(errors[2], 2.0);
+  EXPECT_EQ(errors[3], 1.0);
+}
+
+TEST(MetricsTest, SortedErrorsLimit) {
+  const Matrix x(3, 3);
+  Matrix xhat(3, 3);
+  Rng rng(1);
+  for (auto& v : xhat.data()) v = rng.Gaussian();
+  const FixedStore store(xhat);
+  const std::vector<double> errors = CellErrorsSortedDescending(x, store, 5);
+  EXPECT_EQ(errors.size(), 5u);
+}
+
+TEST(MetricsTest, MatrixStddev) {
+  const Matrix x = Matrix::FromRows({{1, 3}});
+  EXPECT_NEAR(MatrixStddev(x), 1.0, 1e-12);
+}
+
+TEST(MetricsTest, ConstantMatrixHasZeroDenominator) {
+  // All cells equal: stddev 0; rmspe defined as 0 to avoid division blowup.
+  const Matrix x = Matrix::FromRows({{2, 2}, {2, 2}});
+  const FixedStore store(Matrix::FromRows({{2, 2}, {2, 3}}));
+  const ErrorReport report = EvaluateErrors(x, store);
+  EXPECT_EQ(report.rmspe, 0.0);
+  EXPECT_EQ(report.max_normalized_error, 0.0);
+  EXPECT_NEAR(report.max_abs_error, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,139 @@
+#include "core/query.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/svdd_compressor.h"
+#include "data/generators.h"
+#include "storage/row_source.h"
+
+namespace tsc {
+namespace {
+
+Matrix TestMatrix() {
+  return Matrix::FromRows({{1, 2, 3, 4},
+                           {5, 6, 7, 8},
+                           {9, 10, 11, 12}});
+}
+
+TEST(QueryTest, SumOverRegion) {
+  RegionQuery q;
+  q.fn = AggregateFn::kSum;
+  q.row_ids = {0, 2};
+  q.col_ids = {1, 3};
+  // cells: 2, 4, 10, 12 -> 28
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(TestMatrix(), q), 28.0);
+}
+
+TEST(QueryTest, AvgMinMaxCount) {
+  RegionQuery q;
+  q.row_ids = {1};
+  q.col_ids = {0, 1, 2, 3};
+  q.fn = AggregateFn::kAvg;
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(TestMatrix(), q), 6.5);
+  q.fn = AggregateFn::kMin;
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(TestMatrix(), q), 5.0);
+  q.fn = AggregateFn::kMax;
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(TestMatrix(), q), 8.0);
+  q.fn = AggregateFn::kCount;
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(TestMatrix(), q), 4.0);
+}
+
+TEST(QueryTest, StddevOfRegion) {
+  RegionQuery q;
+  q.fn = AggregateFn::kStddev;
+  q.row_ids = {0};
+  q.col_ids = {0, 1, 2, 3};  // 1,2,3,4: population sd = sqrt(1.25)
+  EXPECT_NEAR(EvaluateAggregate(TestMatrix(), q), std::sqrt(1.25), 1e-12);
+}
+
+TEST(QueryTest, StoreAggregateMatchesExactOnLosslessModel) {
+  // A 100%-budget SVDD reconstructs exactly, so the approximate aggregate
+  // must equal the exact one.
+  const Matrix x = TestMatrix();
+  MatrixRowSource source(&x);
+  SvddBuildOptions options;
+  options.space_percent = 400.0;  // tiny matrix: make sure full rank fits
+  const auto model = BuildSvddModel(&source, options);
+  ASSERT_TRUE(model.ok());
+  RegionQuery q;
+  q.fn = AggregateFn::kSum;
+  q.row_ids = {0, 1, 2};
+  q.col_ids = {0, 2};
+  EXPECT_NEAR(EvaluateAggregate(*model, q), EvaluateAggregate(x, q), 1e-8);
+}
+
+TEST(QueryTest, QueryErrorDefinition) {
+  EXPECT_DOUBLE_EQ(QueryError(10.0, 11.0), 0.1);
+  EXPECT_DOUBLE_EQ(QueryError(10.0, 10.0), 0.0);
+  EXPECT_DOUBLE_EQ(QueryError(-4.0, -5.0), 0.25);
+  // Exact answer zero: fall back to absolute error.
+  EXPECT_DOUBLE_EQ(QueryError(0.0, 0.5), 0.5);
+}
+
+TEST(QueryTest, AggregateFnNamesRoundTrip) {
+  for (const AggregateFn fn :
+       {AggregateFn::kSum, AggregateFn::kAvg, AggregateFn::kCount,
+        AggregateFn::kMin, AggregateFn::kMax, AggregateFn::kStddev,
+        AggregateFn::kMedian}) {
+    const auto parsed = ParseAggregateFn(AggregateFnName(fn));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(*parsed, fn);
+  }
+  EXPECT_FALSE(ParseAggregateFn("mode").ok());
+}
+
+TEST(QueryTest, MedianOfRegion) {
+  RegionQuery q;
+  q.fn = AggregateFn::kMedian;
+  q.row_ids = {0, 1};
+  q.col_ids = {0, 1, 2, 3};  // 1..8: median = 4.5
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(TestMatrix(), q), 4.5);
+  q.row_ids = {2};
+  q.col_ids = {0, 1, 2};  // 9, 10, 11
+  EXPECT_DOUBLE_EQ(EvaluateAggregate(TestMatrix(), q), 10.0);
+}
+
+TEST(QueryParseTest, ParsesListsAndRanges) {
+  const auto q = ParseRegionQuery("avg rows=0:2,5 cols=1,3:4");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->fn, AggregateFn::kAvg);
+  EXPECT_EQ(q->row_ids, (std::vector<std::size_t>{0, 1, 2, 5}));
+  EXPECT_EQ(q->col_ids, (std::vector<std::size_t>{1, 3, 4}));
+  EXPECT_EQ(q->CellCount(), 12u);
+}
+
+TEST(QueryParseTest, RejectsMalformed) {
+  EXPECT_FALSE(ParseRegionQuery("").ok());
+  EXPECT_FALSE(ParseRegionQuery("avg rows=0:2").ok());          // no cols
+  EXPECT_FALSE(ParseRegionQuery("frobnicate rows=1 cols=1").ok());
+  EXPECT_FALSE(ParseRegionQuery("avg rows=abc cols=1").ok());
+  EXPECT_FALSE(ParseRegionQuery("avg rows=5:2 cols=1").ok());   // inverted
+  EXPECT_FALSE(ParseRegionQuery("avg rows=1 cols=1 bogus=2").ok());
+}
+
+TEST(QueryTest, RandomRegionQueryHitsTargetFraction) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const RegionQuery q =
+        MakeRandomRegionQuery(2000, 366, 0.10, AggregateFn::kAvg, &rng);
+    const double fraction =
+        static_cast<double>(q.CellCount()) / (2000.0 * 366.0);
+    EXPECT_GT(fraction, 0.05);
+    EXPECT_LT(fraction, 0.20);
+    // indices valid and unique
+    for (const std::size_t r : q.row_ids) EXPECT_LT(r, 2000u);
+    for (const std::size_t c : q.col_ids) EXPECT_LT(c, 366u);
+  }
+}
+
+TEST(QueryTest, RandomRegionQueryTinyMatrix) {
+  Rng rng(33);
+  const RegionQuery q = MakeRandomRegionQuery(1, 1, 0.5, AggregateFn::kSum, &rng);
+  EXPECT_EQ(q.row_ids.size(), 1u);
+  EXPECT_EQ(q.col_ids.size(), 1u);
+}
+
+}  // namespace
+}  // namespace tsc

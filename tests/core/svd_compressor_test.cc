@@ -1,0 +1,196 @@
+#include "core/svd_compressor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/metrics.h"
+#include "data/generators.h"
+#include "linalg/svd.h"
+#include "storage/row_store.h"
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+Matrix RandomMatrix(std::size_t n, std::size_t m, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(n, m);
+  for (auto& v : x.data()) v = rng.Gaussian();
+  return x;
+}
+
+TEST(SvdCompressorTest, BuildUsesExactlyTwoPasses) {
+  const Matrix x = RandomMatrix(50, 8, 1);
+  MatrixRowSource source(&x);
+  SvdBuildOptions options;
+  options.k = 4;
+  const auto model = BuildSvdModel(&source, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(source.passes_started(), 2u);  // Section 4.1's guarantee
+}
+
+TEST(SvdCompressorTest, MatchesInMemoryTruncatedSvd) {
+  const Matrix x = RandomMatrix(40, 10, 2);
+  MatrixRowSource source(&x);
+  SvdBuildOptions options;
+  options.k = 5;
+  const auto model = BuildSvdModel(&source, options);
+  ASSERT_TRUE(model.ok());
+  const auto reference = TruncatedSvd(x, 5);
+  ASSERT_TRUE(reference.ok());
+  ASSERT_EQ(model->k(), reference->rank());
+  for (std::size_t i = 0; i < model->k(); ++i) {
+    EXPECT_NEAR(model->singular_values()[i], reference->singular_values[i],
+                1e-9);
+  }
+  // Reconstructions must agree cell-for-cell (signs of factors may flip,
+  // products cannot).
+  const Matrix recon_model = model->ReconstructAll();
+  const Matrix recon_ref = ReconstructFromSvd(*reference);
+  EXPECT_LT(MaxAbsDifference(recon_model, recon_ref), 1e-8);
+}
+
+TEST(SvdCompressorTest, ExactAtFullRank) {
+  const Matrix x = RandomMatrix(30, 6, 3);
+  MatrixRowSource source(&x);
+  SvdBuildOptions options;
+  options.k = 6;
+  const auto model = BuildSvdModel(&source, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(MaxAbsDifference(x, model->ReconstructAll()), 1e-8);
+  EXPECT_LT(Rmspe(x, *model), 1e-10);
+}
+
+TEST(SvdCompressorTest, ReconstructRowMatchesCells) {
+  const Matrix x = RandomMatrix(20, 7, 4);
+  MatrixRowSource source(&x);
+  SvdBuildOptions options;
+  options.k = 3;
+  const auto model = BuildSvdModel(&source, options);
+  ASSERT_TRUE(model.ok());
+  std::vector<double> row(7);
+  model->ReconstructRow(11, row);
+  for (std::size_t j = 0; j < 7; ++j) {
+    EXPECT_NEAR(row[j], model->ReconstructCell(11, j), 1e-12);
+  }
+}
+
+TEST(SvdCompressorTest, CompressedBytesMatchesFormula) {
+  const Matrix x = RandomMatrix(100, 12, 5);
+  MatrixRowSource source(&x);
+  SvdBuildOptions options;
+  options.k = 4;
+  const auto model = BuildSvdModel(&source, options);
+  ASSERT_TRUE(model.ok());
+  const std::size_t k = model->k();
+  EXPECT_EQ(model->CompressedBytes(), (100u * k + k + k * 12u) * 8u);
+  EXPECT_NEAR(model->SpacePercent(),
+              100.0 * static_cast<double>(model->CompressedBytes()) /
+                  (100.0 * 12.0 * 8.0),
+              1e-9);
+}
+
+TEST(SvdCompressorTest, RmspeDecreasesWithK) {
+  const Dataset d = GenerateLowRankDataset(80, 20, 8, 6, /*noise=*/0.2);
+  double previous = 1e300;
+  for (const std::size_t k : {1u, 2u, 4u, 8u, 16u}) {
+    MatrixRowSource source(&d.values);
+    SvdBuildOptions options;
+    options.k = k;
+    const auto model = BuildSvdModel(&source, options);
+    ASSERT_TRUE(model.ok());
+    const double err = Rmspe(d.values, *model);
+    EXPECT_LE(err, previous + 1e-12);
+    previous = err;
+  }
+}
+
+TEST(SvdCompressorTest, FileSourceMatchesMemorySource) {
+  const Matrix x = RandomMatrix(25, 9, 7);
+  const std::string path = ::testing::TempDir() + "/svd_src.mat";
+  ASSERT_TRUE(WriteMatrixFile(path, x).ok());
+  auto reader = RowStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  FileRowSource file_source(std::move(*reader));
+  MatrixRowSource mem_source(&x);
+  SvdBuildOptions options;
+  options.k = 4;
+  const auto from_file = BuildSvdModel(&file_source, options);
+  const auto from_mem = BuildSvdModel(&mem_source, options);
+  ASSERT_TRUE(from_file.ok());
+  ASSERT_TRUE(from_mem.ok());
+  EXPECT_LT(MaxAbsDifference(from_file->ReconstructAll(),
+                             from_mem->ReconstructAll()),
+            1e-10);
+}
+
+TEST(SvdCompressorTest, SerializeRoundTrip) {
+  const Matrix x = RandomMatrix(15, 6, 8);
+  MatrixRowSource source(&x);
+  SvdBuildOptions options;
+  options.k = 3;
+  const auto model = BuildSvdModel(&source, options);
+  ASSERT_TRUE(model.ok());
+  const std::string path = ::testing::TempDir() + "/svd_model.bin";
+  ASSERT_TRUE(model->SaveToFile(path).ok());
+  const auto loaded = SvdModel::LoadFromFile(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->k(), model->k());
+  EXPECT_LT(
+      MaxAbsDifference(loaded->ReconstructAll(), model->ReconstructAll()),
+      1e-12);
+}
+
+TEST(SvdCompressorTest, KClippedToNumericalRank) {
+  const Dataset d = GenerateLowRankDataset(30, 10, 2, 9);
+  MatrixRowSource source(&d.values);
+  SvdBuildOptions options;
+  options.k = 10;
+  const auto model = BuildSvdModel(&source, options);
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->k(), 2u);
+  EXPECT_LT(Rmspe(d.values, *model), 1e-8);
+}
+
+TEST(SvdCompressorTest, EmptySourceRejected) {
+  const Matrix x(0, 0);
+  MatrixRowSource source(&x);
+  SvdBuildOptions options;
+  EXPECT_FALSE(BuildSvdModel(&source, options).ok());
+}
+
+TEST(SvdCompressorTest, ZeroMatrixRejected) {
+  const Matrix x(5, 4);  // all zeros
+  MatrixRowSource source(&x);
+  SvdBuildOptions options;
+  options.k = 2;
+  EXPECT_EQ(BuildSvdModel(&source, options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SvdCompressorTest, ProjectRowGivesUTimesLambda) {
+  const Matrix x = RandomMatrix(10, 5, 11);
+  MatrixRowSource source(&x);
+  SvdBuildOptions options;
+  options.k = 3;
+  const auto model = BuildSvdModel(&source, options);
+  ASSERT_TRUE(model.ok());
+  const std::vector<double> coords = model->ProjectRow(4);
+  ASSERT_EQ(coords.size(), model->k());
+  for (std::size_t m = 0; m < model->k(); ++m) {
+    EXPECT_NEAR(coords[m], model->u()(4, m) * model->singular_values()[m],
+                1e-12);
+  }
+}
+
+TEST(SvdCompressorTest, AccumulateColumnSimilarityMatchesGram) {
+  const Matrix x = RandomMatrix(18, 6, 12);
+  MatrixRowSource source(&x);
+  const auto c = AccumulateColumnSimilarity(&source);
+  ASSERT_TRUE(c.ok());
+  EXPECT_LT(MaxAbsDifference(*c, GramMatrix(x)), 1e-10);
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,201 @@
+#include "cube/tensor.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "cube/datacube.h"
+#include "linalg/svd.h"
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+Tensor RandomTensor(std::vector<std::size_t> dims, std::uint64_t seed) {
+  Tensor t(std::move(dims));
+  Rng rng(seed);
+  for (auto& v : t.data()) v = rng.Gaussian();
+  return t;
+}
+
+/// Tensor with exact multilinear rank r across all modes.
+Tensor LowRankTensor(const std::vector<std::size_t>& dims, std::size_t rank,
+                     std::uint64_t seed) {
+  Tensor t(dims);
+  Rng rng(seed);
+  for (std::size_t r = 0; r < rank; ++r) {
+    std::vector<std::vector<double>> factors;
+    for (const std::size_t d : dims) {
+      std::vector<double> f(d);
+      for (auto& v : f) v = rng.Gaussian();
+      factors.push_back(std::move(f));
+    }
+    std::vector<std::size_t> index(dims.size(), 0);
+    std::size_t flat = 0;
+    do {
+      double term = 1.0;
+      for (std::size_t n = 0; n < dims.size(); ++n) {
+        term *= factors[n][index[n]];
+      }
+      t.data()[flat++] += term;
+      // manual odometer matching row-major flat order
+      for (std::size_t axis = dims.size(); axis-- > 0;) {
+        if (++index[axis] < dims[axis]) break;
+        index[axis] = 0;
+      }
+    } while (flat < t.size());
+  }
+  return t;
+}
+
+TEST(TensorTest, FlatAndMultiIndexRoundTrip) {
+  const Tensor t({3, 4, 2, 5});
+  for (const std::size_t flat : {0u, 1u, 17u, 119u}) {
+    const std::vector<std::size_t> index = t.MultiIndex(flat);
+    EXPECT_EQ(t.FlatIndex(index), flat);
+  }
+}
+
+TEST(TensorTest, AtReadsWhatWasWritten) {
+  Tensor t({2, 3, 4});
+  const std::vector<std::size_t> idx = {1, 2, 3};
+  t.At(idx) = 7.5;
+  EXPECT_EQ(t.At(idx), 7.5);
+  EXPECT_EQ(t.data().back(), 7.5);  // last element in row-major order
+}
+
+TEST(TensorTest, LastAxisFastest) {
+  Tensor t({2, 2});
+  const std::vector<std::size_t> i01 = {0, 1};
+  const std::vector<std::size_t> i10 = {1, 0};
+  EXPECT_EQ(t.FlatIndex(i01), 1u);
+  EXPECT_EQ(t.FlatIndex(i10), 2u);
+}
+
+TEST(TensorUnfoldTest, FoldInvertsUnfoldAllModes) {
+  const Tensor t = RandomTensor({3, 4, 2, 5}, 1);
+  for (std::size_t mode = 0; mode < 4; ++mode) {
+    const Matrix unfolded = UnfoldTensor(t, mode);
+    EXPECT_EQ(unfolded.rows(), t.dim(mode));
+    EXPECT_EQ(unfolded.cols(), t.size() / t.dim(mode));
+    const Tensor back = FoldTensor(unfolded, t.dims(), mode);
+    EXPECT_EQ(back.data(), t.data()) << "mode " << mode;
+  }
+}
+
+TEST(TensorUnfoldTest, EnergyPreserved) {
+  const Tensor t = RandomTensor({4, 3, 3, 2}, 2);
+  for (std::size_t mode = 0; mode < 4; ++mode) {
+    EXPECT_NEAR(UnfoldTensor(t, mode).FrobeniusNormSquared(),
+                t.FrobeniusNormSquared(), 1e-9);
+  }
+}
+
+TEST(TensorUnfoldTest, MatchesThreeDCubeConvention) {
+  // The order-3 Tensor and the dedicated DataCube must unfold the same
+  // way, so models built on either agree.
+  DataCube cube(3, 4, 5);
+  Tensor t({3, 4, 5});
+  Rng rng(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      for (std::size_t k = 0; k < 5; ++k) {
+        const double v = rng.Gaussian();
+        cube(i, j, k) = v;
+        const std::vector<std::size_t> idx = {i, j, k};
+        t.At(idx) = v;
+      }
+    }
+  }
+  for (std::size_t mode = 0; mode < 3; ++mode) {
+    EXPECT_LT(MaxAbsDifference(Unfold(cube, mode), UnfoldTensor(t, mode)),
+              1e-12)
+        << "mode " << mode;
+  }
+}
+
+TEST(NTuckerTest, ExactOnLowRankFourModeTensor) {
+  const std::vector<std::size_t> dims = {8, 6, 5, 7};
+  const Tensor t = LowRankTensor(dims, 2, 4);
+  const auto model = BuildNTuckerModel(t, {2, 2, 2, 2});
+  ASSERT_TRUE(model.ok());
+  std::vector<std::size_t> index(4, 0);
+  double worst = 0.0;
+  for (std::size_t flat = 0; flat < t.size(); ++flat) {
+    const std::vector<std::size_t> idx = t.MultiIndex(flat);
+    worst = std::max(worst,
+                     std::abs(model->ReconstructCell(idx) - t.data()[flat]));
+  }
+  (void)index;
+  EXPECT_LT(worst, 1e-7);
+}
+
+TEST(NTuckerTest, FullRanksExactOnRandomTensor) {
+  const Tensor t = RandomTensor({4, 3, 5}, 5);
+  const auto model = BuildNTuckerModel(t, {4, 3, 5});
+  ASSERT_TRUE(model.ok());
+  for (std::size_t flat = 0; flat < t.size(); ++flat) {
+    const std::vector<std::size_t> idx = t.MultiIndex(flat);
+    EXPECT_NEAR(model->ReconstructCell(idx), t.data()[flat], 1e-8);
+  }
+}
+
+TEST(NTuckerTest, TruncationErrorDecreasesWithRank) {
+  const Tensor t = LowRankTensor({10, 8, 6}, 4, 6);
+  double previous = 1e300;
+  for (const std::size_t r : {1u, 2u, 3u, 4u}) {
+    const auto model = BuildNTuckerModel(t, {r, r, r});
+    ASSERT_TRUE(model.ok());
+    double sse = 0.0;
+    for (std::size_t flat = 0; flat < t.size(); ++flat) {
+      const std::vector<std::size_t> idx = t.MultiIndex(flat);
+      const double err = model->ReconstructCell(idx) - t.data()[flat];
+      sse += err * err;
+    }
+    EXPECT_LE(sse, previous + 1e-9);
+    previous = sse;
+  }
+}
+
+TEST(NTuckerTest, CompressedBytesAccounting) {
+  const Tensor t = RandomTensor({10, 8, 6, 4}, 7);
+  const auto model = BuildNTuckerModel(t, {2, 3, 2, 2});
+  ASSERT_TRUE(model.ok());
+  const std::uint64_t expected =
+      (10u * 2 + 8u * 3 + 6u * 2 + 4u * 2 + 2u * 3 * 2 * 2) * 8u;
+  EXPECT_EQ(model->CompressedBytes(), expected);
+  EXPECT_EQ(model->ranks(), (std::vector<std::size_t>{2, 3, 2, 2}));
+}
+
+TEST(NTuckerTest, TwoModeTuckerMatchesTruncatedSvdError) {
+  // Order-2 Tucker is exactly a truncated SVD (up to basis rotation):
+  // its Frobenius error must match.
+  const Tensor t = RandomTensor({12, 9}, 8);
+  Matrix x(12, 9);
+  for (std::size_t flat = 0; flat < t.size(); ++flat) {
+    x.data()[flat] = t.data()[flat];
+  }
+  const auto tucker = BuildNTuckerModel(t, {4, 4});
+  ASSERT_TRUE(tucker.ok());
+  const auto svd = TruncatedSvd(x, 4);
+  ASSERT_TRUE(svd.ok());
+  Matrix svd_recon = ReconstructFromSvd(*svd);
+  svd_recon.Subtract(x);
+  double tucker_sse = 0.0;
+  for (std::size_t flat = 0; flat < t.size(); ++flat) {
+    const std::vector<std::size_t> idx = t.MultiIndex(flat);
+    const double err = tucker->ReconstructCell(idx) - t.data()[flat];
+    tucker_sse += err * err;
+  }
+  EXPECT_NEAR(std::sqrt(tucker_sse), svd_recon.FrobeniusNorm(), 1e-6);
+}
+
+TEST(NTuckerTest, InvalidArgsRejected) {
+  const Tensor t = RandomTensor({4, 4}, 9);
+  EXPECT_FALSE(BuildNTuckerModel(t, {4}).ok());        // wrong order
+  EXPECT_FALSE(BuildNTuckerModel(t, {0, 2}).ok());     // zero rank
+  EXPECT_FALSE(BuildNTuckerModel(t, {5, 2}).ok());     // rank > dim
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,234 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/svd.h"
+#include "util/stats.h"
+
+namespace tsc {
+namespace {
+
+PhoneDatasetConfig SmallPhoneConfig() {
+  PhoneDatasetConfig config;
+  config.num_customers = 300;
+  config.num_days = 70;
+  return config;
+}
+
+TEST(PhoneGeneratorTest, ShapeAndLabels) {
+  const Dataset d = GeneratePhoneDataset(SmallPhoneConfig());
+  EXPECT_EQ(d.rows(), 300u);
+  EXPECT_EQ(d.cols(), 70u);
+  EXPECT_EQ(d.name, "phone300");
+  EXPECT_EQ(d.row_labels.size(), 300u);
+  EXPECT_EQ(d.col_labels.size(), 70u);
+}
+
+TEST(PhoneGeneratorTest, DeterministicInSeed) {
+  const Dataset a = GeneratePhoneDataset(SmallPhoneConfig());
+  const Dataset b = GeneratePhoneDataset(SmallPhoneConfig());
+  EXPECT_EQ(a.values, b.values);
+  PhoneDatasetConfig other = SmallPhoneConfig();
+  other.seed = 777;
+  const Dataset c = GeneratePhoneDataset(other);
+  EXPECT_FALSE(a.values == c.values);
+}
+
+TEST(PhoneGeneratorTest, ValuesNonNegative) {
+  const Dataset d = GeneratePhoneDataset(SmallPhoneConfig());
+  for (const double v : d.values.data()) EXPECT_GE(v, 0.0);
+}
+
+TEST(PhoneGeneratorTest, HasZeroCustomers) {
+  PhoneDatasetConfig config = SmallPhoneConfig();
+  config.num_customers = 1000;
+  config.zero_customer_fraction = 0.1;
+  const Dataset d = GeneratePhoneDataset(config);
+  std::size_t zero_rows = 0;
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    bool all_zero = true;
+    for (const double v : d.values.Row(i)) {
+      if (v != 0.0) {
+        all_zero = false;
+        break;
+      }
+    }
+    if (all_zero) ++zero_rows;
+  }
+  // ~10% of 1000 rows; allow wide slack.
+  EXPECT_GT(zero_rows, 50u);
+  EXPECT_LT(zero_rows, 200u);
+}
+
+TEST(PhoneGeneratorTest, VolumeIsHeavyTailed) {
+  const Dataset d = GeneratePhoneDataset(SmallPhoneConfig());
+  std::vector<double> row_sums;
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    double total = 0.0;
+    for (const double v : d.values.Row(i)) total += v;
+    row_sums.push_back(total);
+  }
+  std::sort(row_sums.begin(), row_sums.end(), std::greater<double>());
+  double top_decile = 0.0;
+  double all = 0.0;
+  for (std::size_t i = 0; i < row_sums.size(); ++i) {
+    if (i < row_sums.size() / 10) top_decile += row_sums[i];
+    all += row_sums[i];
+  }
+  // Zipf-like skew: top 10% of customers carry the majority of volume.
+  EXPECT_GT(top_decile / all, 0.5);
+}
+
+TEST(PhoneGeneratorTest, EnergyConcentratesInFewComponents) {
+  // The low-intrinsic-rank property the paper's compression relies on:
+  // a handful of singular values carry >90% of the energy.
+  PhoneDatasetConfig config = SmallPhoneConfig();
+  config.spike_probability = 0.0;
+  config.noise_level = 0.05;
+  const Dataset d = GeneratePhoneDataset(config);
+  const auto svd = TruncatedSvd(d.values, d.cols());
+  ASSERT_TRUE(svd.ok());
+  double total = 0.0;
+  for (const double s : svd->singular_values) total += s * s;
+  double top = 0.0;
+  for (std::size_t i = 0; i < std::min<std::size_t>(10, svd->rank()); ++i) {
+    top += svd->singular_values[i] * svd->singular_values[i];
+  }
+  EXPECT_GT(top / total, 0.90);
+}
+
+TEST(PhoneGeneratorTest, SpikesProduceOutlierCells) {
+  PhoneDatasetConfig config = SmallPhoneConfig();
+  config.spike_probability = 0.01;
+  config.spike_scale = 20.0;
+  const Dataset spiky = GeneratePhoneDataset(config);
+  config.spike_probability = 0.0;
+  const Dataset smooth = GeneratePhoneDataset(config);
+  // Spikes raise the max/mean ratio of cell values substantially.
+  RunningStats s_spiky;
+  RunningStats s_smooth;
+  for (double v : spiky.values.data()) s_spiky.Add(v);
+  for (double v : smooth.values.data()) s_smooth.Add(v);
+  EXPECT_GT(s_spiky.max() / (s_spiky.mean() + 1e-9),
+            s_smooth.max() / (s_smooth.mean() + 1e-9));
+}
+
+TEST(StockGeneratorTest, ShapeAndPositivity) {
+  StockDatasetConfig config;
+  config.num_stocks = 50;
+  config.num_days = 64;
+  const Dataset d = GenerateStockDataset(config);
+  EXPECT_EQ(d.rows(), 50u);
+  EXPECT_EQ(d.cols(), 64u);
+  for (const double v : d.values.data()) EXPECT_GT(v, 0.0);
+}
+
+TEST(StockGeneratorTest, DeterministicInSeed) {
+  StockDatasetConfig config;
+  config.num_stocks = 20;
+  config.num_days = 32;
+  const Dataset a = GenerateStockDataset(config);
+  const Dataset b = GenerateStockDataset(config);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(StockGeneratorTest, InitialPricesWithinRange) {
+  StockDatasetConfig config;
+  config.num_stocks = 100;
+  config.num_days = 2;
+  config.min_initial_price = 10.0;
+  config.max_initial_price = 20.0;
+  const Dataset d = GenerateStockDataset(config);
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    EXPECT_GE(d.values(i, 0), 10.0);
+    EXPECT_LE(d.values(i, 0), 20.0);
+  }
+}
+
+TEST(StockGeneratorTest, FirstComponentDominates) {
+  // Appendix A: stock rows hug the first principal component because of
+  // the common market factor + positive price levels.
+  StockDatasetConfig config;
+  config.num_stocks = 120;
+  config.num_days = 64;
+  const Dataset d = GenerateStockDataset(config);
+  const auto svd = TruncatedSvd(d.values, 10);
+  ASSERT_TRUE(svd.ok());
+  double total = 0.0;
+  for (const double s : svd->singular_values) total += s * s;
+  const double first = svd->singular_values[0] * svd->singular_values[0];
+  EXPECT_GT(first / total, 0.8);
+}
+
+TEST(PatientGeneratorTest, ShapeAndPlausibleRange) {
+  PatientDatasetConfig config;
+  config.num_patients = 300;
+  const Dataset d = GeneratePatientDataset(config);
+  EXPECT_EQ(d.rows(), 300u);
+  EXPECT_EQ(d.cols(), 48u);
+  EXPECT_EQ(d.name, "patients300");
+  // Human temperatures: everything within [34, 41] C.
+  for (const double v : d.values.data()) {
+    EXPECT_GT(v, 34.0);
+    EXPECT_LT(v, 41.0);
+  }
+}
+
+TEST(PatientGeneratorTest, DeterministicInSeed) {
+  PatientDatasetConfig config;
+  config.num_patients = 50;
+  const Dataset a = GeneratePatientDataset(config);
+  const Dataset b = GeneratePatientDataset(config);
+  EXPECT_EQ(a.values, b.values);
+}
+
+TEST(PatientGeneratorTest, FeverPatientsExist) {
+  PatientDatasetConfig config;
+  config.num_patients = 500;
+  config.fever_fraction = 0.2;
+  const Dataset d = GeneratePatientDataset(config);
+  std::size_t febrile = 0;
+  for (std::size_t i = 0; i < d.rows(); ++i) {
+    double peak = 0.0;
+    for (const double v : d.values.Row(i)) peak = std::max(peak, v);
+    if (peak > 38.0) ++febrile;
+  }
+  // ~20% have an episode; some episodes peak below 38 or start at the
+  // window edge, so accept a broad band.
+  EXPECT_GT(febrile, 30u);
+  EXPECT_LT(febrile, 200u);
+}
+
+TEST(PatientGeneratorTest, DcComponentDominates) {
+  // The low-variance regime: the first principal component (the shared
+  // ~37 C level) carries nearly all the energy.
+  PatientDatasetConfig config;
+  config.num_patients = 200;
+  const Dataset d = GeneratePatientDataset(config);
+  const auto svd = TruncatedSvd(d.values, 10);
+  ASSERT_TRUE(svd.ok());
+  double total = 0.0;
+  for (const double s : svd->singular_values) total += s * s;
+  EXPECT_GT(svd->singular_values[0] * svd->singular_values[0] / total,
+            0.999);
+}
+
+TEST(LowRankGeneratorTest, ExactRank) {
+  const Dataset d = GenerateLowRankDataset(40, 12, 3, 5);
+  const auto svd = TruncatedSvd(d.values, 12);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->rank(), 3u);
+}
+
+TEST(LowRankGeneratorTest, NoiseRaisesRank) {
+  const Dataset d = GenerateLowRankDataset(40, 12, 3, 5, /*noise=*/0.5);
+  const auto svd = TruncatedSvd(d.values, 12);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_GT(svd->rank(), 3u);
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,150 @@
+#include "linalg/symmetric_eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/svd.h"
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+Matrix RandomSymmetric(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix s(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng.Gaussian();
+      s(i, j) = v;
+      s(j, i) = v;
+    }
+  }
+  return s;
+}
+
+TEST(SymmetricEigenTest, DiagonalMatrix) {
+  Matrix s(3, 3);
+  s(0, 0) = 1.0;
+  s(1, 1) = 5.0;
+  s(2, 2) = 3.0;
+  const auto result = SymmetricEigen(s);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 5.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[1], 3.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[2], 1.0, 1e-12);
+}
+
+TEST(SymmetricEigenTest, KnownTwoByTwo) {
+  // [[2, 1], [1, 2]] has eigenvalues 3 and 1.
+  const Matrix s = Matrix::FromRows({{2, 1}, {1, 2}});
+  const auto result = SymmetricEigen(s);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->eigenvalues[0], 3.0, 1e-12);
+  EXPECT_NEAR(result->eigenvalues[1], 1.0, 1e-12);
+  // Eigenvector of 3 is (1,1)/sqrt(2) up to sign.
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(result->eigenvectors(0, 0)), inv_sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(result->eigenvectors(1, 0)), inv_sqrt2, 1e-12);
+}
+
+TEST(SymmetricEigenTest, NonSquareRejected) {
+  const Matrix s(2, 3);
+  EXPECT_FALSE(SymmetricEigen(s).ok());
+}
+
+TEST(SymmetricEigenTest, EmptyAndOneByOne) {
+  const auto empty = SymmetricEigen(Matrix(0, 0));
+  ASSERT_TRUE(empty.ok());
+  EXPECT_TRUE(empty->eigenvalues.empty());
+
+  Matrix one(1, 1);
+  one(0, 0) = -4.0;
+  const auto single = SymmetricEigen(one);
+  ASSERT_TRUE(single.ok());
+  EXPECT_DOUBLE_EQ(single->eigenvalues[0], -4.0);
+  EXPECT_DOUBLE_EQ(single->eigenvectors(0, 0), 1.0);
+}
+
+TEST(SymmetricEigenTest, ZeroMatrix) {
+  const auto result = SymmetricEigen(Matrix(4, 4));
+  ASSERT_TRUE(result.ok());
+  for (double w : result->eigenvalues) EXPECT_EQ(w, 0.0);
+  EXPECT_LT(OrthonormalityDefect(result->eigenvectors), 1e-12);
+}
+
+TEST(SymmetricEigenTest, TraceEqualsEigenvalueSum) {
+  const Matrix s = RandomSymmetric(12, 99);
+  const auto result = SymmetricEigen(s);
+  ASSERT_TRUE(result.ok());
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 12; ++i) trace += s(i, i);
+  double sum = 0.0;
+  for (double w : result->eigenvalues) sum += w;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+/// Property sweep over sizes and both solvers: residual, orthonormality,
+/// descending order, and cross-solver eigenvalue agreement.
+class EigenSolverPropertyTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, EigenSolverKind>> {
+};
+
+TEST_P(EigenSolverPropertyTest, ResidualAndOrthonormality) {
+  const auto [n, kind] = GetParam();
+  const Matrix s = RandomSymmetric(n, 1000 + n);
+  const auto result = SymmetricEigen(s, kind);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->eigenvalues.size(), n);
+  EXPECT_TRUE(std::is_sorted(result->eigenvalues.rbegin(),
+                             result->eigenvalues.rend()));
+  const double scale = std::max(1.0, s.FrobeniusNorm());
+  EXPECT_LT(EigenResidual(s, *result), 1e-9 * scale);
+  EXPECT_LT(OrthonormalityDefect(result->eigenvectors), 1e-10);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSolvers, EigenSolverPropertyTest,
+    ::testing::Combine(::testing::Values<std::size_t>(2, 3, 5, 10, 25, 60),
+                       ::testing::Values(EigenSolverKind::kHouseholderQl,
+                                         EigenSolverKind::kCyclicJacobi)));
+
+TEST(SymmetricEigenTest, SolversAgreeOnEigenvalues) {
+  for (const std::size_t n : {4u, 16u, 40u}) {
+    const Matrix s = RandomSymmetric(n, 7 * n);
+    const auto ql = SymmetricEigen(s, EigenSolverKind::kHouseholderQl);
+    const auto jacobi = SymmetricEigen(s, EigenSolverKind::kCyclicJacobi);
+    ASSERT_TRUE(ql.ok());
+    ASSERT_TRUE(jacobi.ok());
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(ql->eigenvalues[i], jacobi->eigenvalues[i],
+                  1e-8 * std::max(1.0, std::abs(ql->eigenvalues[i])));
+    }
+  }
+}
+
+TEST(SymmetricEigenTest, PositiveSemidefiniteGramHasNonNegativeEigenvalues) {
+  Rng rng(55);
+  Matrix x(30, 8);
+  for (auto& v : x.data()) v = rng.Gaussian();
+  const Matrix gram = GramMatrix(x);
+  const auto result = SymmetricEigen(gram);
+  ASSERT_TRUE(result.ok());
+  for (double w : result->eigenvalues) {
+    EXPECT_GT(w, -1e-8 * result->eigenvalues[0]);
+  }
+}
+
+TEST(SymmetricEigenTest, RepeatedEigenvaluesHandled) {
+  // 4x4 identity scaled: all eigenvalues equal.
+  Matrix s = Matrix::Identity(4);
+  s.Scale(2.5);
+  const auto result = SymmetricEigen(s);
+  ASSERT_TRUE(result.ok());
+  for (double w : result->eigenvalues) EXPECT_NEAR(w, 2.5, 1e-12);
+  EXPECT_LT(OrthonormalityDefect(result->eigenvectors), 1e-12);
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,144 @@
+// Randomized algebraic property tests for the linalg layer: identities
+// that must hold for any input, checked across seeds and shapes.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "linalg/svd.h"
+#include "linalg/symmetric_eigen.h"
+#include "linalg/vector_ops.h"
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+Matrix RandomMatrix(std::size_t n, std::size_t m, Rng* rng) {
+  Matrix x(n, m);
+  for (auto& v : x.data()) v = rng->UniformDouble(-3, 3);
+  return x;
+}
+
+class MatrixAlgebraPropertyTest
+    : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  void SetUp() override { rng_ = std::make_unique<Rng>(GetParam()); }
+  std::unique_ptr<Rng> rng_;
+};
+
+TEST_P(MatrixAlgebraPropertyTest, TransposeOfProduct) {
+  // (A B)^T == B^T A^T
+  const Matrix a = RandomMatrix(7, 5, rng_.get());
+  const Matrix b = RandomMatrix(5, 9, rng_.get());
+  const Matrix lhs = Multiply(a, b).Transposed();
+  const Matrix rhs = Multiply(b.Transposed(), a.Transposed());
+  EXPECT_LT(MaxAbsDifference(lhs, rhs), 1e-10);
+}
+
+TEST_P(MatrixAlgebraPropertyTest, MultiplicationAssociative) {
+  const Matrix a = RandomMatrix(4, 6, rng_.get());
+  const Matrix b = RandomMatrix(6, 3, rng_.get());
+  const Matrix c = RandomMatrix(3, 5, rng_.get());
+  const Matrix lhs = Multiply(Multiply(a, b), c);
+  const Matrix rhs = Multiply(a, Multiply(b, c));
+  EXPECT_LT(MaxAbsDifference(lhs, rhs), 1e-9);
+}
+
+TEST_P(MatrixAlgebraPropertyTest, MatrixVectorConsistentWithMatrixMatrix) {
+  // A*v as a vector equals A*[v] as a 1-column matrix.
+  const Matrix a = RandomMatrix(6, 4, rng_.get());
+  std::vector<double> v(4);
+  for (auto& x : v) x = rng_->Gaussian();
+  const std::vector<double> av = MultiplyVector(a, v);
+  Matrix v_col(4, 1);
+  for (std::size_t i = 0; i < 4; ++i) v_col(i, 0) = v[i];
+  const Matrix av_mat = Multiply(a, v_col);
+  for (std::size_t i = 0; i < 6; ++i) {
+    EXPECT_NEAR(av[i], av_mat(i, 0), 1e-11);
+  }
+}
+
+TEST_P(MatrixAlgebraPropertyTest, FrobeniusNormSubmultiplicative) {
+  const Matrix a = RandomMatrix(5, 5, rng_.get());
+  const Matrix b = RandomMatrix(5, 5, rng_.get());
+  EXPECT_LE(Multiply(a, b).FrobeniusNorm(),
+            a.FrobeniusNorm() * b.FrobeniusNorm() + 1e-9);
+}
+
+TEST_P(MatrixAlgebraPropertyTest, GramTraceEqualsFrobeniusSquared) {
+  // tr(X^T X) == ||X||_F^2
+  const Matrix x = RandomMatrix(8, 6, rng_.get());
+  const Matrix gram = GramMatrix(x);
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 6; ++i) trace += gram(i, i);
+  EXPECT_NEAR(trace, x.FrobeniusNormSquared(), 1e-9);
+}
+
+TEST_P(MatrixAlgebraPropertyTest, CauchySchwarzOnRows) {
+  const Matrix x = RandomMatrix(4, 10, rng_.get());
+  for (std::size_t i = 0; i + 1 < x.rows(); ++i) {
+    const double lhs = std::abs(Dot(x.Row(i), x.Row(i + 1)));
+    const double rhs = Norm2(x.Row(i)) * Norm2(x.Row(i + 1));
+    EXPECT_LE(lhs, rhs + 1e-9);
+  }
+}
+
+TEST_P(MatrixAlgebraPropertyTest, EigenvalueSumAndProductInvariants) {
+  // trace == sum of eigenvalues; Frobenius^2 == sum of squared
+  // eigenvalues (symmetric matrices).
+  Matrix s = RandomMatrix(9, 9, rng_.get());
+  for (std::size_t i = 0; i < 9; ++i) {
+    for (std::size_t j = i + 1; j < 9; ++j) s(j, i) = s(i, j);
+  }
+  const auto eigen = SymmetricEigen(s);
+  ASSERT_TRUE(eigen.ok());
+  double trace = 0.0;
+  for (std::size_t i = 0; i < 9; ++i) trace += s(i, i);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  for (const double w : eigen->eigenvalues) {
+    sum += w;
+    sum2 += w * w;
+  }
+  EXPECT_NEAR(trace, sum, 1e-8);
+  EXPECT_NEAR(s.FrobeniusNormSquared(), sum2, 1e-7);
+}
+
+TEST_P(MatrixAlgebraPropertyTest, SvdBestRankOneBeatsAnyRankOne) {
+  // Eckart-Young corollary: the top singular triple's rank-1
+  // approximation is at least as good as a random rank-1 one.
+  const Matrix x = RandomMatrix(8, 6, rng_.get());
+  const auto svd = TruncatedSvd(x, 1);
+  ASSERT_TRUE(svd.ok());
+  Matrix best = ReconstructFromSvd(*svd);
+  best.Subtract(x);
+
+  std::vector<double> u(8);
+  std::vector<double> v(6);
+  for (auto& a : u) a = rng_->Gaussian();
+  for (auto& a : v) a = rng_->Gaussian();
+  // Optimal scaling for this random direction: alpha = <X, uv^T>/||uv^T||^2.
+  double num = 0.0;
+  double den = 0.0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      num += x(i, j) * u[i] * v[j];
+      den += u[i] * u[i] * v[j] * v[j];
+    }
+  }
+  const double alpha = den > 0 ? num / den : 0.0;
+  Matrix random(8, 6);
+  for (std::size_t i = 0; i < 8; ++i) {
+    for (std::size_t j = 0; j < 6; ++j) {
+      random(i, j) = alpha * u[i] * v[j] - x(i, j);
+    }
+  }
+  EXPECT_LE(best.FrobeniusNorm(), random.FrobeniusNorm() + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MatrixAlgebraPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,180 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+#include "linalg/vector_ops.h"
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) EXPECT_EQ(m(i, j), 0.0);
+  }
+}
+
+TEST(MatrixTest, FromRowsAndAccess) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}, {5, 6}});
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_EQ(m(1, 0), 3.0);
+  EXPECT_EQ(m(2, 1), 6.0);
+}
+
+TEST(MatrixTest, RowSpanAliasesStorage) {
+  Matrix m(2, 2);
+  m.Row(1)[0] = 9.0;
+  EXPECT_EQ(m(1, 0), 9.0);
+}
+
+TEST(MatrixTest, ColCopies) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  const std::vector<double> col = m.Col(1);
+  ASSERT_EQ(col.size(), 2u);
+  EXPECT_EQ(col[0], 2.0);
+  EXPECT_EQ(col[1], 4.0);
+}
+
+TEST(MatrixTest, Identity) {
+  const Matrix eye = Matrix::Identity(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, TransposedTwiceIsIdentityOp) {
+  const Matrix m = Matrix::FromRows({{1, 2, 3}, {4, 5, 6}});
+  const Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 1), 6.0);
+  EXPECT_EQ(t.Transposed(), m);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  const Matrix m = Matrix::FromRows({{3, 4}});
+  EXPECT_DOUBLE_EQ(m.FrobeniusNormSquared(), 25.0);
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, MeanCell) {
+  const Matrix m = Matrix::FromRows({{1, 2}, {3, 4}});
+  EXPECT_DOUBLE_EQ(m.MeanCell(), 2.5);
+}
+
+TEST(MatrixTest, ScaleAddSubtract) {
+  Matrix a = Matrix::FromRows({{1, 2}});
+  const Matrix b = Matrix::FromRows({{3, 5}});
+  a.Scale(2.0);
+  EXPECT_EQ(a(0, 1), 4.0);
+  a.Add(b);
+  EXPECT_EQ(a(0, 0), 5.0);
+  a.Subtract(b);
+  EXPECT_EQ(a(0, 0), 2.0);
+}
+
+TEST(MatrixTest, TopRows) {
+  const Matrix m = Matrix::FromRows({{1, 1}, {2, 2}, {3, 3}});
+  const Matrix top = m.TopRows(2);
+  EXPECT_EQ(top.rows(), 2u);
+  EXPECT_EQ(top(1, 0), 2.0);
+}
+
+TEST(MatrixTest, MultiplyMatchesHandComputation) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const Matrix b = Matrix::FromRows({{5, 6}, {7, 8}});
+  const Matrix c = Multiply(a, b);
+  EXPECT_EQ(c(0, 0), 19.0);
+  EXPECT_EQ(c(0, 1), 22.0);
+  EXPECT_EQ(c(1, 0), 43.0);
+  EXPECT_EQ(c(1, 1), 50.0);
+}
+
+TEST(MatrixTest, MultiplyByIdentity) {
+  Rng rng(3);
+  Matrix a(4, 4);
+  for (auto& v : a.data()) v = rng.Gaussian();
+  const Matrix product = Multiply(a, Matrix::Identity(4));
+  EXPECT_LT(MaxAbsDifference(a, product), 1e-12);
+}
+
+TEST(MatrixTest, GramMatchesExplicitTransposeMultiply) {
+  Rng rng(4);
+  Matrix x(7, 5);
+  for (auto& v : x.data()) v = rng.Gaussian();
+  const Matrix gram = GramMatrix(x);
+  const Matrix expected = Multiply(x.Transposed(), x);
+  EXPECT_LT(MaxAbsDifference(gram, expected), 1e-9);
+}
+
+TEST(MatrixTest, GramIsSymmetric) {
+  Rng rng(5);
+  Matrix x(6, 4);
+  for (auto& v : x.data()) v = rng.UniformDouble(-2, 2);
+  const Matrix gram = GramMatrix(x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      EXPECT_DOUBLE_EQ(gram(i, j), gram(j, i));
+    }
+  }
+}
+
+TEST(MatrixTest, MultiplyVector) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const std::vector<double> v = {1.0, 1.0};
+  const std::vector<double> out = MultiplyVector(a, v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 3.0);
+  EXPECT_EQ(out[1], 7.0);
+}
+
+TEST(MatrixTest, MultiplyTransposeVector) {
+  const Matrix a = Matrix::FromRows({{1, 2}, {3, 4}});
+  const std::vector<double> v = {1.0, 2.0};
+  const std::vector<double> out = MultiplyTransposeVector(a, v);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], 7.0);   // 1*1 + 3*2
+  EXPECT_EQ(out[1], 10.0);  // 2*1 + 4*2
+}
+
+TEST(VectorOpsTest, DotAndNorms) {
+  const std::vector<double> a = {1, 2, 3};
+  const std::vector<double> b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32.0);
+  EXPECT_DOUBLE_EQ(Norm2Squared(a), 14.0);
+  EXPECT_DOUBLE_EQ(Sum(b), 15.0);
+}
+
+TEST(VectorOpsTest, EuclideanDistance) {
+  const std::vector<double> a = {0, 0};
+  const std::vector<double> b = {3, 4};
+  EXPECT_DOUBLE_EQ(EuclideanDistance(a, b), 5.0);
+}
+
+TEST(VectorOpsTest, AxpyAndScale) {
+  std::vector<double> y = {1, 1};
+  const std::vector<double> x = {2, 3};
+  Axpy(2.0, x, y);
+  EXPECT_EQ(y[0], 5.0);
+  EXPECT_EQ(y[1], 7.0);
+  ScaleInPlace(y, 0.5);
+  EXPECT_EQ(y[0], 2.5);
+}
+
+TEST(VectorOpsTest, NormalizeInPlace) {
+  std::vector<double> v = {3, 4};
+  const double norm = NormalizeInPlace(v);
+  EXPECT_DOUBLE_EQ(norm, 5.0);
+  EXPECT_DOUBLE_EQ(Norm2(v), 1.0);
+  std::vector<double> zero = {0, 0};
+  EXPECT_DOUBLE_EQ(NormalizeInPlace(zero), 0.0);
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,173 @@
+#include "linalg/svd.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+/// The paper's "toy" customer-day matrix of Table 1 / Eq. 5.
+Matrix PaperToyMatrix() {
+  return Matrix::FromRows({{1, 1, 1, 0, 0},
+                           {2, 2, 2, 0, 0},
+                           {1, 1, 1, 0, 0},
+                           {5, 5, 5, 0, 0},
+                           {0, 0, 0, 2, 2},
+                           {0, 0, 0, 3, 3},
+                           {0, 0, 0, 1, 1}});
+}
+
+TEST(TruncatedSvdTest, PaperToyMatrixSingularValues) {
+  // Eq. 5 reports singular values 9.64 and 5.29 and rank 2.
+  const auto svd = TruncatedSvd(PaperToyMatrix(), 5);
+  ASSERT_TRUE(svd.ok());
+  ASSERT_EQ(svd->rank(), 2u);
+  EXPECT_NEAR(svd->singular_values[0], 9.64, 0.01);
+  EXPECT_NEAR(svd->singular_values[1], 5.29, 0.01);
+}
+
+TEST(TruncatedSvdTest, PaperToyMatrixPatterns) {
+  const auto svd = TruncatedSvd(PaperToyMatrix(), 2);
+  ASSERT_TRUE(svd.ok());
+  // First right-singular vector: the "weekday pattern" 0.58 on days 0-2,
+  // 0 on the weekend; second: 0.71 on days 3-4 (up to sign).
+  EXPECT_NEAR(std::abs(svd->v(0, 0)), 0.58, 0.01);
+  EXPECT_NEAR(std::abs(svd->v(2, 0)), 0.58, 0.01);
+  EXPECT_NEAR(std::abs(svd->v(3, 0)), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(svd->v(3, 1)), 0.71, 0.01);
+  EXPECT_NEAR(std::abs(svd->v(0, 1)), 0.0, 1e-9);
+  // Customer-to-pattern similarity (Observation 3.1): the weekday
+  // customers load only on component 0, weekend ones only on component 1.
+  EXPECT_NEAR(std::abs(svd->u(3, 0)), 0.90, 0.01);
+  EXPECT_NEAR(std::abs(svd->u(3, 1)), 0.0, 1e-9);
+  EXPECT_NEAR(std::abs(svd->u(5, 1)), 0.80, 0.01);
+}
+
+TEST(TruncatedSvdTest, ExactReconstructionAtFullRank) {
+  const Matrix x = PaperToyMatrix();
+  const auto svd = TruncatedSvd(x, 5);
+  ASSERT_TRUE(svd.ok());
+  const Matrix recon = ReconstructFromSvd(*svd);
+  EXPECT_LT(MaxAbsDifference(x, recon), 1e-9);
+}
+
+TEST(TruncatedSvdTest, FactorsAreOrthonormal) {
+  Rng rng(17);
+  Matrix x(40, 12);
+  for (auto& v : x.data()) v = rng.Gaussian();
+  const auto svd = TruncatedSvd(x, 12);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(OrthonormalityDefect(svd->u), 1e-8);
+  EXPECT_LT(OrthonormalityDefect(svd->v), 1e-8);
+}
+
+TEST(TruncatedSvdTest, SingularValuesDescending) {
+  Rng rng(19);
+  Matrix x(30, 10);
+  for (auto& v : x.data()) v = rng.Gaussian();
+  const auto svd = TruncatedSvd(x, 10);
+  ASSERT_TRUE(svd.ok());
+  for (std::size_t i = 1; i < svd->rank(); ++i) {
+    EXPECT_GE(svd->singular_values[i - 1], svd->singular_values[i]);
+  }
+}
+
+TEST(TruncatedSvdTest, ErrorDecreasesWithK) {
+  Rng rng(23);
+  Matrix x(50, 16);
+  for (auto& v : x.data()) v = rng.Gaussian();
+  double previous = 1e300;
+  for (std::size_t k = 1; k <= 16; k += 3) {
+    const auto svd = TruncatedSvd(x, k);
+    ASSERT_TRUE(svd.ok());
+    Matrix recon = ReconstructFromSvd(*svd);
+    recon.Subtract(x);
+    const double err = recon.FrobeniusNorm();
+    EXPECT_LE(err, previous + 1e-9);
+    previous = err;
+  }
+}
+
+TEST(TruncatedSvdTest, EckartYoungErrorIdentity) {
+  // Frobenius error of the rank-k truncation equals
+  // sqrt(sum of discarded squared singular values).
+  Rng rng(29);
+  Matrix x(25, 8);
+  for (auto& v : x.data()) v = rng.Gaussian();
+  const auto full = TruncatedSvd(x, 8);
+  ASSERT_TRUE(full.ok());
+  for (std::size_t k = 1; k < full->rank(); ++k) {
+    const auto truncated = TruncatedSvd(x, k);
+    ASSERT_TRUE(truncated.ok());
+    Matrix diff = ReconstructFromSvd(*truncated);
+    diff.Subtract(x);
+    double tail = 0.0;
+    for (std::size_t m = k; m < full->rank(); ++m) {
+      tail += full->singular_values[m] * full->singular_values[m];
+    }
+    EXPECT_NEAR(diff.FrobeniusNorm(), std::sqrt(tail),
+                1e-6 * std::max(1.0, std::sqrt(tail)));
+  }
+}
+
+TEST(TruncatedSvdTest, RankDeficientTruncates) {
+  // Rank-1 matrix: requesting k=4 must return a single component.
+  Matrix x(6, 4);
+  for (std::size_t i = 0; i < 6; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      x(i, j) = static_cast<double>((i + 1) * (j + 1));
+    }
+  }
+  const auto svd = TruncatedSvd(x, 4);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_EQ(svd->rank(), 1u);
+  const Matrix recon = ReconstructFromSvd(*svd);
+  EXPECT_LT(MaxAbsDifference(x, recon), 1e-8);
+}
+
+TEST(TruncatedSvdTest, EmptyRejected) {
+  EXPECT_FALSE(TruncatedSvd(Matrix(0, 0), 1).ok());
+}
+
+TEST(TruncatedSvdTest, JacobiSolverAgrees) {
+  Rng rng(31);
+  Matrix x(20, 6);
+  for (auto& v : x.data()) v = rng.Gaussian();
+  const auto ql = TruncatedSvd(x, 6, EigenSolverKind::kHouseholderQl);
+  const auto jac = TruncatedSvd(x, 6, EigenSolverKind::kCyclicJacobi);
+  ASSERT_TRUE(ql.ok());
+  ASSERT_TRUE(jac.ok());
+  ASSERT_EQ(ql->rank(), jac->rank());
+  for (std::size_t i = 0; i < ql->rank(); ++i) {
+    EXPECT_NEAR(ql->singular_values[i], jac->singular_values[i], 1e-8);
+  }
+}
+
+/// Parameterized shape sweep: reconstruction at full rank is exact for
+/// tall, square-ish, and wide-ish inputs.
+class SvdShapeTest
+    : public ::testing::TestWithParam<std::pair<std::size_t, std::size_t>> {};
+
+TEST_P(SvdShapeTest, FullRankReconstructs) {
+  const auto [n, m] = GetParam();
+  Rng rng(n * 100 + m);
+  Matrix x(n, m);
+  for (auto& v : x.data()) v = rng.UniformDouble(-3, 3);
+  const auto svd = TruncatedSvd(x, m);
+  ASSERT_TRUE(svd.ok());
+  const Matrix recon = ReconstructFromSvd(*svd);
+  EXPECT_LT(MaxAbsDifference(x, recon), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SvdShapeTest,
+                         ::testing::Values(std::make_pair(5, 5),
+                                           std::make_pair(20, 5),
+                                           std::make_pair(100, 10),
+                                           std::make_pair(12, 11),
+                                           std::make_pair(64, 32)));
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,85 @@
+#include "query/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace tsc {
+namespace {
+
+std::vector<TokenKind> Kinds(const std::string& input) {
+  const auto tokens = Tokenize(input);
+  EXPECT_TRUE(tokens.ok()) << tokens.status().ToString();
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  const auto kinds = Kinds("");
+  ASSERT_EQ(kinds.size(), 1u);
+  EXPECT_EQ(kinds[0], TokenKind::kEnd);
+}
+
+TEST(LexerTest, KeywordsCaseInsensitive) {
+  const auto kinds = Kinds("SELECT select SeLeCt WHERE and In BETWEEN");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kSelect, TokenKind::kSelect,
+                       TokenKind::kSelect, TokenKind::kWhere, TokenKind::kAnd,
+                       TokenKind::kIn, TokenKind::kBetween, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, DimensionsAndAliases) {
+  const auto kinds = Kinds("row col column day value");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kRow, TokenKind::kCol, TokenKind::kCol,
+                       TokenKind::kCol, TokenKind::kValue, TokenKind::kEnd}));
+}
+
+TEST(LexerTest, NumbersParsed) {
+  const auto tokens = Tokenize("0 42 3.5 1e3");
+  ASSERT_TRUE(tokens.ok());
+  ASSERT_EQ(tokens->size(), 5u);
+  EXPECT_DOUBLE_EQ((*tokens)[0].number, 0.0);
+  EXPECT_DOUBLE_EQ((*tokens)[1].number, 42.0);
+  EXPECT_DOUBLE_EQ((*tokens)[2].number, 3.5);
+  EXPECT_DOUBLE_EQ((*tokens)[3].number, 1000.0);
+}
+
+TEST(LexerTest, PunctuationAndIdentifiers) {
+  const auto tokens = Tokenize("sum(value), avg(*) 0:6");
+  ASSERT_TRUE(tokens.ok());
+  std::vector<TokenKind> kinds;
+  for (const Token& t : *tokens) kinds.push_back(t.kind);
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdentifier, TokenKind::kLparen,
+                       TokenKind::kValue, TokenKind::kRparen,
+                       TokenKind::kComma, TokenKind::kIdentifier,
+                       TokenKind::kLparen, TokenKind::kStar,
+                       TokenKind::kRparen, TokenKind::kNumber,
+                       TokenKind::kColon, TokenKind::kNumber,
+                       TokenKind::kEnd}));
+  EXPECT_EQ((*tokens)[0].text, "sum");
+  EXPECT_EQ((*tokens)[5].text, "avg");
+}
+
+TEST(LexerTest, IdentifiersLowercased) {
+  const auto tokens = Tokenize("SUM StdDev");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].text, "sum");
+  EXPECT_EQ((*tokens)[1].text, "stddev");
+}
+
+TEST(LexerTest, PositionsRecorded) {
+  const auto tokens = Tokenize("select  sum");
+  ASSERT_TRUE(tokens.ok());
+  EXPECT_EQ((*tokens)[0].position, 0u);
+  EXPECT_EQ((*tokens)[1].position, 8u);
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  EXPECT_FALSE(Tokenize("select sum(value) ; drop").ok());
+  EXPECT_FALSE(Tokenize("a = b").ok());
+  EXPECT_FALSE(Tokenize("row > 5").ok());
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,95 @@
+#include "query/planner.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace tsc {
+namespace {
+
+QueryPlan MustPlan(const std::string& text, std::size_t rows,
+                   std::size_t cols, std::size_t k) {
+  const auto ast = ParseQuery(text);
+  EXPECT_TRUE(ast.ok()) << ast.status().ToString();
+  const auto plan = PlanQuery(*ast, rows, cols, k);
+  EXPECT_TRUE(plan.ok()) << plan.status().ToString();
+  return *plan;
+}
+
+TEST(PlannerTest, UnconstrainedSelectsEverything) {
+  const QueryPlan plan = MustPlan("select count(*)", 5, 3, 0);
+  EXPECT_EQ(plan.row_ids.size(), 5u);
+  EXPECT_EQ(plan.col_ids.size(), 3u);
+  EXPECT_EQ(plan.CellCount(), 15u);
+}
+
+TEST(PlannerTest, RangesResolve) {
+  const QueryPlan plan = MustPlan(
+      "select sum(value) where row in 1:3,7 and col between 0 and 1", 10, 4,
+      0);
+  EXPECT_EQ(plan.row_ids, (std::vector<std::size_t>{1, 2, 3, 7}));
+  EXPECT_EQ(plan.col_ids, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(PlannerTest, RepeatedConstraintsIntersect) {
+  const QueryPlan plan = MustPlan(
+      "select sum(value) where row in 0:5 and row in 3:9", 20, 4, 0);
+  EXPECT_EQ(plan.row_ids, (std::vector<std::size_t>{3, 4, 5}));
+}
+
+TEST(PlannerTest, EmptyIntersectionRejected) {
+  const auto ast =
+      ParseQuery("select sum(value) where row in 0:2 and row in 5:7");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(PlanQuery(*ast, 10, 4, 0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(PlannerTest, OutOfRangeRejected) {
+  const auto ast = ParseQuery("select sum(value) where col in 10");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_EQ(PlanQuery(*ast, 10, 4, 0).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(PlannerTest, LinearAggregatesGoCompressedWithModel) {
+  const QueryPlan plan = MustPlan(
+      "select sum(value), avg(value), count(*), max(value) "
+      "where row in 0:9",
+      100, 20, /*model_k=*/5);
+  ASSERT_EQ(plan.strategies.size(), 4u);
+  EXPECT_EQ(plan.strategies[0], ExecutionStrategy::kCompressedDomain);
+  EXPECT_EQ(plan.strategies[1], ExecutionStrategy::kCompressedDomain);
+  EXPECT_EQ(plan.strategies[2], ExecutionStrategy::kCompressedDomain);
+  EXPECT_EQ(plan.strategies[3], ExecutionStrategy::kRowReconstruction);
+}
+
+TEST(PlannerTest, NoModelMeansRowReconstruction) {
+  const QueryPlan plan =
+      MustPlan("select sum(value) where row in 0:9", 100, 20, 0);
+  EXPECT_EQ(plan.strategies[0], ExecutionStrategy::kRowReconstruction);
+}
+
+TEST(PlannerTest, SingleRowSelectionStaysRowReconstruction) {
+  const QueryPlan plan =
+      MustPlan("select sum(value) where row in 7", 100, 20, 5);
+  EXPECT_EQ(plan.strategies[0], ExecutionStrategy::kRowReconstruction);
+}
+
+TEST(PlannerTest, ToStringMentionsStrategies) {
+  const QueryPlan plan =
+      MustPlan("select sum(value), min(value)", 10, 5, 3);
+  const std::string text = plan.ToString();
+  EXPECT_NE(text.find("compressed-domain"), std::string::npos);
+  EXPECT_NE(text.find("row-reconstruction"), std::string::npos);
+  EXPECT_NE(text.find("50 cells"), std::string::npos);
+}
+
+TEST(PlannerTest, EmptyRelationRejected) {
+  const auto ast = ParseQuery("select count(*)");
+  ASSERT_TRUE(ast.ok());
+  EXPECT_FALSE(PlanQuery(*ast, 0, 5, 0).ok());
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,172 @@
+#include "storage/block_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/cached_row_reader.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+/// Fetch function that fills each block with its id and counts calls.
+BlockCache::FetchFn CountingFetch(int* fetches) {
+  return [fetches](std::uint64_t id, std::vector<std::uint8_t>* data) {
+    ++*fetches;
+    std::fill(data->begin(), data->end(),
+              static_cast<std::uint8_t>(id & 0xff));
+    return Status::Ok();
+  };
+}
+
+TEST(BlockCacheTest, MissThenHit) {
+  BlockCache cache(4, 64);
+  int fetches = 0;
+  const auto fetch = CountingFetch(&fetches);
+  const auto first = cache.Get(7, fetch);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ((**first)[0], 7);
+  const auto second = cache.Get(7, fetch);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(fetches, 1);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
+  BlockCache cache(2, 16);
+  int fetches = 0;
+  const auto fetch = CountingFetch(&fetches);
+  ASSERT_TRUE(cache.Get(1, fetch).ok());
+  ASSERT_TRUE(cache.Get(2, fetch).ok());
+  ASSERT_TRUE(cache.Get(1, fetch).ok());  // touch 1: now 2 is LRU
+  ASSERT_TRUE(cache.Get(3, fetch).ok());  // evicts 2
+  EXPECT_EQ(cache.evictions(), 1u);
+  ASSERT_TRUE(cache.Get(1, fetch).ok());  // still cached
+  EXPECT_EQ(fetches, 3);
+  ASSERT_TRUE(cache.Get(2, fetch).ok());  // refetched
+  EXPECT_EQ(fetches, 4);
+}
+
+TEST(BlockCacheTest, InvalidateForcesRefetch) {
+  BlockCache cache(4, 16);
+  int fetches = 0;
+  const auto fetch = CountingFetch(&fetches);
+  ASSERT_TRUE(cache.Get(5, fetch).ok());
+  cache.Invalidate(5);
+  cache.Invalidate(99);  // absent: no-op
+  ASSERT_TRUE(cache.Get(5, fetch).ok());
+  EXPECT_EQ(fetches, 2);
+}
+
+TEST(BlockCacheTest, ClearDropsEverything) {
+  BlockCache cache(4, 16);
+  int fetches = 0;
+  const auto fetch = CountingFetch(&fetches);
+  ASSERT_TRUE(cache.Get(1, fetch).ok());
+  ASSERT_TRUE(cache.Get(2, fetch).ok());
+  cache.Clear();
+  EXPECT_EQ(cache.cached_blocks(), 0u);
+  ASSERT_TRUE(cache.Get(1, fetch).ok());
+  EXPECT_EQ(fetches, 3);
+}
+
+TEST(BlockCacheTest, FetchErrorPropagates) {
+  BlockCache cache(2, 16);
+  const auto result =
+      cache.Get(0, [](std::uint64_t, std::vector<std::uint8_t>*) {
+        return Status::IoError("disk gone");
+      });
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(cache.cached_blocks(), 0u);
+}
+
+TEST(BlockCacheTest, HitRate) {
+  BlockCache cache(8, 16);
+  int fetches = 0;
+  const auto fetch = CountingFetch(&fetches);
+  for (int round = 0; round < 4; ++round) {
+    for (std::uint64_t id = 0; id < 4; ++id) {
+      ASSERT_TRUE(cache.Get(id, fetch).ok());
+    }
+  }
+  EXPECT_DOUBLE_EQ(cache.HitRate(), 12.0 / 16.0);
+}
+
+class CachedRowReaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Rng rng(9);
+    data_ = Matrix(64, 32);
+    for (auto& v : data_.data()) v = rng.Gaussian();
+    path_ = ::testing::TempDir() + "/cached_reader.mat";
+    ASSERT_TRUE(WriteMatrixFile(path_, data_).ok());
+  }
+
+  CachedRowReader MakeReader(std::size_t capacity_blocks) {
+    auto reader = RowStoreReader::Open(path_);
+    TSC_CHECK_OK(reader.status());
+    return CachedRowReader(std::move(*reader), capacity_blocks);
+  }
+
+  Matrix data_;
+  std::string path_;
+};
+
+TEST_F(CachedRowReaderTest, RowsMatchUncached) {
+  CachedRowReader reader = MakeReader(4);
+  std::vector<double> row(32);
+  for (const std::size_t i : {0u, 13u, 63u}) {
+    ASSERT_TRUE(reader.ReadRow(i, row).ok());
+    for (std::size_t j = 0; j < 32; ++j) EXPECT_EQ(row[j], data_(i, j));
+  }
+}
+
+TEST_F(CachedRowReaderTest, RepeatedReadsHitCache) {
+  CachedRowReader reader = MakeReader(8);
+  std::vector<double> row(32);
+  ASSERT_TRUE(reader.ReadRow(5, row).ok());
+  const std::uint64_t cold = reader.disk_accesses();
+  EXPECT_GE(cold, 1u);
+  for (int repeat = 0; repeat < 10; ++repeat) {
+    ASSERT_TRUE(reader.ReadRow(5, row).ok());
+  }
+  EXPECT_EQ(reader.disk_accesses(), cold);  // all hits
+  EXPECT_GT(reader.cache().hits(), 0u);
+}
+
+TEST_F(CachedRowReaderTest, SkewedWorkloadMostlyHits) {
+  // Zipf-ish access: a few hot rows dominate; the cache absorbs them.
+  CachedRowReader reader = MakeReader(16);
+  std::vector<double> row(32);
+  Rng rng(11);
+  for (int q = 0; q < 500; ++q) {
+    const std::size_t i = rng.Bernoulli(0.9)
+                              ? rng.UniformUint64(4)    // hot set
+                              : rng.UniformUint64(64);  // cold tail
+    ASSERT_TRUE(reader.ReadRow(i, row).ok());
+  }
+  EXPECT_GT(reader.cache().HitRate(), 0.8);
+}
+
+TEST_F(CachedRowReaderTest, OutOfRangeRejected) {
+  CachedRowReader reader = MakeReader(2);
+  std::vector<double> row(32);
+  EXPECT_EQ(reader.ReadRow(64, row).code(), StatusCode::kOutOfRange);
+  std::vector<double> wrong(31);
+  EXPECT_EQ(reader.ReadRow(0, wrong).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CachedRowReaderTest, ReadBlockTailZeroPadded) {
+  auto reader = RowStoreReader::Open(path_);
+  ASSERT_TRUE(reader.ok());
+  const std::size_t block_size = reader->counter().block_size();
+  const std::uint64_t last_block = (reader->file_bytes() - 1) / block_size;
+  std::vector<std::uint8_t> block(block_size);
+  ASSERT_TRUE(reader->ReadBlock(last_block, block).ok());
+  EXPECT_EQ(reader->ReadBlock(last_block + 1, block).code(),
+            StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,91 @@
+#include "util/bounded_heap.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+TEST(BoundedTopHeapTest, KeepsAllUnderCapacity) {
+  BoundedTopHeap<double, int> heap(10);
+  heap.Offer(3.0, 3);
+  heap.Offer(1.0, 1);
+  heap.Offer(2.0, 2);
+  EXPECT_EQ(heap.size(), 3u);
+  auto entries = heap.TakeSortedDescending();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].value, 3);
+  EXPECT_EQ(entries[1].value, 2);
+  EXPECT_EQ(entries[2].value, 1);
+}
+
+TEST(BoundedTopHeapTest, EvictsSmallest) {
+  BoundedTopHeap<double, int> heap(2);
+  EXPECT_TRUE(heap.Offer(1.0, 1));
+  EXPECT_TRUE(heap.Offer(2.0, 2));
+  EXPECT_TRUE(heap.Offer(3.0, 3));   // evicts key 1.0
+  EXPECT_FALSE(heap.Offer(0.5, 0));  // too small
+  auto entries = heap.TakeSortedDescending();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].value, 3);
+  EXPECT_EQ(entries[1].value, 2);
+}
+
+TEST(BoundedTopHeapTest, CapacityZeroRetainsNothing) {
+  BoundedTopHeap<double, int> heap(0);
+  EXPECT_FALSE(heap.Offer(100.0, 1));
+  EXPECT_TRUE(heap.empty());
+  EXPECT_EQ(heap.KeySum(), 0.0);
+}
+
+TEST(BoundedTopHeapTest, KeySumMatchesRetained) {
+  BoundedTopHeap<double, int> heap(3);
+  heap.Offer(5.0, 0);
+  heap.Offer(1.0, 0);
+  heap.Offer(4.0, 0);
+  heap.Offer(2.0, 0);  // evicts 1.0
+  EXPECT_NEAR(heap.KeySum(), 11.0, 1e-12);
+}
+
+TEST(BoundedTopHeapTest, MinKeyIsSmallestRetained) {
+  BoundedTopHeap<double, int> heap(3);
+  heap.Offer(5.0, 0);
+  heap.Offer(1.0, 0);
+  heap.Offer(4.0, 0);
+  EXPECT_EQ(heap.MinKey(), 1.0);
+  heap.Offer(2.0, 0);
+  EXPECT_EQ(heap.MinKey(), 2.0);
+}
+
+/// Property: against a stream of random keys, the heap retains exactly the
+/// capacity largest, for a sweep of capacities.
+class BoundedHeapPropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BoundedHeapPropertyTest, RetainsTopCapacityKeys) {
+  const std::size_t capacity = GetParam();
+  Rng rng(capacity + 17);
+  BoundedTopHeap<double, std::size_t> heap(capacity);
+  std::vector<double> keys;
+  for (std::size_t i = 0; i < 500; ++i) {
+    const double key = rng.UniformDouble(0, 1000);
+    keys.push_back(key);
+    heap.Offer(key, i);
+  }
+  std::sort(keys.begin(), keys.end(), std::greater<double>());
+  auto entries = heap.TakeSortedDescending();
+  const std::size_t expected = std::min<std::size_t>(capacity, keys.size());
+  ASSERT_EQ(entries.size(), expected);
+  for (std::size_t i = 0; i < expected; ++i) {
+    EXPECT_DOUBLE_EQ(entries[i].key, keys[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, BoundedHeapPropertyTest,
+                         ::testing::Values(0, 1, 2, 7, 50, 499, 500, 1000));
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,191 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace tsc {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.UniformDouble();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(7);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.UniformDouble();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformUint64Unbiased) {
+  Rng rng(9);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[rng.UniformUint64(10)];
+  for (int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c), n / 10.0, 5.0 * std::sqrt(n / 10.0));
+  }
+}
+
+TEST(RngTest, UniformIntCoversEndpoints) {
+  Rng rng(11);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const std::int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(13);
+  double sum = 0.0;
+  double sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianScaled) {
+  Rng rng(13);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.Gaussian(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, ExponentialMeanIsInverseRate) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.Exponential(2.0);
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(hits / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(RngTest, ParetoRespectsScale) {
+  Rng rng(23);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_GE(rng.Pareto(2.0, 1.5), 2.0);
+  }
+}
+
+TEST(RngTest, PoissonMeanSmallAndLarge) {
+  Rng rng(29);
+  for (const double mean : {3.0, 100.0}) {
+    double sum = 0.0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+      sum += static_cast<double>(rng.Poisson(mean));
+    }
+    EXPECT_NEAR(sum / n, mean, mean * 0.05);
+  }
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(31);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinctSorted) {
+  Rng rng(37);
+  for (const std::size_t count : {1u, 10u, 50u, 100u}) {
+    const std::vector<std::size_t> s = rng.SampleWithoutReplacement(100, count);
+    ASSERT_EQ(s.size(), count);
+    EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+    const std::set<std::size_t> uniq(s.begin(), s.end());
+    EXPECT_EQ(uniq.size(), count);
+    for (const std::size_t x : s) EXPECT_LT(x, 100u);
+  }
+}
+
+TEST(RngTest, SampleAllReturnsEverything) {
+  Rng rng(41);
+  const std::vector<std::size_t> s = rng.SampleWithoutReplacement(20, 20);
+  for (std::size_t i = 0; i < 20; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(ZipfSamplerTest, PmfSumsToOne) {
+  const ZipfSampler zipf(50, 1.2);
+  double total = 0.0;
+  for (std::size_t r = 1; r <= 50; ++r) total += zipf.Pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(ZipfSamplerTest, RankOneIsMostLikely) {
+  const ZipfSampler zipf(100, 1.0);
+  for (std::size_t r = 2; r <= 100; ++r) {
+    EXPECT_GT(zipf.Pmf(1), zipf.Pmf(r));
+  }
+}
+
+TEST(ZipfSamplerTest, ZeroSkewIsUniform) {
+  const ZipfSampler zipf(10, 0.0);
+  for (std::size_t r = 1; r <= 10; ++r) {
+    EXPECT_NEAR(zipf.Pmf(r), 0.1, 1e-12);
+  }
+}
+
+TEST(ZipfSamplerTest, EmpiricalMatchesPmf) {
+  const ZipfSampler zipf(20, 1.5);
+  Rng rng(43);
+  std::vector<int> counts(21, 0);
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) ++counts[zipf.Sample(&rng)];
+  for (std::size_t r = 1; r <= 20; ++r) {
+    const double expected = zipf.Pmf(r) * n;
+    EXPECT_NEAR(static_cast<double>(counts[r]), expected,
+                5.0 * std::sqrt(expected + 1.0));
+  }
+}
+
+}  // namespace
+}  // namespace tsc

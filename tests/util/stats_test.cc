@@ -1,0 +1,120 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(5.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_EQ(s.mean(), 5.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 5.0);
+  EXPECT_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStatsTest, MatchesNaiveComputation) {
+  Rng rng(5);
+  std::vector<double> values;
+  RunningStats s;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.Gaussian(10.0, 3.0);
+    values.push_back(v);
+    s.Add(v);
+  }
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= values.size();
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= values.size();
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.variance(), var, 1e-9);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-9);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential) {
+  Rng rng(6);
+  RunningStats whole;
+  RunningStats left;
+  RunningStats right;
+  for (int i = 0; i < 500; ++i) {
+    const double v = rng.UniformDouble(-5, 5);
+    whole.Add(v);
+    (i < 200 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), whole.count());
+  EXPECT_NEAR(left.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+  EXPECT_EQ(left.min(), whole.min());
+  EXPECT_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmpty) {
+  RunningStats a;
+  a.Add(1.0);
+  a.Add(3.0);
+  RunningStats empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.mean(), 2.0);
+  RunningStats b;
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStatsTest, SumIsMeanTimesCount) {
+  RunningStats s;
+  s.Add(1.0);
+  s.Add(2.0);
+  s.Add(4.0);
+  EXPECT_NEAR(s.sum(), 7.0, 1e-12);
+}
+
+TEST(QuantilesTest, MedianOfOddCount) {
+  Quantiles q({3.0, 1.0, 2.0});
+  EXPECT_EQ(q.Median(), 2.0);
+}
+
+TEST(QuantilesTest, MedianOfEvenCountInterpolates) {
+  Quantiles q({1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(q.Median(), 2.5, 1e-12);
+}
+
+TEST(QuantilesTest, Extremes) {
+  Quantiles q({5.0, 1.0, 9.0, 3.0});
+  EXPECT_EQ(q.Quantile(0.0), 1.0);
+  EXPECT_EQ(q.Quantile(1.0), 9.0);
+}
+
+TEST(QuantilesTest, SingleValue) {
+  Quantiles q({7.0});
+  EXPECT_EQ(q.Quantile(0.25), 7.0);
+  EXPECT_EQ(q.Median(), 7.0);
+}
+
+TEST(SummaryLineTest, EmptyAndFilled) {
+  EXPECT_EQ(SummaryLine({}), "n=0");
+  const std::string line = SummaryLine({1.0, 2.0, 3.0});
+  EXPECT_NE(line.find("n=3"), std::string::npos);
+  EXPECT_NE(line.find("mean=2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsc
