@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_svdd.dir/ablation_svdd.cc.o"
+  "CMakeFiles/ablation_svdd.dir/ablation_svdd.cc.o.d"
+  "ablation_svdd"
+  "ablation_svdd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_svdd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

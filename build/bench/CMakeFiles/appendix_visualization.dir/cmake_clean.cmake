@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_visualization.dir/appendix_visualization.cc.o"
+  "CMakeFiles/appendix_visualization.dir/appendix_visualization.cc.o.d"
+  "appendix_visualization"
+  "appendix_visualization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_visualization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

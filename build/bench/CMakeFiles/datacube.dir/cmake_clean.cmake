@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube.dir/datacube.cc.o"
+  "CMakeFiles/datacube.dir/datacube.cc.o.d"
+  "datacube"
+  "datacube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_worst_case_error.dir/fig7_worst_case_error.cc.o"
+  "CMakeFiles/fig7_worst_case_error.dir/fig7_worst_case_error.cc.o.d"
+  "fig7_worst_case_error"
+  "fig7_worst_case_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_worst_case_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

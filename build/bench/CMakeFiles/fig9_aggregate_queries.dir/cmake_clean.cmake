@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_aggregate_queries.dir/fig9_aggregate_queries.cc.o"
+  "CMakeFiles/fig9_aggregate_queries.dir/fig9_aggregate_queries.cc.o.d"
+  "fig9_aggregate_queries"
+  "fig9_aggregate_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_aggregate_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lossless_baseline.dir/lossless_baseline.cc.o"
+  "CMakeFiles/lossless_baseline.dir/lossless_baseline.cc.o.d"
+  "lossless_baseline"
+  "lossless_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lossless_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_reconstruction.dir/micro_reconstruction.cc.o"
+  "CMakeFiles/micro_reconstruction.dir/micro_reconstruction.cc.o.d"
+  "micro_reconstruction"
+  "micro_reconstruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_reconstruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_worst_case_scaleup.dir/table4_worst_case_scaleup.cc.o"
+  "CMakeFiles/table4_worst_case_scaleup.dir/table4_worst_case_scaleup.cc.o.d"
+  "table4_worst_case_scaleup"
+  "table4_worst_case_scaleup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_worst_case_scaleup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

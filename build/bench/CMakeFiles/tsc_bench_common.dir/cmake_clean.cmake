@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsc_bench_common.dir/common/bench_datasets.cc.o"
+  "CMakeFiles/tsc_bench_common.dir/common/bench_datasets.cc.o.d"
+  "libtsc_bench_common.a"
+  "libtsc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_shell.dir/adhoc_shell.cpp.o"
+  "CMakeFiles/adhoc_shell.dir/adhoc_shell.cpp.o.d"
+  "adhoc_shell"
+  "adhoc_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

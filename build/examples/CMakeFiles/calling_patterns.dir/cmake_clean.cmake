@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/calling_patterns.dir/calling_patterns.cpp.o"
+  "CMakeFiles/calling_patterns.dir/calling_patterns.cpp.o.d"
+  "calling_patterns"
+  "calling_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/calling_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

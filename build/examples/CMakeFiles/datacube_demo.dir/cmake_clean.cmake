@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/datacube_demo.dir/datacube_demo.cpp.o"
+  "CMakeFiles/datacube_demo.dir/datacube_demo.cpp.o.d"
+  "datacube_demo"
+  "datacube_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/datacube_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

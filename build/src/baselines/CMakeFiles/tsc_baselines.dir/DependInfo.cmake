@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/clustering.cc" "src/baselines/CMakeFiles/tsc_baselines.dir/clustering.cc.o" "gcc" "src/baselines/CMakeFiles/tsc_baselines.dir/clustering.cc.o.d"
+  "/root/repo/src/baselines/dct.cc" "src/baselines/CMakeFiles/tsc_baselines.dir/dct.cc.o" "gcc" "src/baselines/CMakeFiles/tsc_baselines.dir/dct.cc.o.d"
+  "/root/repo/src/baselines/huffman.cc" "src/baselines/CMakeFiles/tsc_baselines.dir/huffman.cc.o" "gcc" "src/baselines/CMakeFiles/tsc_baselines.dir/huffman.cc.o.d"
+  "/root/repo/src/baselines/lzss.cc" "src/baselines/CMakeFiles/tsc_baselines.dir/lzss.cc.o" "gcc" "src/baselines/CMakeFiles/tsc_baselines.dir/lzss.cc.o.d"
+  "/root/repo/src/baselines/sampling.cc" "src/baselines/CMakeFiles/tsc_baselines.dir/sampling.cc.o" "gcc" "src/baselines/CMakeFiles/tsc_baselines.dir/sampling.cc.o.d"
+  "/root/repo/src/baselines/wavelet.cc" "src/baselines/CMakeFiles/tsc_baselines.dir/wavelet.cc.o" "gcc" "src/baselines/CMakeFiles/tsc_baselines.dir/wavelet.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tsc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tsc_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

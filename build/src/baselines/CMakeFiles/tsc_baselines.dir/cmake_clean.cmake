@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsc_baselines.dir/clustering.cc.o"
+  "CMakeFiles/tsc_baselines.dir/clustering.cc.o.d"
+  "CMakeFiles/tsc_baselines.dir/dct.cc.o"
+  "CMakeFiles/tsc_baselines.dir/dct.cc.o.d"
+  "CMakeFiles/tsc_baselines.dir/huffman.cc.o"
+  "CMakeFiles/tsc_baselines.dir/huffman.cc.o.d"
+  "CMakeFiles/tsc_baselines.dir/lzss.cc.o"
+  "CMakeFiles/tsc_baselines.dir/lzss.cc.o.d"
+  "CMakeFiles/tsc_baselines.dir/sampling.cc.o"
+  "CMakeFiles/tsc_baselines.dir/sampling.cc.o.d"
+  "CMakeFiles/tsc_baselines.dir/wavelet.cc.o"
+  "CMakeFiles/tsc_baselines.dir/wavelet.cc.o.d"
+  "libtsc_baselines.a"
+  "libtsc_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsc_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

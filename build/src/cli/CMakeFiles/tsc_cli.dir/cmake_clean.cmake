@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsc_cli.dir/cli.cc.o"
+  "CMakeFiles/tsc_cli.dir/cli.cc.o.d"
+  "libtsc_cli.a"
+  "libtsc_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsc_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

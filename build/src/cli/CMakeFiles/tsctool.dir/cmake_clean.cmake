@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsctool.dir/tsctool_main.cc.o"
+  "CMakeFiles/tsctool.dir/tsctool_main.cc.o.d"
+  "tsctool"
+  "tsctool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsctool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/compressed_store.cc" "src/core/CMakeFiles/tsc_core.dir/compressed_store.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/compressed_store.cc.o.d"
+  "/root/repo/src/core/disk_backed.cc" "src/core/CMakeFiles/tsc_core.dir/disk_backed.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/disk_backed.cc.o.d"
+  "/root/repo/src/core/error_target.cc" "src/core/CMakeFiles/tsc_core.dir/error_target.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/error_target.cc.o.d"
+  "/root/repo/src/core/metrics.cc" "src/core/CMakeFiles/tsc_core.dir/metrics.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/metrics.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/tsc_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/query.cc.o.d"
+  "/root/repo/src/core/robust_svd.cc" "src/core/CMakeFiles/tsc_core.dir/robust_svd.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/robust_svd.cc.o.d"
+  "/root/repo/src/core/row_outlier.cc" "src/core/CMakeFiles/tsc_core.dir/row_outlier.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/row_outlier.cc.o.d"
+  "/root/repo/src/core/similarity.cc" "src/core/CMakeFiles/tsc_core.dir/similarity.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/similarity.cc.o.d"
+  "/root/repo/src/core/space_budget.cc" "src/core/CMakeFiles/tsc_core.dir/space_budget.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/space_budget.cc.o.d"
+  "/root/repo/src/core/svd_compressor.cc" "src/core/CMakeFiles/tsc_core.dir/svd_compressor.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/svd_compressor.cc.o.d"
+  "/root/repo/src/core/svdd_compressor.cc" "src/core/CMakeFiles/tsc_core.dir/svdd_compressor.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/svdd_compressor.cc.o.d"
+  "/root/repo/src/core/visualization.cc" "src/core/CMakeFiles/tsc_core.dir/visualization.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/visualization.cc.o.d"
+  "/root/repo/src/core/zero_rows.cc" "src/core/CMakeFiles/tsc_core.dir/zero_rows.cc.o" "gcc" "src/core/CMakeFiles/tsc_core.dir/zero_rows.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/tsc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tsc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsc_core.dir/compressed_store.cc.o"
+  "CMakeFiles/tsc_core.dir/compressed_store.cc.o.d"
+  "CMakeFiles/tsc_core.dir/disk_backed.cc.o"
+  "CMakeFiles/tsc_core.dir/disk_backed.cc.o.d"
+  "CMakeFiles/tsc_core.dir/error_target.cc.o"
+  "CMakeFiles/tsc_core.dir/error_target.cc.o.d"
+  "CMakeFiles/tsc_core.dir/metrics.cc.o"
+  "CMakeFiles/tsc_core.dir/metrics.cc.o.d"
+  "CMakeFiles/tsc_core.dir/query.cc.o"
+  "CMakeFiles/tsc_core.dir/query.cc.o.d"
+  "CMakeFiles/tsc_core.dir/robust_svd.cc.o"
+  "CMakeFiles/tsc_core.dir/robust_svd.cc.o.d"
+  "CMakeFiles/tsc_core.dir/row_outlier.cc.o"
+  "CMakeFiles/tsc_core.dir/row_outlier.cc.o.d"
+  "CMakeFiles/tsc_core.dir/similarity.cc.o"
+  "CMakeFiles/tsc_core.dir/similarity.cc.o.d"
+  "CMakeFiles/tsc_core.dir/space_budget.cc.o"
+  "CMakeFiles/tsc_core.dir/space_budget.cc.o.d"
+  "CMakeFiles/tsc_core.dir/svd_compressor.cc.o"
+  "CMakeFiles/tsc_core.dir/svd_compressor.cc.o.d"
+  "CMakeFiles/tsc_core.dir/svdd_compressor.cc.o"
+  "CMakeFiles/tsc_core.dir/svdd_compressor.cc.o.d"
+  "CMakeFiles/tsc_core.dir/visualization.cc.o"
+  "CMakeFiles/tsc_core.dir/visualization.cc.o.d"
+  "CMakeFiles/tsc_core.dir/zero_rows.cc.o"
+  "CMakeFiles/tsc_core.dir/zero_rows.cc.o.d"
+  "libtsc_core.a"
+  "libtsc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

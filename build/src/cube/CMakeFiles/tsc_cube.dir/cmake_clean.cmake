@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsc_cube.dir/datacube.cc.o"
+  "CMakeFiles/tsc_cube.dir/datacube.cc.o.d"
+  "CMakeFiles/tsc_cube.dir/tensor.cc.o"
+  "CMakeFiles/tsc_cube.dir/tensor.cc.o.d"
+  "libtsc_cube.a"
+  "libtsc_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsc_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

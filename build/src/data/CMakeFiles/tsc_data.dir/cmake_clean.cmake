@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsc_data.dir/dataset.cc.o"
+  "CMakeFiles/tsc_data.dir/dataset.cc.o.d"
+  "CMakeFiles/tsc_data.dir/generators.cc.o"
+  "CMakeFiles/tsc_data.dir/generators.cc.o.d"
+  "CMakeFiles/tsc_data.dir/streaming_generator.cc.o"
+  "CMakeFiles/tsc_data.dir/streaming_generator.cc.o.d"
+  "libtsc_data.a"
+  "libtsc_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsc_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

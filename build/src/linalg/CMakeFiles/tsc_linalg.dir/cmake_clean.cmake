@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsc_linalg.dir/matrix.cc.o"
+  "CMakeFiles/tsc_linalg.dir/matrix.cc.o.d"
+  "CMakeFiles/tsc_linalg.dir/svd.cc.o"
+  "CMakeFiles/tsc_linalg.dir/svd.cc.o.d"
+  "CMakeFiles/tsc_linalg.dir/symmetric_eigen.cc.o"
+  "CMakeFiles/tsc_linalg.dir/symmetric_eigen.cc.o.d"
+  "CMakeFiles/tsc_linalg.dir/vector_ops.cc.o"
+  "CMakeFiles/tsc_linalg.dir/vector_ops.cc.o.d"
+  "libtsc_linalg.a"
+  "libtsc_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsc_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

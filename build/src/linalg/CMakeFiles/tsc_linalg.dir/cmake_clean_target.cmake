@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtsc_linalg.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/tsc_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/tsc_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/tsc_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/tsc_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/tsc_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/tsc_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/query/CMakeFiles/tsc_query.dir/planner.cc.o" "gcc" "src/query/CMakeFiles/tsc_query.dir/planner.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/tsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tsc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tsc_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsc_query.dir/executor.cc.o"
+  "CMakeFiles/tsc_query.dir/executor.cc.o.d"
+  "CMakeFiles/tsc_query.dir/lexer.cc.o"
+  "CMakeFiles/tsc_query.dir/lexer.cc.o.d"
+  "CMakeFiles/tsc_query.dir/parser.cc.o"
+  "CMakeFiles/tsc_query.dir/parser.cc.o.d"
+  "CMakeFiles/tsc_query.dir/planner.cc.o"
+  "CMakeFiles/tsc_query.dir/planner.cc.o.d"
+  "libtsc_query.a"
+  "libtsc_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsc_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/block_cache.cc" "src/storage/CMakeFiles/tsc_storage.dir/block_cache.cc.o" "gcc" "src/storage/CMakeFiles/tsc_storage.dir/block_cache.cc.o.d"
+  "/root/repo/src/storage/bloom_filter.cc" "src/storage/CMakeFiles/tsc_storage.dir/bloom_filter.cc.o" "gcc" "src/storage/CMakeFiles/tsc_storage.dir/bloom_filter.cc.o.d"
+  "/root/repo/src/storage/cached_row_reader.cc" "src/storage/CMakeFiles/tsc_storage.dir/cached_row_reader.cc.o" "gcc" "src/storage/CMakeFiles/tsc_storage.dir/cached_row_reader.cc.o.d"
+  "/root/repo/src/storage/delta_table.cc" "src/storage/CMakeFiles/tsc_storage.dir/delta_table.cc.o" "gcc" "src/storage/CMakeFiles/tsc_storage.dir/delta_table.cc.o.d"
+  "/root/repo/src/storage/row_source.cc" "src/storage/CMakeFiles/tsc_storage.dir/row_source.cc.o" "gcc" "src/storage/CMakeFiles/tsc_storage.dir/row_source.cc.o.d"
+  "/root/repo/src/storage/row_store.cc" "src/storage/CMakeFiles/tsc_storage.dir/row_store.cc.o" "gcc" "src/storage/CMakeFiles/tsc_storage.dir/row_store.cc.o.d"
+  "/root/repo/src/storage/serializer.cc" "src/storage/CMakeFiles/tsc_storage.dir/serializer.cc.o" "gcc" "src/storage/CMakeFiles/tsc_storage.dir/serializer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linalg/CMakeFiles/tsc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsc_storage.dir/block_cache.cc.o"
+  "CMakeFiles/tsc_storage.dir/block_cache.cc.o.d"
+  "CMakeFiles/tsc_storage.dir/bloom_filter.cc.o"
+  "CMakeFiles/tsc_storage.dir/bloom_filter.cc.o.d"
+  "CMakeFiles/tsc_storage.dir/cached_row_reader.cc.o"
+  "CMakeFiles/tsc_storage.dir/cached_row_reader.cc.o.d"
+  "CMakeFiles/tsc_storage.dir/delta_table.cc.o"
+  "CMakeFiles/tsc_storage.dir/delta_table.cc.o.d"
+  "CMakeFiles/tsc_storage.dir/row_source.cc.o"
+  "CMakeFiles/tsc_storage.dir/row_source.cc.o.d"
+  "CMakeFiles/tsc_storage.dir/row_store.cc.o"
+  "CMakeFiles/tsc_storage.dir/row_store.cc.o.d"
+  "CMakeFiles/tsc_storage.dir/serializer.cc.o"
+  "CMakeFiles/tsc_storage.dir/serializer.cc.o.d"
+  "libtsc_storage.a"
+  "libtsc_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsc_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsc_util.dir/ascii_plot.cc.o"
+  "CMakeFiles/tsc_util.dir/ascii_plot.cc.o.d"
+  "CMakeFiles/tsc_util.dir/flags.cc.o"
+  "CMakeFiles/tsc_util.dir/flags.cc.o.d"
+  "CMakeFiles/tsc_util.dir/rng.cc.o"
+  "CMakeFiles/tsc_util.dir/rng.cc.o.d"
+  "CMakeFiles/tsc_util.dir/stats.cc.o"
+  "CMakeFiles/tsc_util.dir/stats.cc.o.d"
+  "CMakeFiles/tsc_util.dir/status.cc.o"
+  "CMakeFiles/tsc_util.dir/status.cc.o.d"
+  "CMakeFiles/tsc_util.dir/table_printer.cc.o"
+  "CMakeFiles/tsc_util.dir/table_printer.cc.o.d"
+  "libtsc_util.a"
+  "libtsc_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsc_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cli/cli_test.cc" "tests/CMakeFiles/cli_tests.dir/cli/cli_test.cc.o" "gcc" "tests/CMakeFiles/cli_tests.dir/cli/cli_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/tsc_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tsc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tsc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tsc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tsc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsc_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/cli/CMakeFiles/tsc_cli.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/tsc_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/cross_model_property_test.cc" "tests/CMakeFiles/core_tests.dir/core/cross_model_property_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/cross_model_property_test.cc.o.d"
+  "/root/repo/tests/core/disk_backed_test.cc" "tests/CMakeFiles/core_tests.dir/core/disk_backed_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/disk_backed_test.cc.o.d"
+  "/root/repo/tests/core/error_target_test.cc" "tests/CMakeFiles/core_tests.dir/core/error_target_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/error_target_test.cc.o.d"
+  "/root/repo/tests/core/incremental_test.cc" "tests/CMakeFiles/core_tests.dir/core/incremental_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/incremental_test.cc.o.d"
+  "/root/repo/tests/core/metrics_test.cc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cc.o.d"
+  "/root/repo/tests/core/query_test.cc" "tests/CMakeFiles/core_tests.dir/core/query_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/query_test.cc.o.d"
+  "/root/repo/tests/core/robust_svd_test.cc" "tests/CMakeFiles/core_tests.dir/core/robust_svd_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/robust_svd_test.cc.o.d"
+  "/root/repo/tests/core/row_outlier_test.cc" "tests/CMakeFiles/core_tests.dir/core/row_outlier_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/row_outlier_test.cc.o.d"
+  "/root/repo/tests/core/similarity_test.cc" "tests/CMakeFiles/core_tests.dir/core/similarity_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/similarity_test.cc.o.d"
+  "/root/repo/tests/core/space_budget_test.cc" "tests/CMakeFiles/core_tests.dir/core/space_budget_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/space_budget_test.cc.o.d"
+  "/root/repo/tests/core/svd_compressor_test.cc" "tests/CMakeFiles/core_tests.dir/core/svd_compressor_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/svd_compressor_test.cc.o.d"
+  "/root/repo/tests/core/svdd_compressor_test.cc" "tests/CMakeFiles/core_tests.dir/core/svdd_compressor_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/svdd_compressor_test.cc.o.d"
+  "/root/repo/tests/core/visualization_test.cc" "tests/CMakeFiles/core_tests.dir/core/visualization_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/visualization_test.cc.o.d"
+  "/root/repo/tests/core/zero_rows_test.cc" "tests/CMakeFiles/core_tests.dir/core/zero_rows_test.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/zero_rows_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cube/CMakeFiles/tsc_cube.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/tsc_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tsc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/tsc_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/tsc_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/tsc_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/tsc_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

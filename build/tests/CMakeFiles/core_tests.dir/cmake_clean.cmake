@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/cross_model_property_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/cross_model_property_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/disk_backed_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/disk_backed_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/error_target_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/error_target_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/incremental_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/incremental_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/query_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/query_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/robust_svd_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/robust_svd_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/row_outlier_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/row_outlier_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/similarity_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/similarity_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/space_budget_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/space_budget_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/svd_compressor_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/svd_compressor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/svdd_compressor_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/svdd_compressor_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/visualization_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/visualization_test.cc.o.d"
+  "CMakeFiles/core_tests.dir/core/zero_rows_test.cc.o"
+  "CMakeFiles/core_tests.dir/core/zero_rows_test.cc.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

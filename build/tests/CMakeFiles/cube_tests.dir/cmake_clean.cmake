@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_tests.dir/cube/datacube_test.cc.o"
+  "CMakeFiles/cube_tests.dir/cube/datacube_test.cc.o.d"
+  "CMakeFiles/cube_tests.dir/cube/tensor_test.cc.o"
+  "CMakeFiles/cube_tests.dir/cube/tensor_test.cc.o.d"
+  "cube_tests"
+  "cube_tests.pdb"
+  "cube_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

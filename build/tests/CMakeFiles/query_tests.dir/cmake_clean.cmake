@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_tests.dir/query/executor_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/executor_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/fuzz_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/fuzz_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/lexer_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/lexer_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/parser_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/parser_test.cc.o.d"
+  "CMakeFiles/query_tests.dir/query/planner_test.cc.o"
+  "CMakeFiles/query_tests.dir/query/planner_test.cc.o.d"
+  "query_tests"
+  "query_tests.pdb"
+  "query_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[PipelineIntegrationTest.EndToEnd]=]  /root/repo/build/tests/integration_tests [==[--gtest_filter=PipelineIntegrationTest.EndToEnd]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[PipelineIntegrationTest.EndToEnd]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  integration_tests_TESTS PipelineIntegrationTest.EndToEnd)
