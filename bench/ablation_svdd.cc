@@ -19,7 +19,7 @@
 //      specific days, as opposed to treating the whole customer as an
 //      outlier"), quantified.
 //
-// Flags: --phone_rows=1000  --space=10
+// Flags: --phone_rows=1000  --space=10  --threads=N
 
 #include <cstdio>
 #include <vector>
@@ -39,11 +39,15 @@
 namespace tsc::bench {
 namespace {
 
+// Build threads for every ablation (--threads); the sharded build emits
+// the same bytes at any value, so results are unchanged.
+std::size_t g_threads = 1;
+
 void AblateForcedK(const Matrix& x, double space) {
   std::printf("--- ablation 1: forced k vs optimized k_opt (s=%.3g%%) ---\n",
               space);
   SvddBuildDiagnostics diag;
-  const auto optimized = BuildSvddAtSpace(x, space, 0, &diag);
+  const auto optimized = BuildSvddAtSpace(x, space, 0, &diag, g_threads);
   if (!optimized.ok()) return;
   std::printf("k_opt chosen by the 3-pass algorithm: %zu (of k_max=%zu)\n",
               diag.k_opt, diag.k_max);
@@ -57,6 +61,7 @@ void AblateForcedK(const Matrix& x, double space) {
     MatrixRowSource source(&x);
     SvddBuildOptions options;
     options.space_percent = space;
+    options.num_threads = g_threads;
     options.forced_k = k;
     const auto model = BuildSvddModel(&source, options);
     if (!model.ok()) continue;
@@ -84,6 +89,7 @@ void AblateDeltaEncoding(const Matrix& x, double space) {
     MatrixRowSource source(&x);
     SvddBuildOptions options;
     options.space_percent = space;
+    options.num_threads = g_threads;
     options.delta_bytes = bytes;
     const auto model = BuildSvddModel(&source, options);
     if (!model.ok()) continue;
@@ -97,7 +103,7 @@ void AblateDeltaEncoding(const Matrix& x, double space) {
 void AblateBloomFilter(const Matrix& x, double space) {
   std::printf("--- ablation 3: Bloom filter probe savings (s=%.3g%%) ---\n",
               space);
-  const auto model = BuildSvddAtSpace(x, space);
+  const auto model = BuildSvddAtSpace(x, space, 0, nullptr, g_threads);
   if (!model.ok()) return;
   // Reconstruct a fixed random set of cells and count delta-table probes
   // with the filter on and off.
@@ -114,6 +120,7 @@ void AblateBloomFilter(const Matrix& x, double space) {
   MatrixRowSource source(&x);
   SvddBuildOptions no_bloom_options;
   no_bloom_options.space_percent = space;
+  no_bloom_options.num_threads = g_threads;
   no_bloom_options.build_bloom_filter = false;
   const auto no_bloom = BuildSvddModel(&source, no_bloom_options);
   if (!no_bloom.ok()) return;
@@ -148,6 +155,7 @@ void AblateEigenSolver(const Matrix& x, double space) {
     MatrixRowSource source(&x);
     SvddBuildOptions options;
     options.space_percent = space;
+    options.num_threads = g_threads;
     options.solver = kind;
     Timer timer;
     const auto model = BuildSvddModel(&source, options);
@@ -209,6 +217,7 @@ void AblateRobustSvd(const Matrix& x, double space) {
     MatrixRowSource source(&x);
     SvdBuildOptions options;
     options.k = k;
+    options.num_threads = g_threads;
     Timer timer;
     const auto model = BuildSvdModel(&source, options);
     if (model.ok()) add("plain svd", *model, timer.ElapsedSeconds());
@@ -224,7 +233,7 @@ void AblateRobustSvd(const Matrix& x, double space) {
   }
   {
     Timer timer;
-    const auto model = BuildSvddAtSpace(x, space);
+    const auto model = BuildSvddAtSpace(x, space, 0, nullptr, g_threads);
     if (model.ok()) add("svdd", *model, timer.ElapsedSeconds());
   }
   std::printf("%s", table.ToString().c_str());
@@ -244,7 +253,7 @@ void AblateZeroRowFilter(double space) {
 
   TablePrinter table({"config", "RMSPE%", "space%", "zero rows"});
   {
-    const auto plain = BuildSvddAtSpace(x, space);
+    const auto plain = BuildSvddAtSpace(x, space, 0, nullptr, g_threads);
     if (plain.ok()) {
       table.AddRow({"plain svdd",
                     TablePrinter::Percent(100.0 * Rmspe(x, *plain)),
@@ -254,6 +263,7 @@ void AblateZeroRowFilter(double space) {
   {
     SvddBuildOptions options;
     options.space_percent = space;
+    options.num_threads = g_threads;
     const auto filtered = BuildZeroRowFilteredSvdd(x, options);
     if (filtered.ok()) {
       table.AddRow({"svdd + zero-row filter",
@@ -272,6 +282,7 @@ void AblateQuantizedStorage(const Matrix& x, double space) {
     MatrixRowSource source(&x);
     SvddBuildOptions options;
     options.space_percent = space;
+    options.num_threads = g_threads;
     options.bytes_per_value = b;
     options.delta_bytes = b == 4 ? 12 : 16;
     const auto model = BuildSvddModel(&source, options);
@@ -298,6 +309,7 @@ void AblateCandidateCap(const Matrix& x, double space) {
     MatrixRowSource source(&x);
     SvddBuildOptions options;
     options.space_percent = space;
+    options.num_threads = g_threads;
     options.max_candidates = cap;
     SvddBuildDiagnostics diag;
     const auto model = BuildSvddModel(&source, options, &diag);
@@ -320,7 +332,7 @@ void AblateRowOutliers(const Matrix& x, double space) {
   TablePrinter table({"outlier granularity", "RMSPE%", "worst norm%",
                       "outliers repaired"});
   {
-    const auto svdd = BuildSvddAtSpace(x, space);
+    const auto svdd = BuildSvddAtSpace(x, space, 0, nullptr, g_threads);
     if (svdd.ok()) {
       const ErrorReport report = EvaluateErrors(x, *svdd);
       table.AddRow({"cell deltas (SVDD)",
@@ -332,6 +344,7 @@ void AblateRowOutliers(const Matrix& x, double space) {
   {
     SvddBuildOptions options;
     options.space_percent = space;
+    options.num_threads = g_threads;
     const auto rows = BuildRowOutlierModel(x, options);
     if (rows.ok()) {
       const ErrorReport report = EvaluateErrors(x, *rows);
@@ -352,6 +365,8 @@ int main(int argc, char** argv) {
   const std::size_t phone_rows =
       static_cast<std::size_t>(flags.GetInt("phone_rows", 1000));
   const double space = flags.GetDouble("space", 10.0);
+  tsc::bench::g_threads =
+      static_cast<std::size_t>(flags.GetInt("threads", 1));
 
   std::printf("=== SVDD design ablations ===\n\n");
   const tsc::Dataset dataset = tsc::bench::MakePhoneDataset(phone_rows);

@@ -19,7 +19,8 @@ Dataset MakeStockDataset() {
   return GenerateStockDataset(config);
 }
 
-StatusOr<SvdModel> BuildSvdAtSpace(const Matrix& data, double space_percent) {
+StatusOr<SvdModel> BuildSvdAtSpace(const Matrix& data, double space_percent,
+                                   std::size_t num_threads) {
   const SpaceBudget budget = SpaceBudget::FromPercent(
       data.rows(), data.cols(), space_percent);
   const std::size_t k = budget.MaxK();
@@ -29,16 +30,19 @@ StatusOr<SvdModel> BuildSvdAtSpace(const Matrix& data, double space_percent) {
   MatrixRowSource source(&data);
   SvdBuildOptions options;
   options.k = k;
+  options.num_threads = num_threads;
   return BuildSvdModel(&source, options);
 }
 
 StatusOr<SvddModel> BuildSvddAtSpace(const Matrix& data, double space_percent,
                                      std::size_t max_candidates,
-                                     SvddBuildDiagnostics* diag) {
+                                     SvddBuildDiagnostics* diag,
+                                     std::size_t num_threads) {
   MatrixRowSource source(&data);
   SvddBuildOptions options;
   options.space_percent = space_percent;
   options.max_candidates = max_candidates;
+  options.num_threads = num_threads;
   return BuildSvddModel(&source, options, diag);
 }
 

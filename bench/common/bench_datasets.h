@@ -21,13 +21,16 @@ Dataset MakePhoneDataset(std::size_t num_customers = 2000,
 Dataset MakeStockDataset();
 
 /// Builds plain SVD at the k that fills `space_percent` (Eq. 9).
-StatusOr<SvdModel> BuildSvdAtSpace(const Matrix& data, double space_percent);
+/// `num_threads` > 1 runs the sharded parallel build (same bytes out).
+StatusOr<SvdModel> BuildSvdAtSpace(const Matrix& data, double space_percent,
+                                   std::size_t num_threads = 1);
 
 /// Builds SVDD at `space_percent` with the pass-2 candidate cap used by
 /// the large benches (bounds queue memory; 0 = the paper's full loop).
 StatusOr<SvddModel> BuildSvddAtSpace(const Matrix& data, double space_percent,
                                      std::size_t max_candidates = 0,
-                                     SvddBuildDiagnostics* diag = nullptr);
+                                     SvddBuildDiagnostics* diag = nullptr,
+                                     std::size_t num_threads = 1);
 
 /// Banner printed at the top of every harness: dataset, dims, bytes.
 std::string DatasetBanner(const Dataset& dataset);

@@ -11,7 +11,7 @@
 // one core; pass --full for the complete 1k..100k sweep.
 //
 // Flags: --sizes=1000,2000,5000,10000,20000  --space=2,5,10,15,20
-//        --full  --max_candidates=16
+//        --full  --max_candidates=16  --threads=N
 
 #include <algorithm>
 #include <cstdio>
@@ -35,6 +35,8 @@ int main(int argc, char** argv) {
       flags.GetDoubleList("space", {2, 5, 10, 15, 20});
   const std::size_t max_candidates =
       static_cast<std::size_t>(flags.GetInt("max_candidates", 16));
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.GetInt("threads", 1));
 
   std::printf("=== Figure 10: SVDD scale-up (RMSPE vs s%% by N) ===\n\n");
   const std::size_t max_n = static_cast<std::size_t>(
@@ -58,8 +60,8 @@ int main(int argc, char** argv) {
     for (const double s : spaces) {
       tsc::Timer timer;
       tsc::SvddBuildDiagnostics diag;
-      const auto model =
-          tsc::bench::BuildSvddAtSpace(subset.values, s, max_candidates, &diag);
+      const auto model = tsc::bench::BuildSvddAtSpace(
+          subset.values, s, max_candidates, &diag, threads);
       if (!model.ok()) {
         std::printf("N=%zu s=%.3g%%: %s\n", n, s,
                     model.status().ToString().c_str());

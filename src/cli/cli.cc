@@ -27,7 +27,7 @@ commands:
   generate   --kind=phone|stocks|patients|lowrank --rows=N --cols=M --seed=S
              --out=FILE          (.csv for text, anything else binary)
   compress   --input=FILE --out=MODEL --space=PCT [--method=svdd|svd]
-             [--b=8|4] [--no-bloom] [--max-candidates=K]
+             [--b=8|4] [--no-bloom] [--max-candidates=K] [--threads=N]
   info       --model=MODEL
   query      --model=MODEL (--q="avg rows=0:9 cols=1,3:5" | --cell=i,j)
   sql        --model=MODEL --query="SELECT sum(value) WHERE row IN 0:99"
@@ -157,6 +157,8 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
   const double space = flags.GetDouble("space", 10.0);
   const std::string method = flags.GetString("method", "svdd");
   const std::size_t b = static_cast<std::size_t>(flags.GetInt("b", 8));
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.GetInt("threads", 1));
   MatrixRowSource source(&dataset->values);
   Timer timer;
 
@@ -168,6 +170,7 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
     options.build_bloom_filter = !flags.GetBool("no-bloom", false);
     options.max_candidates =
         static_cast<std::size_t>(flags.GetInt("max-candidates", 0));
+    options.num_threads = threads;
     SvddBuildDiagnostics diag;
     auto model = BuildSvddModel(&source, options, &diag);
     if (!model.ok()) return Fail(err, model.status());
@@ -183,6 +186,7 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
     SvdBuildOptions options;
     options.k = budget.MaxK();
     options.bytes_per_value = b;
+    options.num_threads = threads;
     if (options.k == 0) {
       return Fail(err, Status::ResourceExhausted("budget below 1 component"));
     }

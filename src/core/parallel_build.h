@@ -1,0 +1,56 @@
+#ifndef TSC_CORE_PARALLEL_BUILD_H_
+#define TSC_CORE_PARALLEL_BUILD_H_
+
+#include <cstddef>
+
+#include "linalg/matrix.h"
+#include "storage/row_source.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// Fixed shard count for the parallel build passes. Rows are dealt to
+/// shard `row_index % kBuildShards`, each shard accumulates its rows in
+/// stream order, and shard results are reduced in shard index order — so
+/// the arithmetic (and therefore the built model, bit for bit) is
+/// independent of both the thread count and the chunk size. The constant
+/// is deliberately NOT derived from the thread count.
+inline constexpr std::size_t kBuildShards = 16;
+
+/// Rows buffered per streaming chunk. Purely a batching knob: it bounds
+/// the in-memory window of the out-of-core passes and amortizes the
+/// fork/join cost per chunk, but does not affect results.
+inline constexpr std::size_t kBuildChunkRows = 256;
+
+/// First buffer-local row index belonging to `shard` when the chunk
+/// starts at global row `base`.
+inline std::size_t FirstShardRow(std::size_t shard, std::size_t base) {
+  return (shard + kBuildShards - base % kBuildShards) % kBuildShards;
+}
+
+/// Streams `source` from the top in chunks of up to kBuildChunkRows rows.
+/// Calls visit(base, count, buffer) for every chunk, where rows
+/// [0, count) of `buffer` hold global rows [base, base + count). Counts
+/// as exactly one pass over the source.
+template <typename Visit>
+Status ForEachRowChunk(RowSource* source, Visit&& visit) {
+  Matrix buffer(kBuildChunkRows, source->cols());
+  TSC_RETURN_IF_ERROR(source->Reset());
+  std::size_t base = 0;
+  for (;;) {
+    std::size_t count = 0;
+    while (count < kBuildChunkRows) {
+      TSC_ASSIGN_OR_RETURN(const bool has_row,
+                           source->NextRow(buffer.Row(count)));
+      if (!has_row) break;
+      ++count;
+    }
+    if (count > 0) TSC_RETURN_IF_ERROR(visit(base, count, buffer));
+    if (count < kBuildChunkRows) return Status::Ok();
+    base += count;
+  }
+}
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_PARALLEL_BUILD_H_

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 
+#include "core/parallel_build.h"
 #include "linalg/svd.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tsc {
 namespace {
@@ -125,26 +128,71 @@ StatusOr<SvdModel> SvdModel::LoadFromFile(const std::string& path) {
   return model;
 }
 
-StatusOr<Matrix> AccumulateColumnSimilarity(RowSource* source) {
+StatusOr<Matrix> AccumulateColumnSimilarity(RowSource* source,
+                                            ThreadPool* pool) {
   const std::size_t m = source->cols();
-  Matrix c(m, m);
-  std::vector<double> row(m);
-  TSC_RETURN_IF_ERROR(source->Reset());
-  for (;;) {
-    TSC_ASSIGN_OR_RETURN(const bool has_row, source->NextRow(row));
-    if (!has_row) break;
-    // Upper triangle only; mirrored below. This is the Figure 2 kernel.
-    for (std::size_t j = 0; j < m; ++j) {
-      const double xj = row[j];
-      if (xj == 0.0) continue;
-      double* crow = &c(j, 0);
-      for (std::size_t l = j; l < m; ++l) crow[l] += xj * row[l];
-    }
+  // One partial C per shard; shard s accumulates rows i with
+  // i % kBuildShards == s in stream order, independent of the chunking.
+  std::vector<Matrix> partial(kBuildShards, Matrix(m, m));
+  TSC_RETURN_IF_ERROR(ForEachRowChunk(
+      source, [&](std::size_t base, std::size_t count, const Matrix& rows) {
+        ParallelFor(pool, kBuildShards, [&](std::size_t shard) {
+          Matrix& c = partial[shard];
+          for (std::size_t r = FirstShardRow(shard, base); r < count;
+               r += kBuildShards) {
+            const std::span<const double> row = rows.Row(r);
+            // Upper triangle only; mirrored below. The Figure 2 kernel.
+            for (std::size_t j = 0; j < m; ++j) {
+              const double xj = row[j];
+              if (xj == 0.0) continue;
+              double* crow = &c(j, 0);
+              for (std::size_t l = j; l < m; ++l) crow[l] += xj * row[l];
+            }
+          }
+        });
+        return Status::Ok();
+      }));
+  // Ordered reduction: shard 0 + shard 1 + ... keeps the summation order
+  // fixed regardless of which threads ran which shards.
+  Matrix c = std::move(partial[0]);
+  for (std::size_t s = 1; s < kBuildShards; ++s) {
+    const std::vector<double>& src = partial[s].data();
+    std::vector<double>& dst = c.data();
+    for (std::size_t idx = 0; idx < dst.size(); ++idx) dst[idx] += src[idx];
   }
   for (std::size_t j = 0; j < m; ++j) {
     for (std::size_t l = j + 1; l < m; ++l) c(l, j) = c(j, l);
   }
   return c;
+}
+
+StatusOr<Matrix> EmitUMatrix(RowSource* source, const Matrix& v,
+                             const std::vector<double>& singular_values,
+                             std::size_t k, ThreadPool* pool) {
+  TSC_CHECK_LE(k, v.cols());
+  TSC_CHECK_LE(k, singular_values.size());
+  const std::size_t n = source->rows();
+  const std::size_t m = source->cols();
+  Matrix u(n, k);
+  TSC_RETURN_IF_ERROR(ForEachRowChunk(
+      source, [&](std::size_t base, std::size_t count, const Matrix& rows) {
+        if (base + count > n) {
+          return Status::Internal("source grew between passes");
+        }
+        // Rows of U are independent: parallel over the chunk, each row
+        // written exactly once, so any schedule gives identical bits.
+        ParallelFor(pool, count, [&](std::size_t r) {
+          const std::span<const double> row = rows.Row(r);
+          const std::span<double> urow = u.Row(base + r);
+          for (std::size_t p = 0; p < k; ++p) {
+            double dot = 0.0;
+            for (std::size_t l = 0; l < m; ++l) dot += row[l] * v(l, p);
+            urow[p] = dot / singular_values[p];
+          }
+        });
+        return Status::Ok();
+      }));
+  return u;
 }
 
 StatusOr<SvdModel> BuildSvdModel(RowSource* source,
@@ -153,9 +201,13 @@ StatusOr<SvdModel> BuildSvdModel(RowSource* source,
     return Status::InvalidArgument("empty source");
   }
   const std::size_t m = source->cols();
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
 
   // Pass 1: column-to-column similarity, then the in-memory eigenproblem.
-  TSC_ASSIGN_OR_RETURN(Matrix c, AccumulateColumnSimilarity(source));
+  TSC_ASSIGN_OR_RETURN(Matrix c, AccumulateColumnSimilarity(source, pool.get()));
   TSC_ASSIGN_OR_RETURN(EigenDecomposition eigen,
                        SymmetricEigen(c, options.solver));
 
@@ -183,19 +235,8 @@ StatusOr<SvdModel> BuildSvdModel(RowSource* source,
   }
 
   // Pass 2: U = X V Lambda^-1, one row of U per row of X (Figure 3).
-  Matrix u(source->rows(), effective);
-  std::vector<double> row(m);
-  TSC_RETURN_IF_ERROR(source->Reset());
-  for (std::size_t i = 0;; ++i) {
-    TSC_ASSIGN_OR_RETURN(const bool has_row, source->NextRow(row));
-    if (!has_row) break;
-    if (i >= u.rows()) return Status::Internal("source grew between passes");
-    for (std::size_t j = 0; j < effective; ++j) {
-      double proj = 0.0;
-      for (std::size_t l = 0; l < m; ++l) proj += row[l] * v(l, j);
-      u(i, j) = proj / singular_values[j];
-    }
-  }
+  TSC_ASSIGN_OR_RETURN(
+      Matrix u, EmitUMatrix(source, v, singular_values, effective, pool.get()));
   SvdModel model(std::move(u), std::move(singular_values), std::move(v));
   if (options.bytes_per_value == 4) {
     model.QuantizeToFloat();

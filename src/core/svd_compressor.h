@@ -14,6 +14,8 @@
 
 namespace tsc {
 
+class ThreadPool;
+
 /// The "plain SVD" compressed representation of Section 3.4: the top-k
 /// principal components. Holds U (N x k), the k singular values, and
 /// V (M x k); a cell is reconstructed with Eq. 12 in O(k).
@@ -94,6 +96,10 @@ struct SvdBuildOptions {
   /// The paper's b. 8 stores doubles; 4 quantizes the factors through
   /// single precision (QuantizeToFloat) so the accounting stays honest.
   std::size_t bytes_per_value = 8;
+  /// Worker threads for the build passes (1 = serial). The passes shard
+  /// their work by a fixed shard count and reduce in shard order, so any
+  /// thread count produces a bitwise-identical model.
+  std::size_t num_threads = 1;
 };
 
 /// Builds a plain-SVD model with the paper's 2-pass algorithm
@@ -104,8 +110,21 @@ StatusOr<SvdModel> BuildSvdModel(RowSource* source,
                                  const SvdBuildOptions& options);
 
 /// Pass 1 in isolation: accumulates C = X^T X in one scan. Exposed
-/// because the SVDD build and the DataCube extension reuse it.
-StatusOr<Matrix> AccumulateColumnSimilarity(RowSource* source);
+/// because the SVDD build and the DataCube extension reuse it. Rows are
+/// dealt to kBuildShards per-shard partial matrices (parallel over `pool`
+/// when given) that are reduced in shard order, so the result does not
+/// depend on the thread count.
+StatusOr<Matrix> AccumulateColumnSimilarity(RowSource* source,
+                                            ThreadPool* pool = nullptr);
+
+/// The U-emission kernel shared by SVD pass 2 and SVDD pass 3 (Figure 3 /
+/// Figure 5, Eq. 11): one more scan of `source` computing
+/// u(i, p) = (x_i . v_p) / lambda_p for p < k. Rows of U are independent,
+/// so the scan is row-parallel over `pool` with bit-identical output for
+/// any thread count.
+StatusOr<Matrix> EmitUMatrix(RowSource* source, const Matrix& v,
+                             const std::vector<double>& singular_values,
+                             std::size_t k, ThreadPool* pool = nullptr);
 
 }  // namespace tsc
 

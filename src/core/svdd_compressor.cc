@@ -1,18 +1,47 @@
 #include "core/svdd_compressor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <limits>
+#include <memory>
 
+#include "core/parallel_build.h"
 #include "linalg/svd.h"
 #include "linalg/symmetric_eigen.h"
 #include "util/bounded_heap.h"
+#include "util/kahan.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace tsc {
 namespace {
 
 constexpr std::uint32_t kSvddModelMagic = 0x53564444;  // "SVDD"
+
+/// Heap key for pass 2: squared error with the cell id as tie-break, a
+/// strict total order. The global "top gamma_k cells" set is therefore
+/// unique, which is what makes the sharded heaps + merge deterministic:
+/// however the shards split the stream, sorting the union under this
+/// order and truncating recovers exactly that set.
+struct CellErr {
+  double err2;
+  std::uint64_t cell;  ///< row-major cell key; unique per cell
+
+  bool operator<(const CellErr& other) const {
+    if (err2 != other.err2) return err2 < other.err2;
+    return cell > other.cell;  // equal errors: the earlier cell ranks higher
+  }
+};
+
+/// Lock-free monotonic max for the shared pass-2 pruning threshold.
+void UpdateMax(std::atomic<double>& target, double value) {
+  double current = target.load(std::memory_order_relaxed);
+  while (current < value &&
+         !target.compare_exchange_weak(current, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
 
 /// Evenly spaced candidate cut-offs in [1, k_max], always including both
 /// endpoints. With cap == 0 every k is a candidate (the paper's loop).
@@ -127,11 +156,15 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
       n, m, options.space_percent, options.bytes_per_value);
   const std::uint64_t total_cells =
       static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
+  std::unique_ptr<ThreadPool> pool;
+  if (options.num_threads > 1) {
+    pool = std::make_unique<ThreadPool>(options.num_threads);
+  }
 
   // ---------------------------------------------------------------------
   // Pass 1: column similarity -> eigensystem -> k_max and gamma_k.
   // ---------------------------------------------------------------------
-  TSC_ASSIGN_OR_RETURN(Matrix c, AccumulateColumnSimilarity(source));
+  TSC_ASSIGN_OR_RETURN(Matrix c, AccumulateColumnSimilarity(source, pool.get()));
   TSC_ASSIGN_OR_RETURN(EigenDecomposition eigen,
                        SymmetricEigen(c, options.solver));
 
@@ -183,55 +216,129 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
 
   // ---------------------------------------------------------------------
   // Pass 2: per-candidate bounded queues of the worst cells + epsilon_k.
+  //
+  // Rows are dealt to kBuildShards shards (row % kBuildShards). Each shard
+  // keeps its own priority queue per candidate k and its own compensated
+  // SSE partial, so no locks are taken on the hot path. A shared atomic
+  // threshold per candidate — the largest "full heap minimum" any shard
+  // has published — lets shards skip cells that provably cannot make the
+  // global top gamma_k, keeping total retained entries near gamma_k
+  // instead of kBuildShards * gamma_k.
   // ---------------------------------------------------------------------
-  struct OutlierCell {
-    std::uint64_t key;
-    double delta;
+  using OutlierHeap = BoundedTopHeap<CellErr, double>;  // value = signed err
+  struct Pass2Shard {
+    std::vector<OutlierHeap> queues;      // one per candidate k
+    std::vector<KahanSum> sse;            // one per candidate k
+    std::vector<double> projection;       // scratch: x_i . v_p
   };
-  std::vector<BoundedTopHeap<double, OutlierCell>> queues;
-  queues.reserve(num_candidates);
+  std::vector<Pass2Shard> shards(kBuildShards);
+  for (Pass2Shard& shard : shards) {
+    shard.queues.reserve(num_candidates);
+    for (std::size_t ci = 0; ci < num_candidates; ++ci) {
+      shard.queues.emplace_back(static_cast<std::size_t>(gamma[ci]));
+    }
+    shard.sse.resize(num_candidates);
+    shard.projection.resize(k_max);
+  }
+  // Pruning bounds. A zero-allowance candidate retains nothing, so every
+  // offer to it can be skipped outright.
+  std::vector<std::atomic<double>> thresholds(num_candidates);
   for (std::size_t ci = 0; ci < num_candidates; ++ci) {
-    queues.emplace_back(static_cast<std::size_t>(gamma[ci]));
+    thresholds[ci].store(gamma[ci] == 0
+                             ? std::numeric_limits<double>::infinity()
+                             : -std::numeric_limits<double>::infinity(),
+                         std::memory_order_relaxed);
   }
-  std::vector<double> sse(num_candidates, 0.0);
 
-  std::vector<double> row(m);
-  std::vector<double> projection(k_max);  // p_m = x_i . v_m
-  TSC_RETURN_IF_ERROR(source->Reset());
-  for (std::size_t i = 0;; ++i) {
-    TSC_ASSIGN_OR_RETURN(const bool has_row, source->NextRow(row));
-    if (!has_row) break;
-    if (i >= n) return Status::Internal("source grew between passes");
-    for (std::size_t p = 0; p < k_max; ++p) {
-      double dot = 0.0;
-      for (std::size_t l = 0; l < m; ++l) dot += row[l] * v(l, p);
-      projection[p] = dot;
-    }
-    for (std::size_t j = 0; j < m; ++j) {
-      // recon_k = sum_{p<k} projection_p * v_jp, accumulated incrementally
-      // so every candidate k reads the partial sum once.
-      double recon = 0.0;
-      std::size_t ci = 0;
-      for (std::size_t p = 0; p < k_max && ci < num_candidates; ++p) {
-        recon += projection[p] * v(j, p);
-        while (ci < num_candidates && candidate_ks[ci] == p + 1) {
-          const double err = row[j] - recon;
-          const double err2 = err * err;
-          sse[ci] += err2;
-          queues[ci].Offer(err2,
-                           OutlierCell{DeltaTable::CellKey(i, j, m), err});
-          ++ci;
+  TSC_RETURN_IF_ERROR(ForEachRowChunk(
+      source, [&](std::size_t base, std::size_t count, const Matrix& rows) {
+        if (base + count > n) {
+          return Status::Internal("source grew between passes");
         }
-      }
-    }
+        ParallelFor(pool.get(), kBuildShards, [&](std::size_t si) {
+          Pass2Shard& shard = shards[si];
+          for (std::size_t r = FirstShardRow(si, base); r < count;
+               r += kBuildShards) {
+            const std::size_t i = base + r;
+            const std::span<const double> row = rows.Row(r);
+            for (std::size_t p = 0; p < k_max; ++p) {
+              double dot = 0.0;
+              for (std::size_t l = 0; l < m; ++l) dot += row[l] * v(l, p);
+              shard.projection[p] = dot;
+            }
+            for (std::size_t j = 0; j < m; ++j) {
+              // recon_k = sum_{p<k} projection_p * v_jp, accumulated
+              // incrementally so every candidate k reads the sum once.
+              double recon = 0.0;
+              std::size_t ci = 0;
+              for (std::size_t p = 0; p < k_max && ci < num_candidates; ++p) {
+                recon += shard.projection[p] * v(j, p);
+                while (ci < num_candidates && candidate_ks[ci] == p + 1) {
+                  const double err = row[j] - recon;
+                  const double err2 = err * err;
+                  shard.sse[ci].Add(err2);
+                  // Strictly below the published bound means at least
+                  // gamma_k cells already beat this one — skip. (Ties must
+                  // be offered: the tie-break may rank them above the
+                  // bound's owner.)
+                  if (!(err2 <
+                        thresholds[ci].load(std::memory_order_relaxed))) {
+                    OutlierHeap& queue = shard.queues[ci];
+                    if (queue.Offer(
+                            CellErr{err2, DeltaTable::CellKey(i, j, m)},
+                            err) &&
+                        queue.size() == queue.capacity()) {
+                      UpdateMax(thresholds[ci], queue.MinKey().err2);
+                    }
+                  }
+                  ++ci;
+                }
+              }
+            }
+          }
+        });
+        return Status::Ok();
+      }));
+
+  // Deterministic reduction: fold shard SSE partials in shard order, then
+  // merge each candidate's shard queues under the CellErr total order and
+  // truncate to the allowance — exactly the unique global top-gamma_k set,
+  // however the stream was split.
+  std::vector<double> sse(num_candidates, 0.0);
+  for (std::size_t ci = 0; ci < num_candidates; ++ci) {
+    KahanSum total;
+    for (const Pass2Shard& shard : shards) total.Merge(shard.sse[ci]);
+    sse[ci] = total.value();
   }
+  std::vector<std::vector<OutlierHeap::Entry>> merged(num_candidates);
+  ParallelFor(pool.get(), num_candidates, [&](std::size_t ci) {
+    std::vector<OutlierHeap::Entry> all;
+    for (const Pass2Shard& shard : shards) {
+      const auto& entries = shard.queues[ci].entries();
+      all.insert(all.end(), entries.begin(), entries.end());
+    }
+    std::sort(all.begin(), all.end(),
+              [](const OutlierHeap::Entry& a, const OutlierHeap::Entry& b) {
+                return b.key < a.key;  // descending under the total order
+              });
+    if (all.size() > gamma[ci]) {
+      all.resize(static_cast<std::size_t>(gamma[ci]));
+    }
+    merged[ci] = std::move(all);
+  });
 
   // epsilon_k: SSE left after the affordable outliers are stored exactly.
+  // Compensated on both sides; clamped at zero, where the true residual
+  // lands when the allowance covers every cell.
   std::size_t best_ci = 0;
   double best_eps = std::numeric_limits<double>::infinity();
   std::vector<double> residual(num_candidates, 0.0);
   for (std::size_t ci = 0; ci < num_candidates; ++ci) {
-    const double eps = sse[ci] - queues[ci].KeySum();
+    KahanSum credit;
+    for (const OutlierHeap::Entry& entry : merged[ci]) {
+      credit.Add(entry.key.err2);
+    }
+    const double eps = std::max(0.0, sse[ci] - credit.value());
     residual[ci] = eps;
     if (eps < best_eps) {
       best_eps = eps;
@@ -241,20 +348,10 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
   const std::size_t k_opt = candidate_ks[best_ci];
 
   // ---------------------------------------------------------------------
-  // Pass 3: emit U at k_opt (Figure 5, using Eq. 11).
+  // Pass 3: emit U at k_opt (Figure 5, using Eq. 11); row-parallel.
   // ---------------------------------------------------------------------
-  Matrix u(n, k_opt);
-  TSC_RETURN_IF_ERROR(source->Reset());
-  for (std::size_t i = 0;; ++i) {
-    TSC_ASSIGN_OR_RETURN(const bool has_row, source->NextRow(row));
-    if (!has_row) break;
-    if (i >= n) return Status::Internal("source grew between passes");
-    for (std::size_t p = 0; p < k_opt; ++p) {
-      double dot = 0.0;
-      for (std::size_t l = 0; l < m; ++l) dot += row[l] * v(l, p);
-      u(i, p) = dot / singular_values[p];
-    }
-  }
+  TSC_ASSIGN_OR_RETURN(
+      Matrix u, EmitUMatrix(source, v, singular_values, k_opt, pool.get()));
 
   // Assemble: truncate the factor matrices to k_opt and fill the table.
   std::vector<double> sv_opt(singular_values.begin(),
@@ -267,7 +364,7 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
   SvdModel svd(std::move(u), std::move(sv_opt), std::move(v_opt));
   svd.set_bytes_per_value(options.bytes_per_value);
 
-  auto entries = queues[best_ci].TakeSortedDescending();
+  std::vector<OutlierHeap::Entry> entries = std::move(merged[best_ci]);
   DeltaTable deltas(entries.size());
   deltas.set_entry_bytes(options.delta_bytes);
   if (options.bytes_per_value == 4) {
@@ -275,25 +372,25 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
     // against the QUANTIZED reconstruction so outlier cells still
     // round-trip (up to float rounding of the delta itself).
     for (auto& entry : entries) {
-      const std::size_t i = static_cast<std::size_t>(entry.value.key / m);
-      const std::size_t j = static_cast<std::size_t>(entry.value.key % m);
-      entry.value.delta += svd.ReconstructCell(i, j);  // = original x_ij
+      const std::size_t i = static_cast<std::size_t>(entry.key.cell / m);
+      const std::size_t j = static_cast<std::size_t>(entry.key.cell % m);
+      entry.value += svd.ReconstructCell(i, j);  // = original x_ij
     }
     svd.QuantizeToFloat();
     for (auto& entry : entries) {
-      const std::size_t i = static_cast<std::size_t>(entry.value.key / m);
-      const std::size_t j = static_cast<std::size_t>(entry.value.key % m);
-      entry.value.delta -= svd.ReconstructCell(i, j);
+      const std::size_t i = static_cast<std::size_t>(entry.key.cell / m);
+      const std::size_t j = static_cast<std::size_t>(entry.key.cell % m);
+      entry.value -= svd.ReconstructCell(i, j);
     }
   }
   for (const auto& entry : entries) {
-    deltas.Put(entry.value.key, entry.value.delta);
+    deltas.Put(entry.key.cell, entry.value);
   }
   if (options.bytes_per_value == 4) deltas.QuantizeValuesToFloat();
   std::optional<BloomFilter> bloom;
   if (options.build_bloom_filter && !entries.empty()) {
     BloomFilter filter(entries.size(), options.bloom_bits_per_entry);
-    for (const auto& entry : entries) filter.Add(entry.value.key);
+    for (const auto& entry : entries) filter.Add(entry.key.cell);
     bloom = std::move(filter);
   }
 

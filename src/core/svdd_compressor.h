@@ -95,6 +95,11 @@ struct SvddBuildOptions {
   /// Build the Bloom filter in front of the delta table.
   bool build_bloom_filter = true;
   double bloom_bits_per_entry = 10.0;
+  /// Worker threads for the three build passes (1 = serial). Work is
+  /// sharded by a fixed shard count with an ordered reduction and a
+  /// total-order outlier merge, so any thread count produces a
+  /// bitwise-identical model.
+  std::size_t num_threads = 1;
 };
 
 /// Build-time report: the k trade-off the algorithm explored.

@@ -10,31 +10,34 @@ BlockCache::BlockCache(std::size_t capacity_blocks, std::size_t block_size)
   TSC_CHECK_GT(block_size, 0u);
 }
 
-StatusOr<const std::vector<std::uint8_t>*> BlockCache::Get(
-    std::uint64_t block_id, const FetchFn& fetch) {
+StatusOr<BlockCache::Handle> BlockCache::Get(std::uint64_t block_id,
+                                             const FetchFn& fetch) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(block_id);
   if (it != entries_.end()) {
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);  // move to front
-    return &it->second->data;
+    return it->second->data;
   }
   ++misses_;
-  Entry entry;
-  entry.block_id = block_id;
-  entry.data.resize(block_size_);
-  TSC_RETURN_IF_ERROR(fetch(block_id, &entry.data));
+  auto block = std::make_shared<Block>(block_size_);
+  TSC_RETURN_IF_ERROR(fetch(block_id, block.get()));
   if (entries_.size() >= capacity_blocks_) {
+    // Evict the LRU entry. Any Handle still pointing at the victim keeps
+    // its bytes alive; only the cache's reference is dropped.
     const Entry& victim = lru_.back();
     entries_.erase(victim.block_id);
     lru_.pop_back();
     ++evictions_;
   }
-  lru_.push_front(std::move(entry));
+  Handle handle = std::move(block);
+  lru_.push_front(Entry{block_id, handle});
   entries_[block_id] = lru_.begin();
-  return &lru_.front().data;
+  return handle;
 }
 
 void BlockCache::Invalidate(std::uint64_t block_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   const auto it = entries_.find(block_id);
   if (it == entries_.end()) return;
   lru_.erase(it->second);
@@ -42,6 +45,7 @@ void BlockCache::Invalidate(std::uint64_t block_id) {
 }
 
 void BlockCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
   lru_.clear();
   entries_.clear();
 }

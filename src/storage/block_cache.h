@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <functional>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -16,18 +18,28 @@ namespace tsc {
 /// and the delta table pinned; the U rows stream through this cache, so
 /// repeated access to hot sequences (skewed, Zipf-like workloads are the
 /// norm per Appendix A) costs no disk reads.
+///
+/// Thread safety: all methods take an internal mutex, so concurrent
+/// readers may share one cache. The fetch callback runs under that mutex
+/// (concurrent misses serialize) and must not call back into the cache.
 class BlockCache {
  public:
+  using Block = std::vector<std::uint8_t>;
+
+  /// Pinned, immutable reference to a cached block. Eviction only drops
+  /// the cache's own reference: a Handle returned by Get() stays valid
+  /// for as long as the caller holds it, no matter how many blocks are
+  /// read (or evicted) in between.
+  using Handle = std::shared_ptr<const Block>;
+
   /// `capacity_blocks` blocks of `block_size` bytes each.
   BlockCache(std::size_t capacity_blocks, std::size_t block_size);
 
-  using FetchFn =
-      std::function<Status(std::uint64_t block_id, std::vector<std::uint8_t>*)>;
+  using FetchFn = std::function<Status(std::uint64_t block_id, Block*)>;
 
-  /// Returns the cached block, fetching through `fetch` on a miss. The
-  /// pointer is valid until the next Get/Invalidate call.
-  StatusOr<const std::vector<std::uint8_t>*> Get(std::uint64_t block_id,
-                                                 const FetchFn& fetch);
+  /// Returns a pinned handle to the cached block, fetching through
+  /// `fetch` on a miss.
+  StatusOr<Handle> Get(std::uint64_t block_id, const FetchFn& fetch);
 
   /// Drops one block (e.g. after an off-line batch update touched it).
   void Invalidate(std::uint64_t block_id);
@@ -36,16 +48,30 @@ class BlockCache {
 
   std::size_t capacity_blocks() const { return capacity_blocks_; }
   std::size_t block_size() const { return block_size_; }
-  std::size_t cached_blocks() const { return entries_.size(); }
+  std::size_t cached_blocks() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return entries_.size();
+  }
 
-  std::uint64_t hits() const { return hits_; }
-  std::uint64_t misses() const { return misses_; }
-  std::uint64_t evictions() const { return evictions_; }
+  std::uint64_t hits() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return hits_;
+  }
+  std::uint64_t misses() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return misses_;
+  }
+  std::uint64_t evictions() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return evictions_;
+  }
   double HitRate() const {
+    std::lock_guard<std::mutex> lock(mu_);
     const std::uint64_t total = hits_ + misses_;
     return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
   }
   void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
     hits_ = 0;
     misses_ = 0;
     evictions_ = 0;
@@ -54,11 +80,12 @@ class BlockCache {
  private:
   struct Entry {
     std::uint64_t block_id;
-    std::vector<std::uint8_t> data;
+    std::shared_ptr<const Block> data;
   };
 
   std::size_t capacity_blocks_;
   std::size_t block_size_;
+  mutable std::mutex mu_;
   std::list<Entry> lru_;  ///< front = most recently used
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> entries_;
   std::uint64_t hits_ = 0;

@@ -29,9 +29,8 @@ Status CachedRowReader::ReadRow(std::size_t index, std::span<double> out) {
     const std::uint64_t take =
         std::min<std::uint64_t>(remaining, block_size - in_block);
     TSC_ASSIGN_OR_RETURN(
-        const std::vector<std::uint8_t>* block,
-        cache_.Get(block_id, [this](std::uint64_t id,
-                                    std::vector<std::uint8_t>* data) {
+        const BlockCache::Handle block,
+        cache_.Get(block_id, [this](std::uint64_t id, BlockCache::Block* data) {
           return reader_->ReadBlock(id, *data);
         }));
     std::memcpy(dest, block->data() + in_block, take);

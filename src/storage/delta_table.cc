@@ -24,6 +24,38 @@ std::size_t BucketCountFor(std::size_t entries) {
 DeltaTable::DeltaTable(std::size_t expected_entries)
     : buckets_(BucketCountFor(expected_entries)) {}
 
+DeltaTable::DeltaTable(const DeltaTable& other)
+    : buckets_(other.buckets_),
+      size_(other.size_),
+      entry_bytes_(other.entry_bytes_),
+      probe_count_(other.probe_count()) {}
+
+DeltaTable& DeltaTable::operator=(const DeltaTable& other) {
+  if (this != &other) {
+    buckets_ = other.buckets_;
+    size_ = other.size_;
+    entry_bytes_ = other.entry_bytes_;
+    probe_count_.store(other.probe_count(), std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+DeltaTable::DeltaTable(DeltaTable&& other) noexcept
+    : buckets_(std::move(other.buckets_)),
+      size_(other.size_),
+      entry_bytes_(other.entry_bytes_),
+      probe_count_(other.probe_count()) {}
+
+DeltaTable& DeltaTable::operator=(DeltaTable&& other) noexcept {
+  if (this != &other) {
+    buckets_ = std::move(other.buckets_);
+    size_ = other.size_;
+    entry_bytes_ = other.entry_bytes_;
+    probe_count_.store(other.probe_count(), std::memory_order_relaxed);
+  }
+  return *this;
+}
+
 std::uint64_t DeltaTable::HashKey(std::uint64_t key) {
   // splitmix64 finalizer: cheap and well-mixed for sequential cell keys.
   std::uint64_t z = key + 0x9e3779b97f4a7c15ULL;
@@ -58,7 +90,7 @@ void DeltaTable::Put(std::uint64_t key, double delta) {
 std::optional<double> DeltaTable::Get(std::uint64_t key) const {
   std::size_t slot = HashKey(key) & Mask();
   for (;;) {
-    ++probe_count_;
+    probe_count_.fetch_add(1, std::memory_order_relaxed);
     const Bucket& b = buckets_[slot];
     if (!b.occupied) return std::nullopt;
     if (b.key == key) return b.delta;
@@ -67,14 +99,14 @@ std::optional<double> DeltaTable::Get(std::uint64_t key) const {
 }
 
 void DeltaTable::Grow() {
+  // Rehash via Put; Put never touches probe_count_, so the probe metric
+  // keeps counting lookups only.
   std::vector<Bucket> old = std::move(buckets_);
   buckets_.assign(old.size() * 2, Bucket{});
   size_ = 0;
-  const std::uint64_t saved_probes = probe_count_;
   for (const Bucket& b : old) {
     if (b.occupied) Put(b.key, b.delta);
   }
-  probe_count_ = saved_probes;
 }
 
 void DeltaTable::QuantizeValuesToFloat() {

@@ -1,6 +1,7 @@
 #ifndef TSC_STORAGE_DELTA_TABLE_H_
 #define TSC_STORAGE_DELTA_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 #include <vector>
@@ -23,6 +24,13 @@ class DeltaTable {
   /// `expected_entries` pre-sizes the table (load factor <= 0.7).
   explicit DeltaTable(std::size_t expected_entries = 0);
 
+  // Copyable and movable; spelled out because the atomic probe counter
+  // deletes the defaults. The counter value travels with the table.
+  DeltaTable(const DeltaTable& other);
+  DeltaTable& operator=(const DeltaTable& other);
+  DeltaTable(DeltaTable&& other) noexcept;
+  DeltaTable& operator=(DeltaTable&& other) noexcept;
+
   static std::uint64_t CellKey(std::size_t row, std::size_t col,
                                std::size_t num_cols) {
     return static_cast<std::uint64_t>(row) * num_cols + col;
@@ -42,9 +50,15 @@ class DeltaTable {
 
   /// Total slots inspected by Get() so far (the Bloom ablation metric).
   /// Like the count itself, resetting is a statistics operation and does
-  /// not mutate logical state, hence const.
-  std::uint64_t probe_count() const { return probe_count_; }
-  void ResetProbeCount() const { probe_count_ = 0; }
+  /// not mutate logical state, hence const. The counter is a relaxed
+  /// atomic so concurrent read-only queries through Get() stay data-race
+  /// free; Put() remains single-writer (build/patch time only).
+  std::uint64_t probe_count() const {
+    return probe_count_.load(std::memory_order_relaxed);
+  }
+  void ResetProbeCount() const {
+    probe_count_.store(0, std::memory_order_relaxed);
+  }
 
   /// Bytes this table would occupy on disk if stored as packed
   /// (key, delta) pairs; this is the "O(b) bytes per delta" accounting the
@@ -86,7 +100,7 @@ class DeltaTable {
   std::vector<Bucket> buckets_;
   std::size_t size_ = 0;
   std::uint64_t entry_bytes_ = kPackedEntryBytes;
-  mutable std::uint64_t probe_count_ = 0;
+  mutable std::atomic<std::uint64_t> probe_count_{0};
 };
 
 }  // namespace tsc

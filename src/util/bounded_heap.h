@@ -4,9 +4,11 @@
 #include <algorithm>
 #include <cstddef>
 #include <functional>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
+#include "util/kahan.h"
 #include "util/logging.h"
 
 namespace tsc {
@@ -25,7 +27,11 @@ class BoundedTopHeap {
   };
 
   explicit BoundedTopHeap(std::size_t capacity) : capacity_(capacity) {
-    heap_.reserve(capacity);
+    // Cap the eager reservation: the SVDD pass-2 build holds one heap per
+    // (shard, candidate k) pair, and capacities there are in the hundreds
+    // of thousands; reserving them all up front would dwarf the actual
+    // retained entries once threshold pruning kicks in.
+    heap_.reserve(std::min<std::size_t>(capacity, 1024));
   }
 
   std::size_t capacity() const { return capacity_; }
@@ -55,11 +61,20 @@ class BoundedTopHeap {
   }
 
   /// Sum of keys currently retained (used to credit outlier deltas against
-  /// the accumulated SSE when evaluating a candidate k).
+  /// the accumulated SSE when evaluating a candidate k). Floating-point
+  /// keys are summed with Kahan compensation: a queue can hold hundreds of
+  /// thousands of squared errors spanning many orders of magnitude, and a
+  /// naive sum loses enough precision to destabilize the k_opt pick.
   Key KeySum() const {
-    Key total{};
-    for (const Entry& e : heap_) total += e.key;
-    return total;
+    if constexpr (std::is_floating_point_v<Key>) {
+      KahanSum total;
+      for (const Entry& e : heap_) total.Add(e.key);
+      return static_cast<Key>(total.value());
+    } else {
+      Key total{};
+      for (const Entry& e : heap_) total += e.key;
+      return total;
+    }
   }
 
   /// Extracts all retained entries, largest key first. The heap is emptied.

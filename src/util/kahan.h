@@ -1,0 +1,35 @@
+#ifndef TSC_UTIL_KAHAN_H_
+#define TSC_UTIL_KAHAN_H_
+
+namespace tsc {
+
+/// Kahan (compensated) summation. The SVDD pass-2 epsilon_k accounting
+/// sums up to N*M squared errors per candidate k; naive summation loses
+/// enough precision at that length for the k_opt pick to flip between
+/// runs of different sizes. The compensation term keeps the running error
+/// at O(1) ulp independent of the number of addends.
+class KahanSum {
+ public:
+  void Add(double x) {
+    const double y = x - compensation_;
+    const double t = sum_ + y;
+    compensation_ = (t - sum_) - y;
+    sum_ = t;
+  }
+
+  /// Folds another accumulator in (sum first, then its residual error).
+  void Merge(const KahanSum& other) {
+    Add(other.sum_);
+    Add(-other.compensation_);
+  }
+
+  double value() const { return sum_ - compensation_; }
+
+ private:
+  double sum_ = 0.0;
+  double compensation_ = 0.0;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_UTIL_KAHAN_H_

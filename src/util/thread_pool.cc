@@ -1,0 +1,104 @@
+#include "util/thread_pool.h"
+
+#include <algorithm>
+
+namespace tsc {
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(std::max<std::size_t>(num_threads, 1)) {
+  workers_.reserve(num_threads_ - 1);
+  for (std::size_t t = 0; t + 1 < num_threads_; ++t) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+std::size_t ThreadPool::HardwareThreads() {
+  return std::max<unsigned>(std::thread::hardware_concurrency(), 1u);
+}
+
+void ThreadPool::RunIndices(const std::function<void(std::size_t)>& body,
+                            std::size_t end) {
+  for (;;) {
+    const std::size_t i = job_next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= end) return;
+    try {
+      body(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!job_error_) job_error_ = std::current_exception();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    const std::function<void(std::size_t)>* body = nullptr;
+    std::size_t end = 0;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return stop_ || (job_body_ != nullptr && job_epoch_ != seen_epoch);
+      });
+      if (stop_) return;
+      seen_epoch = job_epoch_;
+      body = job_body_;
+      end = job_end_;
+      ++job_running_;
+    }
+    RunIndices(*body, end);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --job_running_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::ParallelFor(std::size_t begin, std::size_t end,
+                             const std::function<void(std::size_t)>& body) {
+  if (begin >= end) return;
+  if (workers_.empty() || end - begin == 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_body_ = &body;
+    job_end_ = end;
+    job_next_.store(begin, std::memory_order_relaxed);
+    job_error_ = nullptr;
+    ++job_epoch_;
+  }
+  work_cv_.notify_all();
+  RunIndices(body, end);
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [&] { return job_running_ == 0; });
+    job_body_ = nullptr;
+    error = job_error_;
+    job_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body) {
+  if (pool != nullptr && pool->num_threads() > 1) {
+    pool->ParallelFor(0, count, body);
+    return;
+  }
+  for (std::size_t i = 0; i < count; ++i) body(i);
+}
+
+}  // namespace tsc

@@ -1,0 +1,75 @@
+#ifndef TSC_UTIL_THREAD_POOL_H_
+#define TSC_UTIL_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tsc {
+
+/// Fixed-size worker pool driving the build passes. The pool only decides
+/// WHERE loop bodies run, never WHAT they compute: the build kernels shard
+/// their work by a fixed shard count and reduce shard results in shard
+/// order, so `--threads=1` and `--threads=N` produce bitwise-identical
+/// models (see DESIGN.md, "Parallel build pipeline").
+class ThreadPool {
+ public:
+  /// Total worker count including the calling thread (clamped to >= 1);
+  /// `num_threads - 1` background threads are spawned.
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Runs body(i) for every i in [begin, end), distributing indices over
+  /// the background workers plus the calling thread, and returns once all
+  /// have finished. Not reentrant: body must not call ParallelFor on the
+  /// same pool. The first exception thrown by body (if any) is rethrown
+  /// here after the loop drains.
+  void ParallelFor(std::size_t begin, std::size_t end,
+                   const std::function<void(std::size_t)>& body);
+
+  /// The machine's hardware concurrency, at least 1.
+  static std::size_t HardwareThreads();
+
+ private:
+  void WorkerLoop();
+  void RunIndices(const std::function<void(std::size_t)>& body,
+                  std::size_t end);
+
+  std::size_t num_threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool stop_ = false;
+  /// Incremented per ParallelFor call; workers adopt jobs they have not
+  /// seen yet. Guarded by mu_ together with job_body_/job_end_.
+  std::uint64_t job_epoch_ = 0;
+  const std::function<void(std::size_t)>* job_body_ = nullptr;
+  std::size_t job_end_ = 0;
+  std::atomic<std::size_t> job_next_{0};
+  std::size_t job_running_ = 0;  ///< workers currently inside the job
+  std::exception_ptr job_error_;
+};
+
+/// Convenience wrapper used throughout the build pipeline: runs body(i)
+/// for i in [0, count) on `pool`, or inline on the calling thread when
+/// `pool` is null — the two execute the same bodies in a shard-safe way,
+/// so results are identical either way.
+void ParallelFor(ThreadPool* pool, std::size_t count,
+                 const std::function<void(std::size_t)>& body);
+
+}  // namespace tsc
+
+#endif  // TSC_UTIL_THREAD_POOL_H_

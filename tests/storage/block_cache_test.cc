@@ -48,6 +48,27 @@ TEST(BlockCacheTest, EvictsLeastRecentlyUsed) {
   EXPECT_EQ(fetches, 4);
 }
 
+TEST(BlockCacheTest, HandleSurvivesEviction) {
+  // Regression: Get() used to return a raw pointer into the LRU list, so
+  // a later miss that evicted the entry freed the caller's bytes. The
+  // pinned Handle must stay readable after capacity-many other reads.
+  BlockCache cache(4, 16);
+  int fetches = 0;
+  const auto fetch = CountingFetch(&fetches);
+  const auto held = cache.Get(100, fetch);
+  ASSERT_TRUE(held.ok());
+  for (std::uint64_t id = 0; id < 8; ++id) {  // > capacity: 100 evicted
+    ASSERT_TRUE(cache.Get(id, fetch).ok());
+  }
+  EXPECT_GE(cache.evictions(), 1u);
+  EXPECT_EQ((**held)[0], 100 & 0xff);  // bytes still alive and intact
+  EXPECT_EQ((**held)[15], 100 & 0xff);
+  // The block really was evicted: the next read refetches it.
+  const int before = fetches;
+  ASSERT_TRUE(cache.Get(100, fetch).ok());
+  EXPECT_EQ(fetches, before + 1);
+}
+
 TEST(BlockCacheTest, InvalidateForcesRefetch) {
   BlockCache cache(4, 16);
   int fetches = 0;

@@ -1,0 +1,94 @@
+// Threaded smoke tests for the storage structures the parallel build and
+// concurrent query paths share. These are the targets of the `tsan`
+// ctest label: run them under the ThreadSanitizer preset
+// (cmake --preset tsan) to prove the fixes, not just exercise them.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "storage/block_cache.h"
+#include "storage/delta_table.h"
+#include "util/thread_pool.h"
+
+namespace tsc {
+namespace {
+
+TEST(ConcurrencyTest, BlockCacheConcurrentGets) {
+  // Readers hammer a cache far smaller than the key range, forcing
+  // constant eviction while other threads still hold handles.
+  BlockCache cache(8, 32);
+  const auto fetch = [](std::uint64_t id, BlockCache::Block* data) {
+    std::fill(data->begin(), data->end(),
+              static_cast<std::uint8_t>(id & 0xff));
+    return Status::Ok();
+  };
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < 500; ++round) {
+        const std::uint64_t id =
+            static_cast<std::uint64_t>((round * 7 + t * 13) % 64);
+        const auto handle = cache.Get(id, fetch);
+        if (!handle.ok() || (**handle)[0] != (id & 0xff) ||
+            (**handle)[31] != (id & 0xff)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(cache.hits() + cache.misses(), 4u * 500u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(ConcurrencyTest, DeltaTableConcurrentReads) {
+  // Get() is const but counts probes; with a plain counter this test is a
+  // data race (the original bug). With the relaxed atomic every lookup is
+  // counted and TSan stays quiet.
+  DeltaTable table(256);
+  for (std::uint64_t key = 0; key < 256; key += 2) {
+    table.Put(key, static_cast<double>(key) * 0.5);
+  }
+  table.ResetProbeCount();
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 1000; ++round) {
+        const std::uint64_t key = static_cast<std::uint64_t>(round % 256);
+        const auto value = table.Get(key);
+        const bool want_present = key % 2 == 0;
+        if (value.has_value() != want_present ||
+            (want_present && *value != static_cast<double>(key) * 0.5)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Every Get probes at least one slot, and none may be lost.
+  EXPECT_GE(table.probe_count(), 4u * 1000u);
+}
+
+TEST(ConcurrencyTest, ParallelForStress) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<std::uint32_t>> hits(4096);
+  for (int round = 0; round < 20; ++round) {
+    pool.ParallelFor(0, hits.size(), [&](std::size_t i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 20u);
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,106 @@
+#include "util/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+namespace tsc {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4u);
+  std::vector<std::atomic<int>> counts(1000);
+  pool.ParallelFor(0, counts.size(), [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, RespectsBeginOffset) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> counts(100);
+  pool.ParallelFor(40, 100, [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (std::size_t i = 0; i < 40; ++i) EXPECT_EQ(counts[i].load(), 0);
+  for (std::size_t i = 40; i < 100; ++i) EXPECT_EQ(counts[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(5, 5, [&](std::size_t) { ++calls; });
+  pool.ParallelFor(7, 3, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInline) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1u);
+  std::vector<int> order;
+  pool.ParallelFor(0, 5, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));  // safe: no workers spawned
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, ZeroThreadsClampedToOne) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.num_threads(), 1u);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossManyJobs) {
+  ThreadPool pool(4);
+  std::atomic<long> total{0};
+  for (int job = 0; job < 50; ++job) {
+    pool.ParallelFor(0, 64, [&](std::size_t i) {
+      total.fetch_add(static_cast<long>(i), std::memory_order_relaxed);
+    });
+  }
+  EXPECT_EQ(total.load(), 50L * (63 * 64 / 2));
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesAndPoolSurvives) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.ParallelFor(0, 100,
+                                [](std::size_t i) {
+                                  if (i == 37) {
+                                    throw std::runtime_error("boom");
+                                  }
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after a failed job.
+  std::atomic<int> ran{0};
+  pool.ParallelFor(0, 10, [&](std::size_t) {
+    ran.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(ran.load(), 10);
+}
+
+TEST(ThreadPoolTest, FreeHelperInlineWhenPoolNull) {
+  std::vector<int> order;
+  ParallelFor(nullptr, 4, [&](std::size_t i) {
+    order.push_back(static_cast<int>(i));
+  });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(ThreadPoolTest, FreeHelperUsesPool) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> counts(256);
+  ParallelFor(&pool, counts.size(), [&](std::size_t i) {
+    counts[i].fetch_add(1, std::memory_order_relaxed);
+  });
+  for (const auto& c : counts) EXPECT_EQ(c.load(), 1);
+}
+
+TEST(ThreadPoolTest, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(ThreadPool::HardwareThreads(), 1u);
+}
+
+}  // namespace
+}  // namespace tsc
