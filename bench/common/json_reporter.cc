@@ -1,0 +1,97 @@
+#include "common/json_reporter.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "obs/snapshot.h"
+#include "util/json_writer.h"
+
+namespace tsc::bench {
+
+namespace {
+
+/// True when `text` parses fully as a finite double (so it can be
+/// emitted as a JSON number verbatim).
+bool IsNumeric(const std::string& text) {
+  if (text.empty()) return false;
+  const char* begin = text.c_str();
+  char* end = nullptr;
+  std::strtod(begin, &end);
+  return end == begin + text.size();
+}
+
+void EmitCell(JsonWriter& json, const std::string& cell) {
+  if (IsNumeric(cell)) {
+    json.RawValue(cell);
+  } else {
+    json.Value(cell);
+  }
+}
+
+}  // namespace
+
+JsonReporter::JsonReporter(std::string bench_name,
+                           std::vector<std::string> columns)
+    : bench_name_(std::move(bench_name)), columns_(std::move(columns)) {}
+
+void JsonReporter::AddScalar(const std::string& name, double value) {
+  JsonWriter json;
+  json.Value(value);
+  scalars_.push_back({name, {json.str(), true}});
+}
+
+void JsonReporter::AddScalar(const std::string& name,
+                             const std::string& value) {
+  scalars_.push_back({name, {value, false}});
+}
+
+void JsonReporter::AddRow(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+Status JsonReporter::WriteFile(const std::string& path) const {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("bench", bench_name_);
+
+  json.Key("scalars").BeginObject();
+  for (const auto& [name, value] : scalars_) {
+    json.Key(name);
+    if (value.second) {
+      json.RawValue(value.first);
+    } else {
+      json.Value(value.first);
+    }
+  }
+  json.EndObject();
+
+  json.Key("columns").BeginArray();
+  for (const auto& column : columns_) json.Value(column);
+  json.EndArray();
+
+  json.Key("rows").BeginArray();
+  for (const auto& row : rows_) {
+    json.BeginObject();
+    const std::size_t cells =
+        row.size() < columns_.size() ? row.size() : columns_.size();
+    for (std::size_t c = 0; c < cells; ++c) {
+      json.Key(columns_[c]);
+      EmitCell(json, row[c]);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+
+  json.Key("metrics").RawValue(obs::TakeSnapshot().ToJson());
+
+  json.EndObject();
+
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return Status::IoError("cannot create json report: " + path);
+  out << json.str() << "\n";
+  if (!out) return Status::IoError("json report write failed: " + path);
+  return Status::Ok();
+}
+
+}  // namespace tsc::bench

@@ -1,0 +1,47 @@
+#ifndef TSC_BENCH_COMMON_JSON_REPORTER_H_
+#define TSC_BENCH_COMMON_JSON_REPORTER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tsc::bench {
+
+/// Machine-readable mirror of a harness's printed table, written next to
+/// the human output when the harness is run with --json FILE. Schema:
+///
+///   {"bench": "<name>",
+///    "scalars": {"rows": 20000, ...},
+///    "columns": ["threads", "svd_s", ...],
+///    "rows": [{"threads": 1, "svd_s": 0.52, ...}, ...],
+///    "metrics": {"counters": {...}, "gauges": {...}, "histograms": {...}}}
+///
+/// Cells are the same strings the table shows; values that parse fully as
+/// numbers are emitted as JSON numbers. "metrics" is the observability
+/// registry snapshot at write time (empty objects when compiled out), so
+/// a benchmark run carries its instrument readings with it.
+class JsonReporter {
+ public:
+  JsonReporter(std::string bench_name, std::vector<std::string> columns);
+
+  void AddScalar(const std::string& name, double value);
+  void AddScalar(const std::string& name, const std::string& value);
+
+  /// One table row; cell count must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  Status WriteFile(const std::string& path) const;
+
+ private:
+  std::string bench_name_;
+  std::vector<std::string> columns_;
+  /// (name, serialized-value, is_numeric) to keep insertion order.
+  std::vector<std::pair<std::string, std::pair<std::string, bool>>> scalars_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace tsc::bench
+
+#endif  // TSC_BENCH_COMMON_JSON_REPORTER_H_

@@ -7,13 +7,19 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+#include <vector>
+
 #include "common/bench_datasets.h"
+#include "common/json_reporter.h"
 #include "core/disk_backed.h"
 #include "data/generators.h"
 #include "storage/cached_row_reader.h"
 #include "storage/row_source.h"
 #include "util/logging.h"
 #include "util/rng.h"
+#include "util/table_printer.h"
 
 namespace tsc::bench {
 namespace {
@@ -178,7 +184,73 @@ void BM_SvddBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_SvddBuild)->Arg(500)->Arg(2000)->Unit(benchmark::kMillisecond);
 
+/// Console output as usual, plus an in-memory copy of every run so a
+/// --json report can be written after the fact.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Captured {
+    std::string name;
+    std::int64_t iterations;
+    double real_ns_per_iter;
+    double cpu_ns_per_iter;
+  };
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.run_type != Run::RT_Iteration) continue;
+      const double iters =
+          run.iterations > 0 ? static_cast<double>(run.iterations) : 1.0;
+      captured_.push_back({run.benchmark_name(), run.iterations,
+                           run.real_accumulated_time * 1e9 / iters,
+                           run.cpu_accumulated_time * 1e9 / iters});
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<Captured>& captured() const { return captured_; }
+
+ private:
+  std::vector<Captured> captured_;
+};
+
 }  // namespace
 }  // namespace tsc::bench
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN with a --json FILE flag (stripped before google-benchmark
+// sees the argument list) writing the shared bench report schema.
+int main(int argc, char** argv) {
+  std::string json_path;
+  std::vector<char*> kept;
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else {
+      kept.push_back(argv[i]);
+    }
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data())) return 1;
+
+  tsc::bench::CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  if (!json_path.empty()) {
+    tsc::bench::JsonReporter report(
+        "micro_reconstruction",
+        {"name", "iterations", "real_ns_per_iter", "cpu_ns_per_iter"});
+    for (const auto& run : reporter.captured()) {
+      report.AddRow({run.name, std::to_string(run.iterations),
+                     tsc::TablePrinter::Num(run.real_ns_per_iter, 6),
+                     tsc::TablePrinter::Num(run.cpu_ns_per_iter, 6)});
+    }
+    TSC_CHECK_OK(report.WriteFile(json_path));
+    std::printf("json report written to %s\n", json_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Runs the three instrumented harnesses at a small, CI-friendly scale and
+# writes one BENCH_<name>.json per harness (shared schema, see
+# bench/common/json_reporter.h). Usage:
+#
+#   bench/run_bench_suite.sh [BUILD_DIR] [OUT_DIR]
+#
+# BUILD_DIR defaults to ./build, OUT_DIR to the current directory.
+set -euo pipefail
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-.}"
+BENCH_DIR="${BUILD_DIR}/bench"
+
+for bin in query_throughput build_scaling micro_reconstruction; do
+  if [[ ! -x "${BENCH_DIR}/${bin}" ]]; then
+    echo "missing ${BENCH_DIR}/${bin} — build the bench targets first:" >&2
+    echo "  cmake --build ${BUILD_DIR} --target ${bin}" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "${OUT_DIR}"
+
+echo "== query_throughput =="
+"${BENCH_DIR}/query_throughput" --rows=2000 --cells=200 --aggregates=10 \
+  --json="${OUT_DIR}/BENCH_query_throughput.json"
+
+echo
+echo "== build_scaling =="
+"${BENCH_DIR}/build_scaling" --rows=4000 --cols=128 --threads=1,2 \
+  --json="${OUT_DIR}/BENCH_build_scaling.json"
+
+echo
+echo "== micro_reconstruction =="
+"${BENCH_DIR}/micro_reconstruction" \
+  --benchmark_filter='BM_(DeltaTableProbe|BloomNegativeLookup|CellReconstructionVsK)' \
+  --benchmark_min_time=0.05 \
+  --json="${OUT_DIR}/BENCH_micro_reconstruction.json"
+
+echo
+echo "wrote:"
+ls -l "${OUT_DIR}"/BENCH_*.json

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "core/disk_backed.h"
 #include "core/metrics.h"
 #include "core/query.h"
 #include "core/svd_compressor.h"
@@ -10,9 +11,13 @@
 #include "core/similarity.h"
 #include "data/dataset.h"
 #include "data/generators.h"
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+#include "obs/trace.h"
 #include "query/executor.h"
 #include "storage/row_source.h"
 #include "util/flags.h"
+#include "util/rng.h"
 #include "util/table_printer.h"
 #include "util/timer.h"
 
@@ -31,12 +36,18 @@ commands:
   info       --model=MODEL
   query      --model=MODEL (--q="avg rows=0:9 cols=1,3:5" | --cell=i,j)
   sql        --model=MODEL --query="SELECT sum(value) WHERE row IN 0:99"
-             [--explain]
+             [--explain] [--analyze]
   topk       --model=MODEL --count=10 [--cols=a:b] (largest column-range sums)
   similar    --model=MODEL --row=I --count=5 (nearest sequences in SVD space)
   evaluate   --model=MODEL --input=FILE
   reconstruct --model=MODEL --out=FILE.csv [--rows=COUNT]
+  stats      --model=MODEL [--queries=N] [--cache-blocks=N] [--zipf=S]
+             [--seed=S]   (runs a serving workload, prints instrument values)
   help
+
+global flags (any command):
+  --metrics-out=FILE   write a JSON metric snapshot on exit
+  --trace-out=FILE     record spans, write Chrome trace JSON on exit
 )";
 
 /// Builds a FlagParser from string args (argv-style).
@@ -280,6 +291,7 @@ int CmdSql(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   auto result = executor.Execute(text);
   if (!result.ok()) return Fail(err, result.status());
   for (const double value : result->values) out << value << "\n";
+  if (flags.GetBool("analyze", false)) out << result->AnalyzeFooter();
   return 0;
 }
 
@@ -402,6 +414,103 @@ int CmdReconstruct(const FlagParser& flags, std::ostream& out,
   return 0;
 }
 
+/// Runs the paper's serving scenario end to end against a model file and
+/// prints what the instruments saw: exports the model to the two-file
+/// disk layout, opens it behind a BlockCache buffer pool, replays a
+/// Zipf-skewed cell workload plus a few SQL aggregates, then reports the
+/// derived rates and the full registry snapshot.
+int CmdStats(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto loaded = LoadModel(flags.GetString("model", ""));
+  if (!loaded.ok()) return Fail(err, loaded.status());
+  if (loaded->kind != "svdd") {
+    return Fail(err, Status::InvalidArgument(
+                         "stats needs an svdd model (disk layout)"));
+  }
+  const SvddModel& model =
+      *static_cast<const SvddModel*>(loaded->store.get());
+  const std::size_t queries =
+      static_cast<std::size_t>(flags.GetInt("queries", 2000));
+  const std::size_t cache_blocks =
+      static_cast<std::size_t>(flags.GetInt("cache-blocks", 64));
+  const double zipf_s = flags.GetDouble("zipf", 1.1);
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+
+  // Fresh run: counts below reflect this workload only.
+  obs::MetricRegistry::Default().ResetAll();
+
+  const std::string u_path = flags.GetString("model", "") + ".stats_u";
+  const std::string sidecar_path =
+      flags.GetString("model", "") + ".stats_sidecar";
+  Status status = ExportSvddToDisk(model, u_path, sidecar_path);
+  if (!status.ok()) return Fail(err, status);
+  auto store = DiskBackedStore::Open(u_path, sidecar_path, cache_blocks);
+  if (!store.ok()) {
+    std::remove(u_path.c_str());
+    std::remove(sidecar_path.c_str());
+    return Fail(err, store.status());
+  }
+
+  // Skewed cell workload: hot rows repeat, so the buffer pool shows its
+  // effect, exactly the Appendix A access pattern.
+  Rng rng(seed);
+  const ZipfSampler rows(store->rows(), zipf_s);
+  Timer timer;
+  for (std::size_t q = 0; q < queries; ++q) {
+    const std::size_t i = rows.Sample(&rng) - 1;
+    const std::size_t j =
+        static_cast<std::size_t>(rng.UniformUint64(store->cols()));
+    auto value = store->ReconstructCell(i, j);
+    if (!value.ok()) return Fail(err, value.status());
+  }
+  const double cell_seconds = timer.ElapsedSeconds();
+
+  // A few SQL aggregates against the in-memory model fill the query-stage
+  // latency histograms.
+  const QueryExecutor executor(&model);
+  const std::size_t last_row = model.rows() - 1;
+  const std::vector<std::string> sql = {
+      "SELECT sum(value)",
+      "SELECT avg(value) WHERE row IN 0:" + std::to_string(last_row / 2),
+      "SELECT max(value) WHERE row IN 0:" +
+          std::to_string(std::min<std::size_t>(last_row, 9)),
+  };
+  for (const std::string& text : sql) {
+    auto result = executor.Execute(text);
+    if (!result.ok()) return Fail(err, result.status());
+  }
+
+  // Derived lines come from component-level counters, so they hold even
+  // in a TSC_OBS_DISABLED build; the registry table below needs the
+  // instruments compiled in.
+  const std::uint64_t hits = store->cache_hits();
+  const std::uint64_t misses_blocks = store->disk_accesses();
+  const std::uint64_t total_reads = hits + misses_blocks;
+  out << "serving workload: " << queries << " cell queries ("
+      << "zipf s=" << TablePrinter::Num(zipf_s) << "), " << sql.size()
+      << " sql queries, cache=" << cache_blocks << " blocks\n";
+  out << "cell latency:     "
+      << TablePrinter::Num(1e6 * cell_seconds /
+                           static_cast<double>(queries == 0 ? 1 : queries))
+      << " us/query\n";
+  out << "disk accesses:    " << misses_blocks << " ("
+      << TablePrinter::Num(static_cast<double>(misses_blocks) /
+                           static_cast<double>(queries == 0 ? 1 : queries))
+      << " per cell query)\n";
+  out << "cache hit rate:   "
+      << TablePrinter::Percent(total_reads == 0
+                                   ? 0.0
+                                   : 100.0 * static_cast<double>(hits) /
+                                         static_cast<double>(total_reads))
+      << "\n";
+  const obs::StatsSnapshot snapshot = obs::TakeSnapshot();
+  if (!snapshot.empty()) out << "\n" << snapshot.ToTable();
+
+  std::remove(u_path.c_str());
+  std::remove(sidecar_path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -413,17 +522,55 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
   const std::string& command = args[0];
   const FlagParser flags(
       MakeFlags(std::vector<std::string>(args.begin() + 1, args.end())));
-  if (command == "generate") return CmdGenerate(flags, out, err);
-  if (command == "compress") return CmdCompress(flags, out, err);
-  if (command == "info") return CmdInfo(flags, out, err);
-  if (command == "query") return CmdQuery(flags, out, err);
-  if (command == "sql") return CmdSql(flags, out, err);
-  if (command == "topk") return CmdTopK(flags, out, err);
-  if (command == "similar") return CmdSimilar(flags, out, err);
-  if (command == "evaluate") return CmdEvaluate(flags, out, err);
-  if (command == "reconstruct") return CmdReconstruct(flags, out, err);
-  err << "error: unknown command '" << command << "'\n" << kUsage;
-  return 1;
+
+  // Global observability flags, honored by every command.
+  const std::string metrics_out = flags.GetString("metrics-out", "");
+  const std::string trace_out = flags.GetString("trace-out", "");
+  if (!trace_out.empty()) obs::TraceRecorder::Default().Enable();
+
+  int code = 1;
+  bool known = true;
+  if (command == "generate") {
+    code = CmdGenerate(flags, out, err);
+  } else if (command == "compress") {
+    code = CmdCompress(flags, out, err);
+  } else if (command == "info") {
+    code = CmdInfo(flags, out, err);
+  } else if (command == "query") {
+    code = CmdQuery(flags, out, err);
+  } else if (command == "sql") {
+    code = CmdSql(flags, out, err);
+  } else if (command == "topk") {
+    code = CmdTopK(flags, out, err);
+  } else if (command == "similar") {
+    code = CmdSimilar(flags, out, err);
+  } else if (command == "evaluate") {
+    code = CmdEvaluate(flags, out, err);
+  } else if (command == "reconstruct") {
+    code = CmdReconstruct(flags, out, err);
+  } else if (command == "stats") {
+    code = CmdStats(flags, out, err);
+  } else {
+    known = false;
+  }
+  if (!known) {
+    err << "error: unknown command '" << command << "'\n" << kUsage;
+    return 1;
+  }
+
+  if (!trace_out.empty()) {
+    obs::TraceRecorder::Default().Disable();
+    const Status status =
+        obs::TraceRecorder::Default().ExportChromeTrace(trace_out);
+    if (!status.ok()) return Fail(err, status);
+    out << "trace written to " << trace_out << "\n";
+  }
+  if (!metrics_out.empty()) {
+    const Status status = obs::TakeSnapshot().WriteJsonFile(metrics_out);
+    if (!status.ok()) return Fail(err, status);
+    out << "metrics written to " << metrics_out << "\n";
+  }
+  return code;
 }
 
 }  // namespace tsc::cli

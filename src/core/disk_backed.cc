@@ -2,6 +2,7 @@
 
 #include <memory>
 
+#include "obs/metrics.h"
 #include "storage/serializer.h"
 #include "util/logging.h"
 
@@ -9,6 +10,14 @@ namespace tsc {
 namespace {
 
 constexpr std::uint32_t kSidecarMagic = 0x53494443;  // "SIDC"
+
+/// A Bloom pass followed by a delta miss is the filter lying to us; the
+/// measured rate backs the EstimatedFalsePositiveRate() formula.
+void CountBloomFalsePositive() {
+  static obs::Counter& false_positives =
+      obs::MetricRegistry::Default().GetCounter("bloom.false_positives");
+  false_positives.Increment();
+}
 
 }  // namespace
 
@@ -37,10 +46,17 @@ Status ExportSvddToDisk(const SvddModel& model, const std::string& u_path,
 }
 
 StatusOr<DiskBackedStore> DiskBackedStore::Open(
-    const std::string& u_path, const std::string& sidecar_path) {
+    const std::string& u_path, const std::string& sidecar_path,
+    std::size_t cache_blocks) {
   DiskBackedStore store;
   TSC_ASSIGN_OR_RETURN(RowStoreReader reader, RowStoreReader::Open(u_path));
-  store.u_reader_ = std::make_unique<RowStoreReader>(std::move(reader));
+  const std::size_t u_cols = reader.cols();
+  if (cache_blocks > 0) {
+    store.cached_ =
+        std::make_unique<CachedRowReader>(std::move(reader), cache_blocks);
+  } else {
+    store.u_reader_ = std::make_unique<RowStoreReader>(std::move(reader));
+  }
 
   TSC_ASSIGN_OR_RETURN(BinaryReader sidecar, BinaryReader::Open(sidecar_path));
   TSC_ASSIGN_OR_RETURN(const std::uint32_t magic, sidecar.ReadU32());
@@ -55,11 +71,16 @@ StatusOr<DiskBackedStore> DiskBackedStore::Open(
     store.bloom_ = std::move(filter);
   }
   TSC_RETURN_IF_ERROR(sidecar.VerifyChecksum());
-  if (store.u_reader_->cols() != store.singular_values_.size() ||
+  if (u_cols != store.singular_values_.size() ||
       store.v_.cols() != store.singular_values_.size()) {
     return Status::IoError("inconsistent disk-backed model dims");
   }
   return store;
+}
+
+Status DiskBackedStore::ReadURow(std::size_t row, std::span<double> out) {
+  if (cached_) return cached_->ReadRow(row, out);
+  return u_reader_->ReadRow(row, out);
 }
 
 StatusOr<double> DiskBackedStore::ReconstructCell(std::size_t row,
@@ -68,7 +89,7 @@ StatusOr<double> DiskBackedStore::ReconstructCell(std::size_t row,
     return Status::OutOfRange("cell out of range");
   }
   std::vector<double> urow(k());
-  TSC_RETURN_IF_ERROR(u_reader_->ReadRow(row, urow));  // the 1 disk access
+  TSC_RETURN_IF_ERROR(ReadURow(row, urow));  // the 1 disk access
   double value = 0.0;
   for (std::size_t m = 0; m < k(); ++m) {
     value += singular_values_[m] * urow[m] * v_(col, m);
@@ -76,7 +97,11 @@ StatusOr<double> DiskBackedStore::ReconstructCell(std::size_t row,
   const std::uint64_t key = DeltaTable::CellKey(row, col, cols());
   if (!bloom_.has_value() || bloom_->MightContain(key)) {
     const std::optional<double> delta = deltas_.Get(key);
-    if (delta.has_value()) value += *delta;
+    if (delta.has_value()) {
+      value += *delta;
+    } else if (bloom_.has_value()) {
+      CountBloomFalsePositive();
+    }
   }
   return value;
 }
@@ -86,7 +111,7 @@ Status DiskBackedStore::ReconstructRow(std::size_t row,
   if (row >= rows()) return Status::OutOfRange("row out of range");
   if (out.size() != cols()) return Status::InvalidArgument("buffer size");
   std::vector<double> urow(k());
-  TSC_RETURN_IF_ERROR(u_reader_->ReadRow(row, urow));
+  TSC_RETURN_IF_ERROR(ReadURow(row, urow));
   for (std::size_t j = 0; j < cols(); ++j) {
     double value = 0.0;
     for (std::size_t m = 0; m < k(); ++m) {
@@ -98,7 +123,11 @@ Status DiskBackedStore::ReconstructRow(std::size_t row,
     const std::uint64_t key = DeltaTable::CellKey(row, j, cols());
     if (bloom_.has_value() && !bloom_->MightContain(key)) continue;
     const std::optional<double> delta = deltas_.Get(key);
-    if (delta.has_value()) out[j] += *delta;
+    if (delta.has_value()) {
+      out[j] += *delta;
+    } else if (bloom_.has_value()) {
+      CountBloomFalsePositive();
+    }
   }
   return Status::Ok();
 }

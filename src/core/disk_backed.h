@@ -8,6 +8,7 @@
 
 #include "core/svdd_compressor.h"
 #include "storage/bloom_filter.h"
+#include "storage/cached_row_reader.h"
 #include "storage/delta_table.h"
 #include "storage/row_store.h"
 #include "util/status.h"
@@ -24,14 +25,20 @@ namespace tsc {
 /// "TSCROWS1" row store, so a row that fits in one block is one access.
 class DiskBackedStore {
  public:
-  /// Opens the pair of files produced by ExportSvddToDisk.
+  /// Opens the pair of files produced by ExportSvddToDisk. With
+  /// `cache_blocks` > 0, U-row reads go through a BlockCache buffer pool
+  /// of that many blocks, so repeated access to hot rows costs no new
+  /// disk reads (the Appendix A skewed-workload serving mode).
   static StatusOr<DiskBackedStore> Open(const std::string& u_path,
-                                        const std::string& sidecar_path);
+                                        const std::string& sidecar_path,
+                                        std::size_t cache_blocks = 0);
 
   DiskBackedStore(DiskBackedStore&&) = default;
   DiskBackedStore& operator=(DiskBackedStore&&) = default;
 
-  std::size_t rows() const { return u_reader_->rows(); }
+  std::size_t rows() const {
+    return cached_ ? cached_->rows() : u_reader_->rows();
+  }
   std::size_t cols() const { return v_.rows(); }
   std::size_t k() const { return singular_values_.size(); }
 
@@ -42,17 +49,38 @@ class DiskBackedStore {
   /// Reconstructs a whole row with the same single U-row read.
   Status ReconstructRow(std::size_t row, std::span<double> out);
 
-  /// Disk accesses performed so far against the U file.
-  std::uint64_t disk_accesses() const { return u_reader_->counter().accesses(); }
-  void ResetCounters() { u_reader_->counter().Reset(); }
+  /// Disk accesses performed so far against the U file (cache misses
+  /// when a buffer pool is configured).
+  std::uint64_t disk_accesses() const {
+    return cached_ ? cached_->disk_accesses()
+                   : u_reader_->counter().accesses();
+  }
+  /// U-row block reads served from the buffer pool (0 when uncached);
+  /// together with disk_accesses() this yields the serving hit rate.
+  std::uint64_t cache_hits() const {
+    return cached_ ? cached_->cache_hits() : 0;
+  }
+  bool has_cache() const { return cached_ != nullptr; }
+  void ResetCounters() {
+    if (cached_) {
+      cached_->ResetStats();
+    } else {
+      u_reader_->counter().Reset();
+    }
+  }
 
   const DeltaTable& deltas() const { return deltas_; }
 
  private:
   DiskBackedStore() = default;
 
-  // unique_ptr keeps the reader's ifstream stable across moves.
+  /// Fetches row `row` of U through the cache when configured.
+  Status ReadURow(std::size_t row, std::span<double> out);
+
+  // unique_ptr keeps the reader's ifstream stable across moves. Exactly
+  // one of u_reader_ / cached_ is set.
   std::unique_ptr<RowStoreReader> u_reader_;
+  std::unique_ptr<CachedRowReader> cached_;
   std::vector<double> singular_values_;
   Matrix v_;
   DeltaTable deltas_;

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <optional>
 
 #include "core/parallel_build.h"
 #include "linalg/svd.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -134,26 +136,31 @@ StatusOr<Matrix> AccumulateColumnSimilarity(RowSource* source,
   // One partial C per shard; shard s accumulates rows i with
   // i % kBuildShards == s in stream order, independent of the chunking.
   std::vector<Matrix> partial(kBuildShards, Matrix(m, m));
-  TSC_RETURN_IF_ERROR(ForEachRowChunk(
-      source, [&](std::size_t base, std::size_t count, const Matrix& rows) {
-        ParallelFor(pool, kBuildShards, [&](std::size_t shard) {
-          Matrix& c = partial[shard];
-          for (std::size_t r = FirstShardRow(shard, base); r < count;
-               r += kBuildShards) {
-            const std::span<const double> row = rows.Row(r);
-            // Upper triangle only; mirrored below. The Figure 2 kernel.
-            for (std::size_t j = 0; j < m; ++j) {
-              const double xj = row[j];
-              if (xj == 0.0) continue;
-              double* crow = &c(j, 0);
-              for (std::size_t l = j; l < m; ++l) crow[l] += xj * row[l];
+  {
+    obs::TraceSpan accumulate_span("similarity.accumulate");
+    TSC_RETURN_IF_ERROR(ForEachRowChunk(
+        source, [&](std::size_t base, std::size_t count, const Matrix& rows) {
+          ParallelFor(pool, kBuildShards, [&](std::size_t shard) {
+            obs::TraceSpan shard_span("similarity.shard", shard);
+            Matrix& c = partial[shard];
+            for (std::size_t r = FirstShardRow(shard, base); r < count;
+                 r += kBuildShards) {
+              const std::span<const double> row = rows.Row(r);
+              // Upper triangle only; mirrored below. The Figure 2 kernel.
+              for (std::size_t j = 0; j < m; ++j) {
+                const double xj = row[j];
+                if (xj == 0.0) continue;
+                double* crow = &c(j, 0);
+                for (std::size_t l = j; l < m; ++l) crow[l] += xj * row[l];
+              }
             }
-          }
-        });
-        return Status::Ok();
-      }));
+          });
+          return Status::Ok();
+        }));
+  }
   // Ordered reduction: shard 0 + shard 1 + ... keeps the summation order
   // fixed regardless of which threads ran which shards.
+  obs::TraceSpan reduce_span("similarity.reduce");
   Matrix c = std::move(partial[0]);
   for (std::size_t s = 1; s < kBuildShards; ++s) {
     const std::vector<double>& src = partial[s].data();
@@ -174,20 +181,27 @@ StatusOr<Matrix> EmitUMatrix(RowSource* source, const Matrix& v,
   const std::size_t n = source->rows();
   const std::size_t m = source->cols();
   Matrix u(n, k);
+  obs::TraceSpan emit_span("emit_u");
   TSC_RETURN_IF_ERROR(ForEachRowChunk(
       source, [&](std::size_t base, std::size_t count, const Matrix& rows) {
         if (base + count > n) {
           return Status::Internal("source grew between passes");
         }
-        // Rows of U are independent: parallel over the chunk, each row
-        // written exactly once, so any schedule gives identical bits.
-        ParallelFor(pool, count, [&](std::size_t r) {
-          const std::span<const double> row = rows.Row(r);
-          const std::span<double> urow = u.Row(base + r);
-          for (std::size_t p = 0; p < k; ++p) {
-            double dot = 0.0;
-            for (std::size_t l = 0; l < m; ++l) dot += row[l] * v(l, p);
-            urow[p] = dot / singular_values[p];
+        // Rows of U are independent and each is written exactly once, so
+        // any schedule gives identical bits. Iterating shard-strided (like
+        // the other passes) instead of row-per-task keeps the fork/join
+        // count fixed and gives each shard a traceable unit of work.
+        ParallelFor(pool, kBuildShards, [&](std::size_t shard) {
+          obs::TraceSpan shard_span("emit_u.shard", shard);
+          for (std::size_t r = FirstShardRow(shard, base); r < count;
+               r += kBuildShards) {
+            const std::span<const double> row = rows.Row(r);
+            const std::span<double> urow = u.Row(base + r);
+            for (std::size_t p = 0; p < k; ++p) {
+              double dot = 0.0;
+              for (std::size_t l = 0; l < m; ++l) dot += row[l] * v(l, p);
+              urow[p] = dot / singular_values[p];
+            }
           }
         });
         return Status::Ok();
@@ -206,8 +220,14 @@ StatusOr<SvdModel> BuildSvdModel(RowSource* source,
     pool = std::make_unique<ThreadPool>(options.num_threads);
   }
 
+  // Phase spans: emplace ends the previous phase and opens the next, so
+  // the trace shows pass1 / eigen / pass2 back to back on this thread.
+  std::optional<obs::TraceSpan> phase;
+  phase.emplace("svd.pass1");
+
   // Pass 1: column-to-column similarity, then the in-memory eigenproblem.
   TSC_ASSIGN_OR_RETURN(Matrix c, AccumulateColumnSimilarity(source, pool.get()));
+  phase.emplace("svd.eigen");
   TSC_ASSIGN_OR_RETURN(EigenDecomposition eigen,
                        SymmetricEigen(c, options.solver));
 
@@ -235,8 +255,10 @@ StatusOr<SvdModel> BuildSvdModel(RowSource* source,
   }
 
   // Pass 2: U = X V Lambda^-1, one row of U per row of X (Figure 3).
+  phase.emplace("svd.pass2");
   TSC_ASSIGN_OR_RETURN(
       Matrix u, EmitUMatrix(source, v, singular_values, effective, pool.get()));
+  phase.reset();
   SvdModel model(std::move(u), std::move(singular_values), std::move(v));
   if (options.bytes_per_value == 4) {
     model.QuantizeToFloat();

@@ -8,6 +8,8 @@
 
 #include "core/parallel_build.h"
 #include "linalg/svd.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "linalg/symmetric_eigen.h"
 #include "util/bounded_heap.h"
 #include "util/kahan.h"
@@ -33,6 +35,14 @@ struct CellErr {
     return cell > other.cell;  // equal errors: the earlier cell ranks higher
   }
 };
+
+/// A Bloom pass followed by a delta miss is a false positive of the
+/// filter; the measured count backs EstimatedFalsePositiveRate().
+void CountBloomFalsePositive() {
+  static obs::Counter& false_positives =
+      obs::MetricRegistry::Default().GetCounter("bloom.false_positives");
+  false_positives.Increment();
+}
 
 /// Lock-free monotonic max for the shared pass-2 pruning threshold.
 void UpdateMax(std::atomic<double>& target, double value) {
@@ -79,7 +89,11 @@ double SvddModel::ReconstructCell(std::size_t row, std::size_t col) const {
   const std::uint64_t key = DeltaTable::CellKey(row, col, cols());
   if (bloom_.has_value() && !bloom_->MightContain(key)) return base;
   const std::optional<double> delta = deltas_.Get(key);
-  return delta.has_value() ? base + *delta : base;
+  if (!delta.has_value()) {
+    if (bloom_.has_value()) CountBloomFalsePositive();
+    return base;
+  }
+  return base + *delta;
 }
 
 void SvddModel::ReconstructRow(std::size_t row, std::span<double> out) const {
@@ -88,7 +102,11 @@ void SvddModel::ReconstructRow(std::size_t row, std::span<double> out) const {
     const std::uint64_t key = DeltaTable::CellKey(row, j, cols());
     if (bloom_.has_value() && !bloom_->MightContain(key)) continue;
     const std::optional<double> delta = deltas_.Get(key);
-    if (delta.has_value()) out[j] += *delta;
+    if (delta.has_value()) {
+      out[j] += *delta;
+    } else if (bloom_.has_value()) {
+      CountBloomFalsePositive();
+    }
   }
 }
 
@@ -161,10 +179,17 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
     pool = std::make_unique<ThreadPool>(options.num_threads);
   }
 
+  // Phase spans: emplace ends the previous phase and opens the next, so
+  // the trace shows the three passes back to back on the build thread,
+  // with the per-shard worker spans nested under each.
+  std::optional<obs::TraceSpan> phase;
+  phase.emplace("svdd.pass1");
+
   // ---------------------------------------------------------------------
   // Pass 1: column similarity -> eigensystem -> k_max and gamma_k.
   // ---------------------------------------------------------------------
   TSC_ASSIGN_OR_RETURN(Matrix c, AccumulateColumnSimilarity(source, pool.get()));
+  phase.emplace("svdd.eigen");
   TSC_ASSIGN_OR_RETURN(EigenDecomposition eigen,
                        SymmetricEigen(c, options.solver));
 
@@ -250,12 +275,14 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
                          std::memory_order_relaxed);
   }
 
+  phase.emplace("svdd.pass2");
   TSC_RETURN_IF_ERROR(ForEachRowChunk(
       source, [&](std::size_t base, std::size_t count, const Matrix& rows) {
         if (base + count > n) {
           return Status::Internal("source grew between passes");
         }
         ParallelFor(pool.get(), kBuildShards, [&](std::size_t si) {
+          obs::TraceSpan shard_span("svdd.pass2.shard", si);
           Pass2Shard& shard = shards[si];
           for (std::size_t r = FirstShardRow(si, base); r < count;
                r += kBuildShards) {
@@ -304,6 +331,7 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
   // merge each candidate's shard queues under the CellErr total order and
   // truncate to the allowance — exactly the unique global top-gamma_k set,
   // however the stream was split.
+  phase.emplace("svdd.pass2.merge");
   std::vector<double> sse(num_candidates, 0.0);
   for (std::size_t ci = 0; ci < num_candidates; ++ci) {
     KahanSum total;
@@ -350,10 +378,12 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
   // ---------------------------------------------------------------------
   // Pass 3: emit U at k_opt (Figure 5, using Eq. 11); row-parallel.
   // ---------------------------------------------------------------------
+  phase.emplace("svdd.pass3");
   TSC_ASSIGN_OR_RETURN(
       Matrix u, EmitUMatrix(source, v, singular_values, k_opt, pool.get()));
 
   // Assemble: truncate the factor matrices to k_opt and fill the table.
+  phase.emplace("svdd.assemble");
   std::vector<double> sv_opt(singular_values.begin(),
                              singular_values.begin() +
                                  static_cast<std::ptrdiff_t>(k_opt));
@@ -393,6 +423,13 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
     for (const auto& entry : entries) filter.Add(entry.key.cell);
     bloom = std::move(filter);
   }
+
+  phase.reset();
+
+  obs::MetricRegistry::Default().GetGauge("build.k_opt").Set(
+      static_cast<double>(k_opt));
+  obs::MetricRegistry::Default().GetGauge("build.delta_count").Set(
+      static_cast<double>(deltas.size()));
 
   if (diagnostics != nullptr) {
     diagnostics->k_max = k_max;

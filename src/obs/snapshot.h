@@ -1,0 +1,43 @@
+#ifndef TSC_OBS_SNAPSHOT_H_
+#define TSC_OBS_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace tsc::obs {
+
+/// Point-in-time copy of every instrument in a registry, with two
+/// serializations: an aligned human-readable table (TablePrinter) and a
+/// JSON document (schema in docs/observability.md).
+struct StatsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, Histogram::Summary>> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+
+  /// Aligned text table: one row per instrument, quantile columns filled
+  /// for histograms only.
+  std::string ToTable() const;
+
+  /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+  /// sum, mean, p50, p90, p99, max}}}
+  std::string ToJson() const;
+
+  Status WriteJsonFile(const std::string& path) const;
+};
+
+/// Snapshots `registry` (the process-wide default when omitted).
+StatsSnapshot TakeSnapshot(
+    const MetricRegistry& registry = MetricRegistry::Default());
+
+}  // namespace tsc::obs
+
+#endif  // TSC_OBS_SNAPSHOT_H_

@@ -1,0 +1,122 @@
+#ifndef TSC_OBS_TRACE_H_
+#define TSC_OBS_TRACE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace tsc::obs {
+
+/// One completed span, Chrome trace_event "X" (complete) semantics:
+/// [ts_us, ts_us + dur_us) on thread `tid`, nested `depth` spans deep on
+/// that thread at the time it opened.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   ///< start, microseconds since recorder start
+  double dur_us = 0.0;  ///< duration, microseconds
+  std::uint32_t tid = 0;
+  std::uint32_t depth = 0;
+};
+
+/// Bounded in-memory span sink. Disabled (and free) by default; Enable()
+/// arms it and TraceSpan destructors then append into a ring buffer of
+/// fixed capacity — once full, the oldest events are overwritten and
+/// dropped_events() counts what was lost. Export produces Chrome
+/// trace_event JSON loadable in chrome://tracing or https://ui.perfetto.dev.
+class TraceRecorder {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 1 << 16;
+
+  /// The process-wide recorder all TraceSpans report to.
+  static TraceRecorder& Default();
+
+  /// Arms the recorder with a fresh ring of `capacity` events and resets
+  /// the clock origin to now.
+  void Enable(std::size_t capacity = kDefaultCapacity);
+  void Disable();
+  bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  void Record(TraceEvent event);
+
+  /// Events currently retained, oldest first.
+  std::vector<TraceEvent> Events() const;
+  std::uint64_t dropped_events() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+  void Clear();
+
+  /// Chrome trace_event JSON ({"traceEvents": [...]}).
+  std::string ToChromeTraceJson() const;
+  Status ExportChromeTrace(const std::string& path) const;
+
+  /// Microseconds since the recorder's clock origin.
+  double NowMicros() const;
+
+ private:
+  TraceRecorder() = default;
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> dropped_{0};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  std::size_t capacity_ = kDefaultCapacity;
+  std::size_t next_ = 0;    ///< ring write cursor
+  bool wrapped_ = false;    ///< ring has overwritten at least once
+  std::chrono::steady_clock::time_point origin_ =
+      std::chrono::steady_clock::now();
+};
+
+/// RAII span: marks a region of work on the current thread. Construction
+/// is a single relaxed load when the recorder is disabled; when enabled it
+/// snapshots the clock and the thread-local nesting depth, and the
+/// destructor appends one TraceEvent. Spans must be destroyed in reverse
+/// construction order per thread (automatic with scoped locals).
+class TraceSpan {
+ public:
+#ifndef TSC_OBS_DISABLED
+  explicit TraceSpan(const char* name) {
+    if (!TraceRecorder::Default().enabled()) return;
+    Start(name);
+  }
+  /// Dynamic span name "<prefix><index>" (e.g. "pass2.shard", 3); the
+  /// string is only materialized when the recorder is armed.
+  TraceSpan(const char* prefix, std::size_t index) {
+    if (!TraceRecorder::Default().enabled()) return;
+    Start(std::string(prefix) + std::to_string(index));
+  }
+  ~TraceSpan() { Finish(); }
+#else
+  explicit TraceSpan(const char*) {}
+  TraceSpan(const char*, std::size_t) {}
+#endif
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Nesting depth of the calling thread's innermost open span (0 = none);
+  /// exposed for the span-nesting tests.
+  static std::uint32_t CurrentDepth();
+
+ private:
+#ifndef TSC_OBS_DISABLED
+  void Start(std::string name);
+  void Finish();
+
+  bool active_ = false;
+  std::string name_;
+  double start_us_ = 0.0;
+  std::uint32_t depth_ = 0;
+#endif
+};
+
+}  // namespace tsc::obs
+
+#endif  // TSC_OBS_TRACE_H_

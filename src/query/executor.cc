@@ -1,7 +1,11 @@
 #include "query/executor.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/parser.h"
 #include "storage/delta_table.h"
 #include "util/logging.h"
@@ -9,6 +13,12 @@
 
 namespace tsc {
 namespace {
+
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
 
 /// Per-group accumulator: streaming moments always, buffered values only
 /// when an order statistic (median) is requested.
@@ -242,6 +252,24 @@ std::vector<GroupAcc> ScanGroups(const QueryPlan& plan, std::size_t num_cols,
 
 }  // namespace
 
+std::string QueryResult::AnalyzeFooter() const {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "-- groups: %zu, aggregates: %zu (%llu compressed-domain)\n",
+                group_count(), aggregate_count,
+                static_cast<unsigned long long>(compressed_domain_aggregates));
+  out += line;
+  std::snprintf(line, sizeof(line), "-- rows reconstructed: %llu\n",
+                static_cast<unsigned long long>(rows_reconstructed));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "-- parse %.1f us, plan %.1f us, exec %.1f us\n", parse_us,
+                plan_us, exec_us);
+  out += line;
+  return out;
+}
+
 QueryExecutor::QueryExecutor(const CompressedStore* store) : store_(store) {
   TSC_CHECK(store != nullptr);
 }
@@ -265,11 +293,39 @@ StatusOr<std::string> QueryExecutor::Explain(
 
 StatusOr<QueryResult> QueryExecutor::Execute(
     const std::string& query_text) const {
-  TSC_ASSIGN_OR_RETURN(const QueryPlan plan, Plan(query_text));
-  return ExecutePlan(plan);
+  static obs::Histogram& parse_hist =
+      obs::MetricRegistry::Default().GetHistogram("query.parse_us");
+  static obs::Histogram& plan_hist =
+      obs::MetricRegistry::Default().GetHistogram("query.plan_us");
+
+  const auto parse_start = std::chrono::steady_clock::now();
+  TSC_ASSIGN_OR_RETURN(const QueryAst ast, ParseQuery(query_text));
+  const double parse_us = MicrosSince(parse_start);
+
+  const auto plan_start = std::chrono::steady_clock::now();
+  const std::size_t model_k = svdd_ != nullptr ? svdd_->k() : 0;
+  TSC_ASSIGN_OR_RETURN(const QueryPlan plan,
+                       PlanQuery(ast, rows(), cols(), model_k));
+  const double plan_us = MicrosSince(plan_start);
+
+  TSC_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(plan));
+  result.parse_us = parse_us;
+  result.plan_us = plan_us;
+  parse_hist.Record(parse_us);
+  plan_hist.Record(plan_us);
+  return result;
 }
 
 StatusOr<QueryResult> QueryExecutor::ExecutePlan(const QueryPlan& plan) const {
+  static obs::Histogram& exec_hist =
+      obs::MetricRegistry::Default().GetHistogram("query.exec_us");
+  static obs::Counter& query_count =
+      obs::MetricRegistry::Default().GetCounter("query.count");
+  static obs::Counter& scanned_counter =
+      obs::MetricRegistry::Default().GetCounter("query.rows_scanned");
+
+  obs::TraceSpan span("query.execute");
+  const auto exec_start = std::chrono::steady_clock::now();
   const bool any_reconstruction =
       std::any_of(plan.strategies.begin(), plan.strategies.end(),
                   [&](ExecutionStrategy s) {
@@ -286,7 +342,13 @@ StatusOr<QueryResult> QueryExecutor::ExecutePlan(const QueryPlan& plan) const {
         &rows_scanned);
   }
   const ResultBuilder builder(plan, svdd_);
-  return builder.Build(group_stats, rows_scanned);
+  TSC_ASSIGN_OR_RETURN(QueryResult result,
+                       builder.Build(group_stats, rows_scanned));
+  result.exec_us = MicrosSince(exec_start);
+  exec_hist.Record(result.exec_us);
+  query_count.Increment();
+  scanned_counter.Add(rows_scanned);
+  return result;
 }
 
 StatusOr<QueryResult> ExecuteExact(const Matrix& data,

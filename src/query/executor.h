@@ -27,12 +27,22 @@ struct QueryResult {
   std::uint64_t compressed_domain_aggregates = 0;
   std::string plan_text;
 
+  /// Stage latencies, microseconds. parse_us and plan_us are only filled
+  /// by Execute() (ExecutePlan never saw the text); exec_us always is.
+  double parse_us = 0.0;
+  double plan_us = 0.0;
+  double exec_us = 0.0;
+
   std::size_t group_count() const {
     return aggregate_count == 0 ? 0 : values.size() / aggregate_count;
   }
   double ValueAt(std::size_t group, std::size_t aggregate) const {
     return values[group * aggregate_count + aggregate];
   }
+
+  /// EXPLAIN ANALYZE-style footer: stage latencies and scan counts, one
+  /// "-- " line each, appended after the result table by `sql --analyze`.
+  std::string AnalyzeFooter() const;
 };
 
 /// Runs ad hoc SQL-ish queries against a compressed model. The executor

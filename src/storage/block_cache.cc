@@ -1,8 +1,33 @@
 #include "storage/block_cache.h"
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace tsc {
+namespace {
+
+// Process-wide cache instruments, shared by every BlockCache instance.
+// References are stable for the process lifetime (registry never deletes),
+// so the map lookup happens once.
+struct CacheMetrics {
+  obs::Counter& hits =
+      obs::MetricRegistry::Default().GetCounter("block_cache.hits");
+  obs::Counter& misses =
+      obs::MetricRegistry::Default().GetCounter("block_cache.misses");
+  obs::Counter& evictions =
+      obs::MetricRegistry::Default().GetCounter("block_cache.evictions");
+  obs::Counter& evicted_pinned = obs::MetricRegistry::Default().GetCounter(
+      "block_cache.evicted_pinned");
+  obs::Gauge& cached_blocks =
+      obs::MetricRegistry::Default().GetGauge("block_cache.cached_blocks");
+};
+
+CacheMetrics& Metrics() {
+  static CacheMetrics* metrics = new CacheMetrics();
+  return *metrics;
+}
+
+}  // namespace
 
 BlockCache::BlockCache(std::size_t capacity_blocks, std::size_t block_size)
     : capacity_blocks_(capacity_blocks), block_size_(block_size) {
@@ -16,23 +41,31 @@ StatusOr<BlockCache::Handle> BlockCache::Get(std::uint64_t block_id,
   const auto it = entries_.find(block_id);
   if (it != entries_.end()) {
     ++hits_;
+    Metrics().hits.Increment();
     lru_.splice(lru_.begin(), lru_, it->second);  // move to front
     return it->second->data;
   }
   ++misses_;
+  Metrics().misses.Increment();
   auto block = std::make_shared<Block>(block_size_);
   TSC_RETURN_IF_ERROR(fetch(block_id, block.get()));
   if (entries_.size() >= capacity_blocks_) {
     // Evict the LRU entry. Any Handle still pointing at the victim keeps
     // its bytes alive; only the cache's reference is dropped.
     const Entry& victim = lru_.back();
+    if (victim.data.use_count() > 1) {
+      Metrics().evicted_pinned.Increment();
+    }
     entries_.erase(victim.block_id);
     lru_.pop_back();
     ++evictions_;
+    Metrics().evictions.Increment();
+    Metrics().cached_blocks.Add(-1.0);
   }
   Handle handle = std::move(block);
   lru_.push_front(Entry{block_id, handle});
   entries_[block_id] = lru_.begin();
+  Metrics().cached_blocks.Add(1.0);
   return handle;
 }
 
@@ -42,12 +75,18 @@ void BlockCache::Invalidate(std::uint64_t block_id) {
   if (it == entries_.end()) return;
   lru_.erase(it->second);
   entries_.erase(it);
+  Metrics().cached_blocks.Add(-1.0);
 }
 
 void BlockCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
+  Metrics().cached_blocks.Add(-static_cast<double>(entries_.size()));
   lru_.clear();
   entries_.clear();
+}
+
+BlockCache::~BlockCache() {
+  Metrics().cached_blocks.Add(-static_cast<double>(entries_.size()));
 }
 
 }  // namespace tsc

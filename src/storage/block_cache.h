@@ -34,6 +34,7 @@ class BlockCache {
 
   /// `capacity_blocks` blocks of `block_size` bytes each.
   BlockCache(std::size_t capacity_blocks, std::size_t block_size);
+  ~BlockCache();
 
   using FetchFn = std::function<Status(std::uint64_t block_id, Block*)>;
 

@@ -28,6 +28,9 @@ class CachedRowReader {
   std::uint64_t disk_accesses() const {
     return reader_->counter().accesses();
   }
+  /// Block reads served straight from the cache; with disk_accesses()
+  /// this makes the hit rate computable: hits / (hits + misses).
+  std::uint64_t cache_hits() const { return cache_.hits(); }
   const BlockCache& cache() const { return cache_; }
   void ResetStats() {
     reader_->counter().Reset();

@@ -2,6 +2,7 @@
 
 #include <bit>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace tsc {
@@ -88,14 +89,30 @@ void DeltaTable::Put(std::uint64_t key, double delta) {
 }
 
 std::optional<double> DeltaTable::Get(std::uint64_t key) const {
+  static obs::Counter& lookups =
+      obs::MetricRegistry::Default().GetCounter("delta.lookups");
+  static obs::Counter& hits =
+      obs::MetricRegistry::Default().GetCounter("delta.hits");
+  static obs::Histogram& probe_length =
+      obs::MetricRegistry::Default().GetHistogram("delta.probe_length");
   std::size_t slot = HashKey(key) & Mask();
+  std::uint64_t probes = 0;
+  std::optional<double> result;
   for (;;) {
-    probe_count_.fetch_add(1, std::memory_order_relaxed);
+    ++probes;
     const Bucket& b = buckets_[slot];
-    if (!b.occupied) return std::nullopt;
-    if (b.key == key) return b.delta;
+    if (!b.occupied) break;
+    if (b.key == key) {
+      result = b.delta;
+      break;
+    }
     slot = (slot + 1) & Mask();
   }
+  probe_count_.fetch_add(probes, std::memory_order_relaxed);
+  lookups.Increment();
+  if (result.has_value()) hits.Increment();
+  probe_length.Record(static_cast<double>(probes));
+  return result;
 }
 
 void DeltaTable::Grow() {

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
 
 namespace tsc {
@@ -15,10 +16,16 @@ constexpr std::uint64_t kHeaderBytes = 8 + 8 + 8;  // magic + rows + cols
 void DiskAccessCounter::RecordRead(std::uint64_t offset,
                                    std::uint64_t length) {
   if (length == 0) return;
+  static obs::Counter& accesses =
+      obs::MetricRegistry::Default().GetCounter("storage.disk.accesses");
+  static obs::Counter& bytes_read =
+      obs::MetricRegistry::Default().GetCounter("storage.disk.bytes_read");
   const std::uint64_t first = offset / block_size_;
   const std::uint64_t last = (offset + length - 1) / block_size_;
   accesses_ += last - first + 1;
   bytes_read_ += length;
+  accesses.Add(last - first + 1);
+  bytes_read.Add(length);
 }
 
 StatusOr<RowStoreWriter> RowStoreWriter::Create(const std::string& path,

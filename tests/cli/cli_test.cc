@@ -206,6 +206,76 @@ TEST_F(CliPipelineTest, QuantizedCompress) {
   EXPECT_EQ(info.exit_code, 0) << info.err;
 }
 
+TEST_F(CliPipelineTest, SqlAnalyzeAppendsFooter) {
+  const CliResult result =
+      RunTool({"sql", "--model=" + *model_path_, "--analyze",
+               "--query=SELECT sum(value) WHERE row IN 0:9"});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  EXPECT_NE(result.out.find("-- groups:"), std::string::npos);
+  EXPECT_NE(result.out.find("-- rows reconstructed:"), std::string::npos);
+  EXPECT_NE(result.out.find("-- parse"), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, StatsServesWorkloadAndPrintsDerivedLines) {
+  const CliResult result = RunTool({"stats", "--model=" + *model_path_,
+                                    "--queries=200", "--cache-blocks=32"});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  // Derived lines come from component counters, so they print in every
+  // build flavor (including TSC_OBS_DISABLED).
+  EXPECT_NE(result.out.find("cell queries"), std::string::npos);
+  EXPECT_NE(result.out.find("disk accesses"), std::string::npos);
+  EXPECT_NE(result.out.find("cache hit rate"), std::string::npos);
+#ifndef TSC_OBS_DISABLED
+  // The registry table follows with the raw instruments.
+  EXPECT_NE(result.out.find("bloom.probes"), std::string::npos);
+  EXPECT_NE(result.out.find("delta.probe_length"), std::string::npos);
+  EXPECT_NE(result.out.find("query.exec_us"), std::string::npos);
+#endif
+}
+
+TEST_F(CliPipelineTest, StatsRequiresSvddModel) {
+  const std::string model = TempPath("stats_svd.bin");
+  ASSERT_EQ(RunTool({"compress", "--input=" + *data_path_, "--out=" + model,
+                 "--space=10", "--method=svd"})
+                .exit_code,
+            0);
+  EXPECT_EQ(RunTool({"stats", "--model=" + model}).exit_code, 1);
+}
+
+TEST_F(CliPipelineTest, MetricsOutWritesRegistryJson) {
+  const std::string metrics_path = TempPath("cli_metrics.json");
+  const CliResult result =
+      RunTool({"sql", "--model=" + *model_path_,
+               "--query=SELECT count(*)",
+               "--metrics-out=" + metrics_path});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  std::ifstream in(metrics_path);
+  ASSERT_TRUE(in.good()) << "metrics file not written";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"counters\""), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"histograms\""), std::string::npos);
+}
+
+TEST_F(CliPipelineTest, TraceOutWritesChromeTraceJson) {
+  const std::string trace_path = TempPath("cli_trace.json");
+  const std::string model = TempPath("trace_model.bin");
+  const CliResult result =
+      RunTool({"compress", "--input=" + *data_path_, "--out=" + model,
+               "--space=10", "--trace-out=" + trace_path});
+  ASSERT_EQ(result.exit_code, 0) << result.err;
+  std::ifstream in(trace_path);
+  ASSERT_TRUE(in.good()) << "trace file not written";
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_NE(buffer.str().find("\"traceEvents\""), std::string::npos);
+#ifndef TSC_OBS_DISABLED
+  // The build's phase spans are in the trace.
+  EXPECT_NE(buffer.str().find("svdd.pass1"), std::string::npos);
+  EXPECT_NE(buffer.str().find("\"ph\":\"X\""), std::string::npos);
+#endif
+}
+
 TEST(CliTest, CompressRejectsMissingInput) {
   EXPECT_EQ(RunTool({"compress", "--out=" + TempPath("m.bin")}).exit_code, 1);
   EXPECT_EQ(RunTool({"compress", "--input=/nonexistent.mat",

@@ -1,0 +1,116 @@
+// Overhead guard for the instrument layer: a single-cell query through
+// the executor must not get more than 5% slower with instruments enabled
+// than with them runtime-disabled, inside the same binary. This covers
+// the full instrumented path — executor stage histograms and counters,
+// plus the delta/bloom instruments reached during reconstruction.
+//
+// Methodology: many short measurement segments, strictly alternating
+// configurations so both sample the same machine conditions, scored by
+// the per-configuration minimum (the minimum filters scheduler noise far
+// better than the mean). Skips rather than flakes when the machine is
+// too noisy for the comparison to mean anything.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/svdd_compressor.h"
+#include "data/generators.h"
+#include "obs/metrics.h"
+#include "query/executor.h"
+#include "storage/row_source.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+namespace tsc {
+namespace {
+
+constexpr int kSegmentsPerConfig = 24;
+
+double MeasureSegmentMicros(const QueryExecutor& executor,
+                            const std::vector<std::string>& queries) {
+  Timer timer;
+  for (const std::string& query : queries) {
+    const auto result = executor.Execute(query);
+    TSC_CHECK_OK(result.status());
+  }
+  return timer.ElapsedMillis() * 1000.0;
+}
+
+TEST(ObsOverheadTest, InstrumentsCostUnderFivePercentOnCellQueries) {
+  PhoneDatasetConfig config;
+  config.num_customers = 400;
+  config.num_days = 64;
+  config.seed = 11;
+  const Matrix data = GeneratePhoneDataset(config).values;
+  MatrixRowSource source(&data);
+  SvddBuildOptions options;
+  options.space_percent = 10.0;
+  options.max_candidates = 8;
+  auto model = BuildSvddModel(&source, options);
+  ASSERT_TRUE(model.ok()) << model.status().ToString();
+  const QueryExecutor executor(&*model);
+
+  std::vector<std::string> queries;
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    const std::size_t row = rng.UniformUint64(data.rows());
+    const std::size_t col = rng.UniformUint64(data.cols());
+    queries.push_back("select sum(value) where row in " +
+                      std::to_string(row) + ":" + std::to_string(row) +
+                      " and col in " + std::to_string(col) + ":" +
+                      std::to_string(col));
+  }
+
+  // Warm up allocators, code paths, and the instrument registry entries
+  // before timing anything.
+  (void)MeasureSegmentMicros(executor, queries);
+  (void)MeasureSegmentMicros(executor, queries);
+
+  const auto measure = [&](bool instruments) {
+    obs::SetInstrumentsEnabled(instruments);
+    const double micros = MeasureSegmentMicros(executor, queries);
+    obs::SetInstrumentsEnabled(true);
+    return micros;
+  };
+
+  std::vector<double> disabled_segments;
+  double min_enabled = 1e300;
+  for (int segment = 0; segment < kSegmentsPerConfig; ++segment) {
+    // Alternate which configuration goes first so slow drift (thermal,
+    // background load) cancels instead of biasing one side.
+    if (segment % 2 == 0) {
+      disabled_segments.push_back(measure(false));
+      min_enabled = std::min(min_enabled, measure(true));
+    } else {
+      min_enabled = std::min(min_enabled, measure(true));
+      disabled_segments.push_back(measure(false));
+    }
+  }
+  std::sort(disabled_segments.begin(), disabled_segments.end());
+  const double min_disabled = disabled_segments.front();
+  const double med_disabled = disabled_segments[disabled_segments.size() / 2];
+
+  // A baseline that won't sit still can't anchor a 5% comparison: if even
+  // the median disabled segment is 20% above the best one, scheduler noise
+  // dwarfs the effect being measured.
+  if (med_disabled > 1.2 * min_disabled) {
+    GTEST_SKIP() << "machine too noisy: disabled segments min "
+                 << min_disabled << " us, median " << med_disabled << " us";
+  }
+
+  const double ratio = min_enabled / min_disabled;
+  std::printf("single-cell query overhead: disabled %.1f us, enabled "
+              "%.1f us, ratio %.4f\n",
+              min_disabled, min_enabled, ratio);
+  EXPECT_LT(ratio, 1.05)
+      << "instruments cost " << (ratio - 1.0) * 100.0
+      << "% on the single-cell query path (budget: 5%)";
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,58 @@
+#include "obs/snapshot.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tsc::obs {
+namespace {
+
+TEST(StatsSnapshotTest, EmptyRegistryYieldsEmptySnapshot) {
+  MetricRegistry registry;
+  const StatsSnapshot snapshot = TakeSnapshot(registry);
+  EXPECT_TRUE(snapshot.empty());
+  EXPECT_NE(snapshot.ToJson().find("\"counters\":{}"), std::string::npos);
+}
+
+TEST(StatsSnapshotTest, TableAndJsonCarryEveryInstrument) {
+#ifdef TSC_OBS_DISABLED
+  GTEST_SKIP() << "instruments compiled out (TSC_OBS_DISABLED)";
+#endif
+  MetricRegistry registry;
+  registry.GetCounter("cache.hits").Add(42);
+  registry.GetGauge("cache.blocks").Set(7.0);
+  registry.GetHistogram("query.us").Record(12.0);
+  const StatsSnapshot snapshot = TakeSnapshot(registry);
+  EXPECT_FALSE(snapshot.empty());
+
+  const std::string table = snapshot.ToTable();
+  EXPECT_NE(table.find("cache.hits"), std::string::npos);
+  EXPECT_NE(table.find("42"), std::string::npos);
+  EXPECT_NE(table.find("cache.blocks"), std::string::npos);
+  EXPECT_NE(table.find("query.us"), std::string::npos);
+
+  const std::string json = snapshot.ToJson();
+  EXPECT_NE(json.find("\"cache.hits\":42"), std::string::npos);
+  EXPECT_NE(json.find("\"query.us\":{\"count\":1"), std::string::npos);
+}
+
+TEST(StatsSnapshotTest, WriteJsonFileRoundTrips) {
+  MetricRegistry registry;
+  registry.GetCounter("file.test").Add(1);
+  const std::string path = ::testing::TempDir() + "/snapshot_test.json";
+  ASSERT_TRUE(TakeSnapshot(registry).WriteJsonFile(path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  char buffer[2048];
+  const std::size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  buffer[read] = '\0';
+  EXPECT_NE(std::string(buffer).find("\"counters\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsc::obs

@@ -1,0 +1,189 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tsc::obs {
+namespace {
+
+/// Every test leaves the process-wide recorder disarmed and empty.
+class TraceTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    TraceRecorder::Default().Disable();
+    TraceRecorder::Default().Clear();
+  }
+};
+
+TEST_F(TraceTest, DisabledRecorderSeesNothing) {
+  ASSERT_FALSE(TraceRecorder::Default().enabled());
+  {
+    TraceSpan span("invisible");
+  }
+  EXPECT_TRUE(TraceRecorder::Default().Events().empty());
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0u);
+}
+
+#ifndef TSC_OBS_DISABLED
+
+TEST_F(TraceTest, NestedSpansRecordDepthAndOrder) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable();
+  {
+    TraceSpan outer("outer");
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 1u);
+    {
+      TraceSpan inner("inner");
+      EXPECT_EQ(TraceSpan::CurrentDepth(), 2u);
+    }
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 1u);
+  }
+  EXPECT_EQ(TraceSpan::CurrentDepth(), 0u);
+  recorder.Disable();
+
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Destructor order: the inner span finishes (and records) first.
+  EXPECT_EQ(events[0].name, "inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  EXPECT_EQ(events[1].name, "outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  // The outer interval contains the inner one.
+  EXPECT_LE(events[1].ts_us, events[0].ts_us);
+  EXPECT_GE(events[1].ts_us + events[1].dur_us,
+            events[0].ts_us + events[0].dur_us);
+  EXPECT_GE(events[0].dur_us, 0.0);
+  // Both spans ran on this thread.
+  EXPECT_EQ(events[0].tid, events[1].tid);
+}
+
+TEST_F(TraceTest, IndexedSpanNamesAppendTheIndex) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable();
+  {
+    TraceSpan span("pass2.shard", 7);
+  }
+  recorder.Disable();
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "pass2.shard7");
+}
+
+TEST_F(TraceTest, RingOverflowKeepsNewestAndCountsDropped) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("span", static_cast<std::size_t>(i));
+  }
+  recorder.Disable();
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(recorder.dropped_events(), 6u);
+  // Oldest-first order, newest four retained.
+  EXPECT_EQ(events[0].name, "span6");
+  EXPECT_EQ(events[3].name, "span9");
+}
+
+TEST_F(TraceTest, ChromeTraceJsonIsWellFormed) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable();
+  {
+    TraceSpan outer("build");
+    TraceSpan inner("pass \"one\"\n");  // name needing JSON escaping
+  }
+  recorder.Disable();
+
+  const std::string json = recorder.ToChromeTraceJson();
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"build\""), std::string::npos);
+  EXPECT_NE(json.find("\"pass \\\"one\\\"\\n\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"droppedEvents\":0"), std::string::npos);
+  // No raw control characters survive escaping.
+  for (const char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  // Braces and brackets balance.
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST_F(TraceTest, ExportWritesTheJsonFile) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable();
+  {
+    TraceSpan span("exported");
+  }
+  recorder.Disable();
+  const std::string path = ::testing::TempDir() + "/trace_test.json";
+  ASSERT_TRUE(recorder.ExportChromeTrace(path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(file, nullptr);
+  char buffer[4096];
+  const std::size_t read = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  buffer[read] = '\0';
+  EXPECT_NE(std::string(buffer).find("\"exported\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ReEnableResetsClockAndRing) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("old");
+  }
+  recorder.Enable();  // re-arm: fresh ring, zero dropped
+  {
+    TraceSpan span("new");
+  }
+  recorder.Disable();
+  const std::vector<TraceEvent> events = recorder.Events();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "new");
+  EXPECT_EQ(recorder.dropped_events(), 0u);
+}
+
+#else  // TSC_OBS_DISABLED
+
+TEST_F(TraceTest, SpansCompileToNothingWhenDisabled) {
+  TraceRecorder& recorder = TraceRecorder::Default();
+  recorder.Enable();
+  {
+    TraceSpan outer("outer");
+    TraceSpan indexed("shard", 3);
+    EXPECT_EQ(TraceSpan::CurrentDepth(), 0u);
+  }
+  recorder.Disable();
+  EXPECT_TRUE(recorder.Events().empty());
+}
+
+#endif  // TSC_OBS_DISABLED
+
+}  // namespace
+}  // namespace tsc::obs

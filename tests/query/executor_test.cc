@@ -232,6 +232,34 @@ TEST_F(ExecutorTest, ParseAndRangeErrorsPropagate) {
   EXPECT_FALSE(executor.Execute("select sum(value) where row in 99999").ok());
 }
 
+TEST_F(ExecutorTest, ExecuteFillsStageLatencies) {
+  QueryExecutor executor(model_);
+  const auto result = executor.Execute("select sum(value)");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+#ifndef TSC_OBS_DISABLED
+  EXPECT_GT(result->parse_us, 0.0);
+  EXPECT_GT(result->plan_us, 0.0);
+  EXPECT_GT(result->exec_us, 0.0);
+#endif
+}
+
+TEST_F(ExecutorTest, AnalyzeFooterReportsStagesAndScanCounts) {
+  QueryExecutor executor(model_);
+  const auto result =
+      executor.Execute("select avg(value) where row in 0:19");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const std::string footer = result->AnalyzeFooter();
+  // One "-- " line per fact; stable enough for the docs' example.
+  EXPECT_NE(footer.find("-- "), std::string::npos);
+  EXPECT_NE(footer.find("groups"), std::string::npos);
+  EXPECT_NE(footer.find("rows reconstructed"), std::string::npos);
+  EXPECT_NE(footer.find("parse"), std::string::npos);
+  EXPECT_NE(footer.find("exec"), std::string::npos);
+  // The footer reflects this result's numbers.
+  EXPECT_NE(footer.find(std::to_string(result->rows_reconstructed)),
+            std::string::npos);
+}
+
 TEST_F(ExecutorTest, DeltasVisibleToCompressedDomainSum) {
   // Patch a cell, then query a region containing it with the fast path:
   // the result must include the patch.
