@@ -35,8 +35,9 @@ commands:
              [--b=8|4] [--no-bloom] [--max-candidates=K] [--threads=N]
   info       --model=MODEL
   query      --model=MODEL (--q="avg rows=0:9 cols=1,3:5" | --cell=i,j)
+             [--threads=N]
   sql        --model=MODEL --query="SELECT sum(value) WHERE row IN 0:99"
-             [--explain] [--analyze]
+             [--explain] [--analyze] [--threads=N]
   topk       --model=MODEL --count=10 [--cols=a:b] (largest column-range sums)
   similar    --model=MODEL --row=I --count=5 (nearest sequences in SVD space)
   evaluate   --model=MODEL --input=FILE
@@ -264,7 +265,21 @@ int CmdQuery(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   for (const std::size_t c : query->col_ids) {
     if (c >= store.cols()) return Fail(err, Status::OutOfRange("col id"));
   }
-  out << EvaluateAggregate(store, *query) << "\n";
+  // Run through the executor's batched (optionally multi-threaded) scan;
+  // the fixed-shard reduction makes the result identical for any
+  // --threads value.
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.GetInt("threads", 1));
+  const QueryExecutor executor(&store, threads);
+  QueryPlan plan;
+  plan.row_ids = query->row_ids;
+  plan.col_ids = query->col_ids;
+  plan.aggregates = {query->fn};
+  plan.strategies = {ExecutionStrategy::kRowReconstruction};
+  plan.group_by = GroupBy::kNone;
+  auto result = executor.ExecutePlan(plan);
+  if (!result.ok()) return Fail(err, result.status());
+  out << result->ValueAt(0, 0) << "\n";
   return 0;
 }
 
@@ -279,9 +294,11 @@ int CmdSql(const FlagParser& flags, std::ostream& out, std::ostream& err) {
       loaded->kind == "svdd"
           ? static_cast<const SvddModel*>(loaded->store.get())
           : nullptr;
+  const std::size_t threads =
+      static_cast<std::size_t>(flags.GetInt("threads", 1));
   const QueryExecutor executor =
-      svdd != nullptr ? QueryExecutor(svdd)
-                      : QueryExecutor(loaded->store.get());
+      svdd != nullptr ? QueryExecutor(svdd, threads)
+                      : QueryExecutor(loaded->store.get(), threads);
   if (flags.GetBool("explain", false)) {
     auto plan = executor.Explain(text);
     if (!plan.ok()) return Fail(err, plan.status());
@@ -404,8 +421,23 @@ int CmdReconstruct(const FlagParser& flags, std::ostream& out,
   Dataset dataset;
   dataset.name = "reconstruction";
   dataset.values = Matrix(rows, store.cols());
-  for (std::size_t i = 0; i < rows; ++i) {
-    store.ReconstructRow(i, dataset.values.Row(i));
+  // Batched reconstruction in row blocks: one blocked U x (Lambda V^T)
+  // product (plus one delta sweep for SVDD) per block instead of a
+  // cell-by-cell loop.
+  std::vector<std::size_t> all_cols(store.cols());
+  for (std::size_t j = 0; j < store.cols(); ++j) all_cols[j] = j;
+  constexpr std::size_t kBlockRows = 64;
+  Matrix block;
+  std::vector<std::size_t> block_rows;
+  for (std::size_t i = 0; i < rows; i += kBlockRows) {
+    const std::size_t count = std::min(kBlockRows, rows - i);
+    block_rows.resize(count);
+    for (std::size_t r = 0; r < count; ++r) block_rows[r] = i + r;
+    store.ReconstructRegion(block_rows, all_cols, &block);
+    for (std::size_t r = 0; r < count; ++r) {
+      const std::span<const double> src = block.Row(r);
+      std::copy(src.begin(), src.end(), dataset.values.Row(i + r).begin());
+    }
   }
   const Status status = SaveCsv(dataset, path);
   if (!status.ok()) return Fail(err, status);

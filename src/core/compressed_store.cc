@@ -1,5 +1,7 @@
 #include "core/compressed_store.h"
 
+#include <vector>
+
 #include "util/logging.h"
 
 namespace tsc {
@@ -8,6 +10,32 @@ void CompressedStore::ReconstructRow(std::size_t row,
                                      std::span<double> out) const {
   TSC_CHECK_EQ(out.size(), cols());
   for (std::size_t j = 0; j < cols(); ++j) out[j] = ReconstructCell(row, j);
+}
+
+void CompressedStore::ReconstructCells(std::span<const CellRef> cells,
+                                       std::span<double> out) const {
+  TSC_CHECK_EQ(out.size(), cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out[i] = ReconstructCell(cells[i].row, cells[i].col);
+  }
+}
+
+void CompressedStore::ReconstructRegion(std::span<const std::size_t> row_ids,
+                                        std::span<const std::size_t> col_ids,
+                                        Matrix* out) const {
+  if (out->rows() != row_ids.size() || out->cols() != col_ids.size()) {
+    *out = Matrix(row_ids.size(), col_ids.size());
+  }
+  // One full-row reconstruction per selected row (the pre-batching cost
+  // model), then gather the selected columns.
+  std::vector<double> scratch(cols());
+  for (std::size_t r = 0; r < row_ids.size(); ++r) {
+    ReconstructRow(row_ids[r], scratch);
+    const std::span<double> dst = out->Row(r);
+    for (std::size_t c = 0; c < col_ids.size(); ++c) {
+      dst[c] = scratch[col_ids[c]];
+    }
+  }
 }
 
 Matrix CompressedStore::ReconstructAll() const {

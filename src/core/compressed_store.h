@@ -9,6 +9,12 @@
 
 namespace tsc {
 
+/// One cell address for the batched reconstruction API.
+struct CellRef {
+  std::size_t row = 0;
+  std::size_t col = 0;
+};
+
 /// A compressed representation of an N x M time-sequence matrix that
 /// supports "random access": reconstructing any cell in time independent
 /// of N and M. Every compression method in this library (SVD, SVDD, DCT,
@@ -29,6 +35,22 @@ class CompressedStore {
   /// implementation calls ReconstructCell per column; models override it
   /// when a row can be formed more efficiently.
   virtual void ReconstructRow(std::size_t row, std::span<double> out) const;
+
+  /// Batched point reconstruction: out[i] = cell cells[i]. `out` must
+  /// have cells.size() entries. The default loops over ReconstructCell;
+  /// the SVD/SVDD models override it with vectorized dots against a
+  /// precomputed Lambda-weighted V and amortized side-structure lookups.
+  virtual void ReconstructCells(std::span<const CellRef> cells,
+                                std::span<double> out) const;
+
+  /// Batched region reconstruction: fills `out` (resized to
+  /// row_ids.size() x col_ids.size()) with the cross product of the
+  /// selected rows and columns. The default reconstructs each selected
+  /// row once and gathers the selected columns; the SVD/SVDD models
+  /// override it with a blocked U * (Lambda V^T) product.
+  virtual void ReconstructRegion(std::span<const std::size_t> row_ids,
+                                 std::span<const std::size_t> col_ids,
+                                 Matrix* out) const;
 
   /// Bytes the compressed representation occupies on disk under the
   /// space-accounting rules of Section 5.1.

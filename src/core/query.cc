@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
+#include <cstdlib>
 #include <limits>
 #include <sstream>
 
@@ -48,6 +50,23 @@ class AggregateAccumulator {
   std::vector<double> values_;
 };
 
+/// Upper bound on the ids one selection may expand to. Selections name
+/// rows/columns of a matrix that fits on one machine, so anything past
+/// this is a typo (e.g. "0:999999999999") that would otherwise stall the
+/// process allocating the id list.
+constexpr std::uint64_t kMaxSelectionIds = 1ull << 24;  // 16M
+
+/// Parses one fully-consumed non-negative integer; rejects trailing
+/// garbage ("3x7" is an error, not 3).
+StatusOr<long long> ParseIndex(const std::string& text) {
+  char* end = nullptr;
+  const long long id = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || id < 0) {
+    return Status::InvalidArgument("bad index: " + text);
+  }
+  return id;
+}
+
 StatusOr<std::vector<std::size_t>> ParseSelection(const std::string& text) {
   std::vector<std::size_t> ids;
   std::stringstream ss(text);
@@ -55,27 +74,28 @@ StatusOr<std::vector<std::size_t>> ParseSelection(const std::string& text) {
   while (std::getline(ss, token, ',')) {
     if (token.empty()) continue;
     const std::size_t colon = token.find(':');
-    char* end = nullptr;
     if (colon == std::string::npos) {
-      const long long id = std::strtoll(token.c_str(), &end, 10);
-      if (end == token.c_str() || id < 0) {
-        return Status::InvalidArgument("bad index: " + token);
-      }
+      TSC_ASSIGN_OR_RETURN(const long long id, ParseIndex(token));
       ids.push_back(static_cast<std::size_t>(id));
     } else {
-      const std::string lo_text = token.substr(0, colon);
-      const std::string hi_text = token.substr(colon + 1);
-      const long long lo = std::strtoll(lo_text.c_str(), &end, 10);
-      if (end == lo_text.c_str() || lo < 0) {
-        return Status::InvalidArgument("bad range start: " + token);
-      }
-      const long long hi = std::strtoll(hi_text.c_str(), &end, 10);
-      if (end == hi_text.c_str() || hi < lo) {
+      StatusOr<long long> lo = ParseIndex(token.substr(0, colon));
+      if (!lo.ok()) return Status::InvalidArgument("bad range start: " + token);
+      StatusOr<long long> hi = ParseIndex(token.substr(colon + 1));
+      if (!hi.ok() || *hi < *lo) {
         return Status::InvalidArgument("bad range end: " + token);
       }
-      for (long long i = lo; i <= hi; ++i) {
+      const std::uint64_t span = static_cast<std::uint64_t>(*hi - *lo) + 1;
+      if (span > kMaxSelectionIds ||
+          ids.size() + span > kMaxSelectionIds) {
+        return Status::InvalidArgument(
+            "selection too large (over 16M ids): " + token);
+      }
+      for (long long i = *lo; i <= *hi; ++i) {
         ids.push_back(static_cast<std::size_t>(i));
       }
+    }
+    if (ids.size() > kMaxSelectionIds) {
+      return Status::InvalidArgument("selection too large (over 16M ids)");
     }
   }
   if (ids.empty()) return Status::InvalidArgument("empty selection");

@@ -6,6 +6,7 @@
 #include <optional>
 
 #include "core/parallel_build.h"
+#include "linalg/kernels.h"
 #include "linalg/svd.h"
 #include "obs/trace.h"
 #include "util/logging.h"
@@ -24,27 +25,66 @@ SvdModel::SvdModel(Matrix u, std::vector<double> singular_values, Matrix v)
       v_(std::move(v)) {
   TSC_CHECK_EQ(u_.cols(), singular_values_.size());
   TSC_CHECK_EQ(v_.cols(), singular_values_.size());
+  RebuildWeightedV();
+}
+
+void SvdModel::RebuildWeightedV() {
+  weighted_v_ = Matrix(v_.rows(), v_.cols());
+  for (std::size_t j = 0; j < v_.rows(); ++j) {
+    for (std::size_t m = 0; m < v_.cols(); ++m) {
+      weighted_v_(j, m) = singular_values_[m] * v_(j, m);
+    }
+  }
 }
 
 double SvdModel::ReconstructCell(std::size_t row, std::size_t col) const {
   TSC_DCHECK(row < rows() && col < cols());
-  // Eq. 12: sum over retained components of lambda_m * u_im * v_jm.
-  double value = 0.0;
-  const std::span<const double> urow = u_.Row(row);
-  for (std::size_t m = 0; m < singular_values_.size(); ++m) {
-    value += singular_values_[m] * urow[m] * v_(col, m);
-  }
-  return value;
+  // Eq. 12 with lambda folded into V: dot(u_i, lambda (.) v_j), O(k).
+  return kernels::Dot(u_.Row(row).data(), weighted_v_.Row(col).data(), k());
 }
 
 void SvdModel::ReconstructRow(std::size_t row, std::span<double> out) const {
   TSC_CHECK_EQ(out.size(), cols());
-  const std::span<const double> urow = u_.Row(row);
-  std::fill(out.begin(), out.end(), 0.0);
-  for (std::size_t m = 0; m < singular_values_.size(); ++m) {
-    const double coeff = singular_values_[m] * urow[m];
-    for (std::size_t j = 0; j < cols(); ++j) out[j] += coeff * v_(j, m);
+  // out_j = dot(u_i, weighted_v_j): one fused dot-batch over the
+  // contiguous weighted-V rows.
+  kernels::DotBatch(weighted_v_.Row(0).data(), k(), cols(),
+                    u_.Row(row).data(), k(), out.data());
+}
+
+void SvdModel::ReconstructCells(std::span<const CellRef> cells,
+                                std::span<double> out) const {
+  TSC_CHECK_EQ(out.size(), cells.size());
+  const std::size_t kk = k();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out[i] = kernels::Dot(u_.Row(cells[i].row).data(),
+                          weighted_v_.Row(cells[i].col).data(), kk);
   }
+}
+
+void SvdModel::ReconstructRegion(std::span<const std::size_t> row_ids,
+                                 std::span<const std::size_t> col_ids,
+                                 Matrix* out) const {
+  if (out->rows() != row_ids.size() || out->cols() != col_ids.size()) {
+    *out = Matrix(row_ids.size(), col_ids.size());
+  }
+  if (row_ids.empty() || col_ids.empty()) return;
+  const std::size_t kk = k();
+  // Gather the selected factor rows into dense blocks (O((R + C) * k),
+  // noise next to the O(R * C * k) product), then run the blocked
+  // U * (Lambda V^T) micro-kernel on contiguous memory.
+  Matrix a(row_ids.size(), kk);
+  for (std::size_t r = 0; r < row_ids.size(); ++r) {
+    const std::span<const double> src = u_.Row(row_ids[r]);
+    std::copy(src.begin(), src.end(), a.Row(r).begin());
+  }
+  Matrix b(col_ids.size(), kk);
+  for (std::size_t c = 0; c < col_ids.size(); ++c) {
+    const std::span<const double> src = weighted_v_.Row(col_ids[c]);
+    std::copy(src.begin(), src.end(), b.Row(c).begin());
+  }
+  kernels::GemmNT(a.Row(0).data(), row_ids.size(), kk, b.Row(0).data(),
+                  col_ids.size(), kk, kk, out->Row(0).data(),
+                  col_ids.size());
 }
 
 std::uint64_t SvdModel::CompressedBytes() const {
@@ -70,6 +110,9 @@ void SvdModel::QuantizeToFloat() {
   for (double& v : v_.data()) v = static_cast<float>(v);
   for (double& v : singular_values_) v = static_cast<float>(v);
   bytes_per_value_ = 4;
+  // The derived cache must reflect the quantized factors (the products
+  // themselves stay double precision).
+  RebuildWeightedV();
 }
 
 SvdModel::FoldInStats SvdModel::FoldInRows(const Matrix& new_rows) {
@@ -77,17 +120,22 @@ SvdModel::FoldInStats SvdModel::FoldInRows(const Matrix& new_rows) {
   FoldInStats stats;
   stats.rows_added = new_rows.rows();
   Matrix new_u(new_rows.rows(), k());
+  std::vector<double> proj(k());
   for (std::size_t i = 0; i < new_rows.rows(); ++i) {
     const std::span<const double> row = new_rows.Row(i);
     for (const double v : row) stats.energy_total += v * v;
+    // proj = V^T x, accumulated over the contiguous rows of V so the
+    // inner update vectorizes: proj += x_j * v_j.
+    std::fill(proj.begin(), proj.end(), 0.0);
+    for (std::size_t j = 0; j < cols(); ++j) {
+      kernels::Axpy(row[j], v_.Row(j).data(), proj.data(), k());
+    }
     for (std::size_t p = 0; p < k(); ++p) {
-      double proj = 0.0;
-      for (std::size_t j = 0; j < cols(); ++j) proj += row[j] * v_(j, p);
-      new_u(i, p) = proj / singular_values_[p];
+      new_u(i, p) = proj[p] / singular_values_[p];
       // The projection coefficient is proj = u * lambda; its squared
       // magnitude is the energy this component captures (V columns are
       // orthonormal).
-      stats.energy_captured += proj * proj;
+      stats.energy_captured += proj[p] * proj[p];
     }
   }
   u_.AppendRows(new_u);
@@ -146,12 +194,12 @@ StatusOr<Matrix> AccumulateColumnSimilarity(RowSource* source,
             for (std::size_t r = FirstShardRow(shard, base); r < count;
                  r += kBuildShards) {
               const std::span<const double> row = rows.Row(r);
-              // Upper triangle only; mirrored below. The Figure 2 kernel.
+              // Upper triangle only; mirrored below. The Figure 2 kernel:
+              // each row of C gains xj * row[j..m), a vectorized axpy.
               for (std::size_t j = 0; j < m; ++j) {
                 const double xj = row[j];
                 if (xj == 0.0) continue;
-                double* crow = &c(j, 0);
-                for (std::size_t l = j; l < m; ++l) crow[l] += xj * row[l];
+                kernels::Axpy(xj, row.data() + j, &c(j, j), m - j);
               }
             }
           });
@@ -193,14 +241,20 @@ StatusOr<Matrix> EmitUMatrix(RowSource* source, const Matrix& v,
         // count fixed and gives each shard a traceable unit of work.
         ParallelFor(pool, kBuildShards, [&](std::size_t shard) {
           obs::TraceSpan shard_span("emit_u.shard", shard);
+          std::vector<double> proj(k);
           for (std::size_t r = FirstShardRow(shard, base); r < count;
                r += kBuildShards) {
             const std::span<const double> row = rows.Row(r);
             const std::span<double> urow = u.Row(base + r);
+            // proj = V^T x over the contiguous rows of V (vectorized
+            // axpy), summing each component in the same l order as the
+            // scalar dot it replaces.
+            std::fill(proj.begin(), proj.end(), 0.0);
+            for (std::size_t l = 0; l < m; ++l) {
+              kernels::Axpy(row[l], v.Row(l).data(), proj.data(), k);
+            }
             for (std::size_t p = 0; p < k; ++p) {
-              double dot = 0.0;
-              for (std::size_t l = 0; l < m; ++l) dot += row[l] * v(l, p);
-              urow[p] = dot / singular_values[p];
+              urow[p] = proj[p] / singular_values[p];
             }
           }
         });

@@ -30,6 +30,11 @@ class SvdModel : public CompressedStore {
 
   double ReconstructCell(std::size_t row, std::size_t col) const override;
   void ReconstructRow(std::size_t row, std::span<double> out) const override;
+  void ReconstructCells(std::span<const CellRef> cells,
+                        std::span<double> out) const override;
+  void ReconstructRegion(std::span<const std::size_t> row_ids,
+                         std::span<const std::size_t> col_ids,
+                         Matrix* out) const override;
 
   std::uint64_t CompressedBytes() const override;
   std::string MethodName() const override { return "svd"; }
@@ -39,6 +44,12 @@ class SvdModel : public CompressedStore {
     return singular_values_;
   }
   const Matrix& v() const { return v_; }
+
+  /// The Lambda-weighted right factor: row j is lambda (.) v_j, so a cell
+  /// is dot(u_i, weighted_v_j) — one multiply per component instead of
+  /// two. Precomputed once per model (rebuilt on quantization); every
+  /// reconstruction path reads it, it is never serialized.
+  const Matrix& weighted_v() const { return weighted_v_; }
 
   /// Coordinates of sequence `row` in SVD space (Observation 3.4:
   /// the row of U x Lambda); the first 2-3 entries drive the Appendix A
@@ -82,9 +93,14 @@ class SvdModel : public CompressedStore {
   static StatusOr<SvdModel> LoadFromFile(const std::string& path);
 
  protected:
+  /// Recomputes weighted_v_ from v_ and singular_values_; call after any
+  /// mutation of the right factor (construction, quantization).
+  void RebuildWeightedV();
+
   Matrix u_;
   std::vector<double> singular_values_;
   Matrix v_;
+  Matrix weighted_v_;  ///< derived cache, never serialized
   std::size_t bytes_per_value_ = 8;
 };
 

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <unordered_map>
 
 #include "core/parallel_build.h"
 #include "linalg/svd.h"
@@ -106,6 +107,85 @@ void SvddModel::ReconstructRow(std::size_t row, std::span<double> out) const {
       out[j] += *delta;
     } else if (bloom_.has_value()) {
       CountBloomFalsePositive();
+    }
+  }
+}
+
+void SvddModel::ReconstructCells(std::span<const CellRef> cells,
+                                 std::span<double> out) const {
+  svd_.ReconstructCells(cells, out);
+  if (deltas_.empty()) return;
+  // Large batches fold the delta table in by iterating it once instead of
+  // probing per cell: O(B + D) beats B bloom probes + hash lookups once
+  // the batch is a reasonable fraction of the table.
+  if (cells.size() >= deltas_.size() / 4) {
+    std::unordered_map<std::uint64_t, std::size_t> index;
+    index.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      index.emplace(DeltaTable::CellKey(cells[i].row, cells[i].col, cols()),
+                    i);
+    }
+    deltas_.ForEach([&](std::uint64_t key, double delta) {
+      const auto it = index.find(key);
+      if (it != index.end()) out[it->second] += delta;
+    });
+    return;
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::uint64_t key =
+        DeltaTable::CellKey(cells[i].row, cells[i].col, cols());
+    if (bloom_.has_value() && !bloom_->MightContain(key)) continue;
+    const std::optional<double> delta = deltas_.Get(key);
+    if (delta.has_value()) {
+      out[i] += *delta;
+    } else if (bloom_.has_value()) {
+      CountBloomFalsePositive();
+    }
+  }
+}
+
+void SvddModel::ReconstructRegion(std::span<const std::size_t> row_ids,
+                                  std::span<const std::size_t> col_ids,
+                                  Matrix* out) const {
+  svd_.ReconstructRegion(row_ids, col_ids, out);
+  if (deltas_.empty() || row_ids.empty() || col_ids.empty()) return;
+  const std::uint64_t region_cells =
+      static_cast<std::uint64_t>(row_ids.size()) * col_ids.size();
+  if (region_cells >= deltas_.size() / 4) {
+    // One sweep of the table with row/col membership maps; every region
+    // cell's delta is found without a single bloom probe.
+    std::unordered_map<std::size_t, std::size_t> row_index;
+    row_index.reserve(row_ids.size());
+    for (std::size_t r = 0; r < row_ids.size(); ++r) {
+      row_index.emplace(row_ids[r], r);
+    }
+    std::unordered_map<std::size_t, std::size_t> col_index;
+    col_index.reserve(col_ids.size());
+    for (std::size_t c = 0; c < col_ids.size(); ++c) {
+      col_index.emplace(col_ids[c], c);
+    }
+    const std::size_t m = cols();
+    deltas_.ForEach([&](std::uint64_t key, double delta) {
+      const auto rit = row_index.find(static_cast<std::size_t>(key / m));
+      if (rit == row_index.end()) return;
+      const auto cit = col_index.find(static_cast<std::size_t>(key % m));
+      if (cit == col_index.end()) return;
+      (*out)(rit->second, cit->second) += delta;
+    });
+    return;
+  }
+  for (std::size_t r = 0; r < row_ids.size(); ++r) {
+    const std::span<double> dst = out->Row(r);
+    for (std::size_t c = 0; c < col_ids.size(); ++c) {
+      const std::uint64_t key =
+          DeltaTable::CellKey(row_ids[r], col_ids[c], cols());
+      if (bloom_.has_value() && !bloom_->MightContain(key)) continue;
+      const std::optional<double> delta = deltas_.Get(key);
+      if (delta.has_value()) {
+        dst[c] += *delta;
+      } else if (bloom_.has_value()) {
+        CountBloomFalsePositive();
+      }
     }
   }
 }

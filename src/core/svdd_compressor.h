@@ -33,6 +33,11 @@ class SvddModel : public CompressedStore {
 
   double ReconstructCell(std::size_t row, std::size_t col) const override;
   void ReconstructRow(std::size_t row, std::span<double> out) const override;
+  void ReconstructCells(std::span<const CellRef> cells,
+                        std::span<double> out) const override;
+  void ReconstructRegion(std::span<const std::size_t> row_ids,
+                         std::span<const std::size_t> col_ids,
+                         Matrix* out) const override;
 
   /// SVD footprint plus packed delta triplets. The Bloom filter is a
   /// main-memory acceleration structure ("optionally, we could use a

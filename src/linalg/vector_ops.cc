@@ -2,15 +2,14 @@
 
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "util/logging.h"
 
 namespace tsc {
 
 double Dot(std::span<const double> a, std::span<const double> b) {
   TSC_DCHECK(a.size() == b.size());
-  double total = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) total += a[i] * b[i];
-  return total;
+  return kernels::Dot(a.data(), b.data(), a.size());
 }
 
 double Norm2Squared(std::span<const double> v) {
@@ -34,7 +33,7 @@ double EuclideanDistance(std::span<const double> a,
 
 void Axpy(double alpha, std::span<const double> x, std::span<double> y) {
   TSC_DCHECK(x.size() == y.size());
-  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+  kernels::Axpy(alpha, x.data(), y.data(), x.size());
 }
 
 void ScaleInPlace(std::span<double> v, double alpha) {

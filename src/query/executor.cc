@@ -4,15 +4,28 @@
 #include <chrono>
 #include <cstdio>
 
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/parser.h"
 #include "storage/delta_table.h"
 #include "util/logging.h"
 #include "util/stats.h"
+#include "util/thread_pool.h"
 
 namespace tsc {
 namespace {
+
+/// Fixed shard count for parallel scans. Like kBuildShards, this is a
+/// constant — NOT the thread count — so the accumulation grouping, and
+/// therefore every low-order bit of the result, is the same whether the
+/// shards run on 1 thread or 16.
+constexpr std::size_t kQueryShards = 16;
+
+/// Rows reconstructed per ReconstructRegion call inside a shard: large
+/// enough to amortize the batched gathers, small enough to keep the
+/// per-shard scratch block in cache.
+constexpr std::size_t kScanBlockRows = 32;
 
 double MicrosSince(std::chrono::steady_clock::time_point start) {
   return std::chrono::duration<double, std::micro>(
@@ -83,36 +96,30 @@ std::vector<double> CompressedDomainSums(
 
   std::vector<double> sums;
   if (group_by == GroupBy::kCol) {
-    // Column direction: accumulate the selected rows' U mass once.
+    // Column direction: accumulate the selected rows' U mass once, then
+    // one vectorized dot against each Lambda-weighted V row.
     std::vector<double> u_mass(k, 0.0);
     for (const std::size_t i : row_ids) {
-      const std::span<const double> urow = svd.u().Row(i);
-      for (std::size_t m = 0; m < k; ++m) u_mass[m] += urow[m];
+      kernels::Axpy(1.0, svd.u().Row(i).data(), u_mass.data(), k);
     }
     sums.assign(col_ids.size(), 0.0);
     for (std::size_t g = 0; g < col_ids.size(); ++g) {
-      const std::size_t j = col_ids[g];
-      double total = 0.0;
-      for (std::size_t m = 0; m < k; ++m) {
-        total += u_mass[m] * svd.singular_values()[m] * svd.v()(j, m);
-      }
-      sums[g] = total;
+      sums[g] = kernels::Dot(u_mass.data(),
+                             svd.weighted_v().Row(col_ids[g]).data(), k);
     }
   } else {
-    // Row direction (and the ungrouped total): weights over columns.
+    // Row direction (and the ungrouped total): weights = sum of the
+    // selected Lambda-weighted V rows, then one dot per selected U row.
     std::vector<double> weights(k, 0.0);
-    for (std::size_t m = 0; m < k; ++m) {
-      double vsum = 0.0;
-      for (const std::size_t j : col_ids) vsum += svd.v()(j, m);
-      weights[m] = svd.singular_values()[m] * vsum;
+    for (const std::size_t j : col_ids) {
+      kernels::Axpy(1.0, svd.weighted_v().Row(j).data(), weights.data(), k);
     }
     const std::size_t groups =
         group_by == GroupBy::kRow ? row_ids.size() : 1;
     sums.assign(groups, 0.0);
     for (std::size_t g = 0; g < row_ids.size(); ++g) {
-      const std::span<const double> urow = svd.u().Row(row_ids[g]);
-      double dot = 0.0;
-      for (std::size_t m = 0; m < k; ++m) dot += urow[m] * weights[m];
+      const double dot =
+          kernels::Dot(svd.u().Row(row_ids[g]).data(), weights.data(), k);
       sums[group_by == GroupBy::kRow ? g : 0] += dot;
     }
   }
@@ -217,8 +224,86 @@ class ResultBuilder {
   const SvddModel* svdd_;
 };
 
+/// Batched, sharded scan for the row-reconstruction strategy. Selected
+/// rows are dealt to kQueryShards shards (index % kQueryShards); each
+/// shard reconstructs its rows in blocks of kScanBlockRows via
+/// ReconstructRegion — only the selected columns are materialized — and
+/// accumulates into its own per-group statistics. Shard partials are
+/// merged in shard order, so the result is independent of the thread
+/// count (including the inline pool == nullptr path).
+std::vector<GroupAcc> ScanGroupsBatched(const QueryPlan& plan,
+                                        const CompressedStore& store,
+                                        ThreadPool* pool,
+                                        std::uint64_t* rows_scanned) {
+  static obs::Counter& batch_cells =
+      obs::MetricRegistry::Default().GetCounter("query.batch_cells");
+  obs::TraceSpan span("query.scan");
+  const bool keep_values = NeedsValueBuffer(plan);
+  const std::size_t groups = plan.GroupCount();
+  std::vector<std::vector<GroupAcc>> shard_accs(kQueryShards);
+  ParallelFor(pool, kQueryShards, [&](std::size_t shard) {
+    obs::TraceSpan shard_span("query.scan.shard", shard);
+    std::vector<GroupAcc>& accs = shard_accs[shard];
+    accs.resize(groups);
+    Matrix block;
+    std::vector<std::size_t> block_rows;    // selected row ids
+    std::vector<std::size_t> block_index;   // their index r into row_ids
+    block_rows.reserve(kScanBlockRows);
+    block_index.reserve(kScanBlockRows);
+    const auto flush = [&] {
+      if (block_rows.empty()) return;
+      store.ReconstructRegion(block_rows, plan.col_ids, &block);
+      batch_cells.Add(block_rows.size() * plan.col_ids.size());
+      for (std::size_t b = 0; b < block_rows.size(); ++b) {
+        const std::span<const double> vals = block.Row(b);
+        for (std::size_t c = 0; c < plan.col_ids.size(); ++c) {
+          std::size_t g = 0;
+          switch (plan.group_by) {
+            case GroupBy::kRow:
+              g = block_index[b];
+              break;
+            case GroupBy::kCol:
+              g = c;
+              break;
+            case GroupBy::kNone:
+              g = 0;
+              break;
+          }
+          accs[g].stats.Add(vals[c]);
+          if (keep_values) accs[g].values.push_back(vals[c]);
+        }
+      }
+      block_rows.clear();
+      block_index.clear();
+    };
+    for (std::size_t r = shard; r < plan.row_ids.size(); r += kQueryShards) {
+      block_rows.push_back(plan.row_ids[r]);
+      block_index.push_back(r);
+      if (block_rows.size() == kScanBlockRows) flush();
+    }
+    flush();
+  });
+  *rows_scanned += plan.row_ids.size();
+  // Ordered reduction: shard 0, shard 1, ... — the merge order is part of
+  // the determinism contract.
+  std::vector<GroupAcc> accs(groups);
+  for (std::size_t shard = 0; shard < kQueryShards; ++shard) {
+    for (std::size_t g = 0; g < groups; ++g) {
+      accs[g].stats.Merge(shard_accs[shard][g].stats);
+      if (keep_values) {
+        accs[g].values.insert(accs[g].values.end(),
+                              shard_accs[shard][g].values.begin(),
+                              shard_accs[shard][g].values.end());
+      }
+    }
+  }
+  return accs;
+}
+
 /// Accumulates per-group statistics by scanning reconstructed (or raw)
-/// rows; `row_provider` fills a buffer for a given row id.
+/// rows; `row_provider` fills a buffer for a given row id. Retained for
+/// the exact (raw matrix) executor; the compressed path scans through
+/// ScanGroupsBatched.
 template <typename RowProvider>
 std::vector<GroupAcc> ScanGroups(const QueryPlan& plan, std::size_t num_cols,
                                  RowProvider&& row_provider,
@@ -270,13 +355,17 @@ std::string QueryResult::AnalyzeFooter() const {
   return out;
 }
 
-QueryExecutor::QueryExecutor(const CompressedStore* store) : store_(store) {
+QueryExecutor::QueryExecutor(const CompressedStore* store,
+                             std::size_t num_threads)
+    : store_(store) {
   TSC_CHECK(store != nullptr);
+  if (num_threads > 1) pool_ = std::make_shared<ThreadPool>(num_threads);
 }
 
-QueryExecutor::QueryExecutor(const SvddModel* model)
+QueryExecutor::QueryExecutor(const SvddModel* model, std::size_t num_threads)
     : store_(model), svdd_(model) {
   TSC_CHECK(model != nullptr);
+  if (num_threads > 1) pool_ = std::make_shared<ThreadPool>(num_threads);
 }
 
 StatusOr<QueryPlan> QueryExecutor::Plan(const std::string& query_text) const {
@@ -334,12 +423,8 @@ StatusOr<QueryResult> QueryExecutor::ExecutePlan(const QueryPlan& plan) const {
   std::uint64_t rows_scanned = 0;
   std::vector<GroupAcc> group_stats(plan.GroupCount());
   if (any_reconstruction) {
-    group_stats = ScanGroups(
-        plan, cols(),
-        [&](std::size_t i, std::span<double> out) {
-          store_->ReconstructRow(i, out);
-        },
-        &rows_scanned);
+    group_stats =
+        ScanGroupsBatched(plan, *store_, pool_.get(), &rows_scanned);
   }
   const ResultBuilder builder(plan, svdd_);
   TSC_ASSIGN_OR_RETURN(QueryResult result,

@@ -2,6 +2,7 @@
 #define TSC_QUERY_EXECUTOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -13,6 +14,8 @@
 #include "util/status.h"
 
 namespace tsc {
+
+class ThreadPool;
 
 /// One executed query's results plus execution statistics. Without
 /// GROUP BY there is exactly one group; with it, one group per selected
@@ -48,13 +51,20 @@ struct QueryResult {
 /// Runs ad hoc SQL-ish queries against a compressed model. The executor
 /// prefers the SVDD fast path (compressed-domain evaluation with delta
 /// folding) when the planner selects it; everything else goes through
-/// row reconstruction on the generic CompressedStore interface.
+/// batched region reconstruction on the CompressedStore interface.
+///
+/// Row-reconstruction scans are dealt to a fixed number of shards and
+/// reduced in shard order, so for a given model the result is bitwise
+/// identical for every `num_threads` value (the same discipline as the
+/// parallel build).
 class QueryExecutor {
  public:
   /// Generic store: every aggregate runs by row reconstruction.
-  explicit QueryExecutor(const CompressedStore* store);
+  /// `num_threads` > 1 scans with an internal thread pool.
+  explicit QueryExecutor(const CompressedStore* store,
+                         std::size_t num_threads = 1);
   /// SVDD model: linear aggregates can run in the compressed domain.
-  explicit QueryExecutor(const SvddModel* model);
+  explicit QueryExecutor(const SvddModel* model, std::size_t num_threads = 1);
 
   std::size_t rows() const { return store_->rows(); }
   std::size_t cols() const { return store_->cols(); }
@@ -73,6 +83,7 @@ class QueryExecutor {
 
   const CompressedStore* store_;
   const SvddModel* svdd_ = nullptr;  ///< non-null enables the fast path
+  std::shared_ptr<ThreadPool> pool_;  ///< null = scan on the calling thread
 };
 
 /// Exact reference executor over the raw matrix (tests, accuracy

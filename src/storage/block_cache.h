@@ -1,6 +1,7 @@
 #ifndef TSC_STORAGE_BLOCK_CACHE_H_
 #define TSC_STORAGE_BLOCK_CACHE_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -19,9 +20,12 @@ namespace tsc {
 /// repeated access to hot sequences (skewed, Zipf-like workloads are the
 /// norm per Appendix A) costs no disk reads.
 ///
-/// Thread safety: all methods take an internal mutex, so concurrent
-/// readers may share one cache. The fetch callback runs under that mutex
-/// (concurrent misses serialize) and must not call back into the cache.
+/// Thread safety: the cache is sharded into independently locked LRU
+/// shards keyed by block id, so concurrent readers scale across cores.
+/// The fetch callback runs OUTSIDE any cache lock; concurrent misses on
+/// distinct blocks fetch in parallel, and concurrent misses on the same
+/// block are deduplicated — one caller fetches, the rest wait for its
+/// result. The callback must not call back into the cache.
 class BlockCache {
  public:
   using Block = std::vector<std::uint8_t>;
@@ -32,51 +36,39 @@ class BlockCache {
   /// read (or evicted) in between.
   using Handle = std::shared_ptr<const Block>;
 
-  /// `capacity_blocks` blocks of `block_size` bytes each.
-  BlockCache(std::size_t capacity_blocks, std::size_t block_size);
+  /// `capacity_blocks` blocks of `block_size` bytes each, spread over
+  /// `shards` independently locked LRU shards. `shards` is rounded down
+  /// to a power of two; 0 picks automatically — the largest power of two
+  /// <= min(16, capacity_blocks / 8) — so small caches keep a single
+  /// shard and therefore exact global LRU semantics.
+  BlockCache(std::size_t capacity_blocks, std::size_t block_size,
+             std::size_t shards = 0);
   ~BlockCache();
 
   using FetchFn = std::function<Status(std::uint64_t block_id, Block*)>;
 
   /// Returns a pinned handle to the cached block, fetching through
-  /// `fetch` on a miss.
+  /// `fetch` on a miss. Waiting on another caller's in-flight fetch of
+  /// the same block counts as a hit (no I/O was issued).
   StatusOr<Handle> Get(std::uint64_t block_id, const FetchFn& fetch);
 
   /// Drops one block (e.g. after an off-line batch update touched it).
+  /// An in-flight fetch of that block is still handed to its waiters but
+  /// not installed, so no stale block can enter the cache.
   void Invalidate(std::uint64_t block_id);
   /// Drops everything.
   void Clear();
 
   std::size_t capacity_blocks() const { return capacity_blocks_; }
   std::size_t block_size() const { return block_size_; }
-  std::size_t cached_blocks() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return entries_.size();
-  }
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t cached_blocks() const;
 
-  std::uint64_t hits() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return hits_;
-  }
-  std::uint64_t misses() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return misses_;
-  }
-  std::uint64_t evictions() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    return evictions_;
-  }
-  double HitRate() const {
-    std::lock_guard<std::mutex> lock(mu_);
-    const std::uint64_t total = hits_ + misses_;
-    return total == 0 ? 0.0 : static_cast<double>(hits_) / total;
-  }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
-    hits_ = 0;
-    misses_ = 0;
-    evictions_ = 0;
-  }
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+  std::uint64_t evictions() const;
+  double HitRate() const;
+  void ResetStats();
 
  private:
   struct Entry {
@@ -84,14 +76,39 @@ class BlockCache {
     std::shared_ptr<const Block> data;
   };
 
+  /// One caller fetches; everyone else blocks on `cv` until `done`.
+  /// `invalidated` is guarded by the owning shard's mutex and tells the
+  /// fetcher not to install the result.
+  struct InFlight {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool invalidated = false;
+    Status status = Status::Ok();
+    Handle handle;
+  };
+
+  struct Shard {
+    std::size_t capacity = 0;
+    mutable std::mutex mu;
+    std::list<Entry> lru;  ///< front = most recently used
+    std::unordered_map<std::uint64_t, std::list<Entry>::iterator> entries;
+    std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> in_flight;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(std::uint64_t block_id);
+  /// Installs `handle` in `shard` (assumes the caller holds shard.mu) and
+  /// evicts the shard's LRU entry if it is at capacity.
+  void InstallLocked(Shard& shard, std::uint64_t block_id,
+                     const Handle& handle);
+
   std::size_t capacity_blocks_;
   std::size_t block_size_;
-  mutable std::mutex mu_;
-  std::list<Entry> lru_;  ///< front = most recently used
-  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> entries_;
-  std::uint64_t hits_ = 0;
-  std::uint64_t misses_ = 0;
-  std::uint64_t evictions_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t shard_mask_ = 0;
 };
 
 }  // namespace tsc

@@ -164,6 +164,21 @@ TEST_F(CliPipelineTest, SqlQueryAndExplain) {
   EXPECT_EQ(RunTool({"sql", "--model=" + *model_path_}).exit_code, 1);
 }
 
+TEST_F(CliPipelineTest, SqlThreadsFlagDoesNotChangeOutput) {
+  // --threads is a deployment knob: the sharded scan must print the
+  // exact same bytes at any thread count, stddev included.
+  const std::string query =
+      "--query=SELECT avg(value), stddev(value) WHERE row IN 0:19 "
+      "GROUP BY row";
+  const CliResult serial =
+      RunTool({"sql", "--model=" + *model_path_, query});
+  const CliResult threaded =
+      RunTool({"sql", "--model=" + *model_path_, "--threads=4", query});
+  ASSERT_EQ(serial.exit_code, 0) << serial.err;
+  ASSERT_EQ(threaded.exit_code, 0) << threaded.err;
+  EXPECT_EQ(serial.out, threaded.out);
+}
+
 TEST_F(CliPipelineTest, TopKAndSimilar) {
   const CliResult top = RunTool(
       {"topk", "--model=" + *model_path_, "--count=3", "--cols=0:9"});

@@ -113,6 +113,40 @@ TEST(QueryParseTest, RejectsMalformed) {
   EXPECT_FALSE(ParseRegionQuery("avg rows=1 cols=1 bogus=2").ok());
 }
 
+TEST(QueryParseTest, RejectsTrailingGarbageInNumbers) {
+  // Regression: strtoll stopped at the first non-digit, so "3x7" parsed
+  // as 3 and silently dropped the rest. Every numeric token must now be
+  // fully consumed.
+  EXPECT_FALSE(ParseRegionQuery("avg rows=3x7 cols=1").ok());
+  EXPECT_FALSE(ParseRegionQuery("avg rows=1 cols=2junk").ok());
+  EXPECT_FALSE(ParseRegionQuery("avg rows=1:5extra cols=1").ok());
+  EXPECT_FALSE(ParseRegionQuery("avg rows=1abc:5 cols=1").ok());
+  EXPECT_FALSE(ParseRegionQuery("avg rows=1.5 cols=1").ok());
+  // The well-formed equivalents still parse.
+  EXPECT_TRUE(ParseRegionQuery("avg rows=3,7 cols=1").ok());
+  EXPECT_TRUE(ParseRegionQuery("avg rows=1:5 cols=1").ok());
+}
+
+TEST(QueryParseTest, CapsPathologicalRangeExpansion) {
+  // A fat-fingered range like 0:999999999999 must fail fast with
+  // InvalidArgument instead of allocating billions of ids.
+  const auto huge = ParseRegionQuery("sum rows=0:999999999999 cols=1");
+  ASSERT_FALSE(huge.ok());
+  EXPECT_EQ(huge.status().code(), StatusCode::kInvalidArgument);
+  // Many medium ranges that together blow the cap are also rejected.
+  std::string spec = "sum rows=";
+  for (int i = 0; i < 5; ++i) {
+    if (i > 0) spec += ",";
+    spec += "0:9999999";  // 10M each, 50M total
+  }
+  spec += " cols=1";
+  const auto accumulated = ParseRegionQuery(spec);
+  ASSERT_FALSE(accumulated.ok());
+  EXPECT_EQ(accumulated.status().code(), StatusCode::kInvalidArgument);
+  // A large-but-sane range is fine.
+  EXPECT_TRUE(ParseRegionQuery("sum rows=0:100000 cols=1").ok());
+}
+
 TEST(QueryTest, RandomRegionQueryHitsTargetFraction) {
   Rng rng(31);
   for (int trial = 0; trial < 20; ++trial) {

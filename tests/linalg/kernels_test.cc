@@ -1,0 +1,169 @@
+#include "linalg/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace tsc::kernels {
+namespace {
+
+/// Sizes chosen to exercise every remainder lane of the 4x4-wide AVX2
+/// loops: 1..7 hit the scalar tail alone, 8..17 mix vector body and
+/// tail, the larger ones stress the multi-accumulator unrolls.
+const std::size_t kSizes[] = {1,  2,  3,  4,  5,   6,   7,   8,  9,
+                              10, 11, 12, 13, 14,  15,  16,  17, 31,
+                              32, 33, 63, 64, 100, 257, 1000};
+
+std::vector<double> RandomVector(std::size_t n, Rng* rng) {
+  std::vector<double> v(n);
+  for (double& x : v) x = rng->Gaussian();
+  return v;
+}
+
+/// |got - want| within 1e-12, scaled by the magnitude of the exact value
+/// (the dispatched tier may use FMA and reassociated accumulators).
+void ExpectClose(double got, double want, const std::string& what) {
+  const double tol = 1e-12 * std::max(1.0, std::abs(want));
+  EXPECT_NEAR(got, want, tol) << what;
+}
+
+TEST(ResolveSimdLevelTest, EnvScalarForcesFallback) {
+  EXPECT_EQ(ResolveSimdLevel("scalar", true), SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("scalar", false), SimdLevel::kScalar);
+}
+
+TEST(ResolveSimdLevelTest, HardwareGatesAvx2) {
+  EXPECT_EQ(ResolveSimdLevel(nullptr, true), SimdLevel::kAvx2);
+  EXPECT_EQ(ResolveSimdLevel(nullptr, false), SimdLevel::kScalar);
+  EXPECT_EQ(ResolveSimdLevel("avx2", true), SimdLevel::kAvx2);
+  EXPECT_EQ(ResolveSimdLevel("avx2", false), SimdLevel::kScalar);
+}
+
+TEST(ResolveSimdLevelTest, UnknownEnvValueIgnored) {
+  EXPECT_EQ(ResolveSimdLevel("banana", true), SimdLevel::kAvx2);
+  EXPECT_EQ(ResolveSimdLevel("", true), SimdLevel::kAvx2);
+}
+
+TEST(ResolveSimdLevelTest, NamesAreStable) {
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kScalar), "scalar");
+  EXPECT_STREQ(SimdLevelName(SimdLevel::kAvx2), "avx2");
+}
+
+TEST(KernelsPropertyTest, ActiveLevelHonorsEnvOverride) {
+  // Under TSC_SIMD=scalar (the second ctest registration of this binary)
+  // the dispatched kernels ARE the scalar reference.
+  const char* env = std::getenv("TSC_SIMD");
+  if (env != nullptr && std::string(env) == "scalar") {
+    EXPECT_EQ(ActiveSimdLevel(), SimdLevel::kScalar);
+  }
+}
+
+TEST(KernelsPropertyTest, DotMatchesScalarReference) {
+  Rng rng(42);
+  for (const std::size_t n : kSizes) {
+    const std::vector<double> a = RandomVector(n, &rng);
+    const std::vector<double> b = RandomVector(n, &rng);
+    const double want = scalar::Dot(a.data(), b.data(), n);
+    const double got = Dot(a.data(), b.data(), n);
+    ExpectClose(got, want, "dot n=" + std::to_string(n));
+  }
+  EXPECT_EQ(Dot(nullptr, nullptr, 0), 0.0);
+}
+
+TEST(KernelsPropertyTest, AxpyMatchesScalarReference) {
+  Rng rng(43);
+  for (const std::size_t n : kSizes) {
+    const std::vector<double> x = RandomVector(n, &rng);
+    const std::vector<double> y0 = RandomVector(n, &rng);
+    const double alpha = rng.Gaussian();
+    std::vector<double> want = y0;
+    scalar::Axpy(alpha, x.data(), want.data(), n);
+    std::vector<double> got = y0;
+    Axpy(alpha, x.data(), got.data(), n);
+    for (std::size_t i = 0; i < n; ++i) {
+      ExpectClose(got[i], want[i],
+                  "axpy n=" + std::to_string(n) + " i=" + std::to_string(i));
+    }
+  }
+}
+
+TEST(KernelsPropertyTest, DotBatchMatchesScalarReference) {
+  Rng rng(44);
+  for (const std::size_t n : kSizes) {
+    for (const std::size_t count : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{3}, std::size_t{7},
+                                    std::size_t{8}}) {
+      const std::size_t stride = n + (count % 3);  // stride >= n
+      const std::vector<double> rows = RandomVector(stride * count, &rng);
+      const std::vector<double> x = RandomVector(n, &rng);
+      std::vector<double> want(count);
+      scalar::DotBatch(rows.data(), stride, count, x.data(), n, want.data());
+      std::vector<double> got(count);
+      DotBatch(rows.data(), stride, count, x.data(), n, got.data());
+      for (std::size_t r = 0; r < count; ++r) {
+        ExpectClose(got[r], want[r],
+                    "dotbatch n=" + std::to_string(n) +
+                        " count=" + std::to_string(count) +
+                        " r=" + std::to_string(r));
+      }
+    }
+  }
+}
+
+TEST(KernelsPropertyTest, GemvMatchesScalarReference) {
+  Rng rng(45);
+  for (const std::size_t n : {std::size_t{1}, std::size_t{5}, std::size_t{8},
+                              std::size_t{13}, std::size_t{32},
+                              std::size_t{100}}) {
+    const std::size_t rows = 1 + n % 7;
+    const std::size_t stride = n + 2;
+    const std::vector<double> a = RandomVector(stride * rows, &rng);
+    const std::vector<double> x = RandomVector(n, &rng);
+    const std::vector<double> y0 = RandomVector(rows, &rng);
+    std::vector<double> want = y0;
+    scalar::Gemv(a.data(), rows, n, stride, x.data(), want.data());
+    std::vector<double> got = y0;
+    Gemv(a.data(), rows, n, stride, x.data(), got.data());
+    for (std::size_t r = 0; r < rows; ++r) {
+      ExpectClose(got[r], want[r],
+                  "gemv n=" + std::to_string(n) + " r=" + std::to_string(r));
+    }
+  }
+}
+
+TEST(KernelsPropertyTest, GemmNTMatchesScalarReference) {
+  Rng rng(46);
+  struct Shape {
+    std::size_t m, n, k;
+  };
+  const Shape shapes[] = {{1, 1, 1},  {2, 3, 5},   {5, 4, 7},
+                          {8, 8, 8},  {7, 9, 33},  {16, 5, 12},
+                          {3, 16, 1}, {13, 11, 64}};
+  for (const Shape& s : shapes) {
+    const std::size_t lda = s.k + 1;
+    const std::size_t ldb = s.k + 2;
+    const std::size_t ldc = s.n + 1;
+    const std::vector<double> a = RandomVector(lda * s.m, &rng);
+    const std::vector<double> b = RandomVector(ldb * s.n, &rng);
+    std::vector<double> want(ldc * s.m, -7.0);  // -7: must be overwritten
+    scalar::GemmNT(a.data(), s.m, lda, b.data(), s.n, ldb, s.k, want.data(),
+                   ldc);
+    std::vector<double> got(ldc * s.m, -7.0);
+    GemmNT(a.data(), s.m, lda, b.data(), s.n, ldb, s.k, got.data(), ldc);
+    for (std::size_t i = 0; i < s.m; ++i) {
+      for (std::size_t j = 0; j < s.n; ++j) {
+        ExpectClose(got[i * ldc + j], want[i * ldc + j],
+                    "gemm m=" + std::to_string(s.m) + " n=" +
+                        std::to_string(s.n) + " k=" + std::to_string(s.k) +
+                        " i=" + std::to_string(i) + " j=" + std::to_string(j));
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsc::kernels

@@ -8,6 +8,7 @@
 #include "data/generators.h"
 #include "storage/row_source.h"
 #include "util/logging.h"
+#include "util/stats.h"
 
 namespace tsc {
 namespace {
@@ -275,6 +276,73 @@ TEST_F(ExecutorTest, DeltasVisibleToCompressedDomainSum) {
   const auto after = after_exec.Execute(query);
   ASSERT_TRUE(after.ok());
   EXPECT_NEAR(after->values[0] - before->values[0], 500.0, 1e-6);
+}
+
+TEST_F(ExecutorTest, ThreadCountDoesNotChangeAnyBit) {
+  // The scan deals rows to a fixed shard count and reduces in shard
+  // order, so --threads only changes which thread runs a shard, never
+  // the summation order: every aggregate must be bit-identical between
+  // a serial and a 4-thread executor.
+  const std::vector<std::string> queries = {
+      "select sum(value), avg(value), count(*), min(value), max(value), "
+      "stddev(value) where row in 0:149 and col in 0:39",
+      "select sum(value), stddev(value) where row in 3:140 and col in 1:30 "
+      "group by row",
+      "select avg(value), max(value) where row in 0:100 and col in 0:39 "
+      "group by col",
+      "select median(value) where row in 0:99 and col in 0:19",
+  };
+  for (const std::string& query : queries) {
+    const QueryExecutor serial(static_cast<const CompressedStore*>(model_),
+                               1);
+    const QueryExecutor threaded(static_cast<const CompressedStore*>(model_),
+                                 4);
+    const auto a = serial.Execute(query);
+    const auto b = threaded.Execute(query);
+    ASSERT_TRUE(a.ok()) << query;
+    ASSERT_TRUE(b.ok()) << query;
+    ASSERT_EQ(a->values.size(), b->values.size()) << query;
+    for (std::size_t i = 0; i < a->values.size(); ++i) {
+      EXPECT_EQ(a->values[i], b->values[i])
+          << query << " value " << i << " differs between thread counts";
+    }
+    EXPECT_EQ(a->rows_reconstructed, b->rows_reconstructed) << query;
+  }
+}
+
+TEST_F(ExecutorTest, ThreadedSvddFastPathMatchesSerial) {
+  // Same contract through the SVDD constructor (compressed-domain
+  // aggregates plus a reconstruction scan in one statement).
+  const std::string query =
+      "select sum(value), median(value) where row in 0:149 and col in 0:39";
+  const QueryExecutor serial(model_, 1);
+  const QueryExecutor threaded(model_, 8);
+  const auto a = serial.Execute(query);
+  const auto b = threaded.Execute(query);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->values.size(), b->values.size());
+  for (std::size_t i = 0; i < a->values.size(); ++i) {
+    EXPECT_EQ(a->values[i], b->values[i]);
+  }
+}
+
+TEST_F(ExecutorTest, BatchedScanMatchesPerRowReconstruction) {
+  // The batched region scan must agree with a hand scan that calls
+  // ReconstructRow per selected row (the pre-batching code path).
+  const std::string query =
+      "select sum(value) where row in 10:59 and col in 5:34";
+  const QueryExecutor executor(static_cast<const CompressedStore*>(model_));
+  const auto result = executor.Execute(query);
+  ASSERT_TRUE(result.ok());
+  RunningStats reference;
+  std::vector<double> row(model_->cols());
+  for (std::size_t i = 10; i <= 59; ++i) {
+    model_->ReconstructRow(i, row);
+    for (std::size_t j = 5; j <= 34; ++j) reference.Add(row[j]);
+  }
+  EXPECT_NEAR(result->values[0], reference.sum(),
+              1e-9 * std::abs(reference.sum()));
 }
 
 }  // namespace

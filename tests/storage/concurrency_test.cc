@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <thread>
 #include <vector>
@@ -45,6 +46,54 @@ TEST(ConcurrencyTest, BlockCacheConcurrentGets) {
   for (auto& thread : threads) thread.join();
   EXPECT_EQ(failures.load(), 0);
   EXPECT_EQ(cache.hits() + cache.misses(), 4u * 500u);
+  EXPECT_GT(cache.evictions(), 0u);
+}
+
+TEST(ConcurrencyTest, ShardedBlockCacheHammer) {
+  // Many-shard cache under heavy mixed load: hits, misses on distinct and
+  // identical blocks, evictions, and invalidations all racing. The fetch
+  // callback sleeps a little so concurrent misses actually overlap; under
+  // TSan this exercises the in-flight dedup handshake end to end.
+  BlockCache cache(128, 32, /*shards=*/8);
+  ASSERT_EQ(cache.shard_count(), 8u);
+  std::atomic<int> fetches{0};
+  const auto fetch = [&](std::uint64_t id, BlockCache::Block* data) {
+    fetches.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+    std::fill(data->begin(), data->end(),
+              static_cast<std::uint8_t>(id & 0xff));
+    return Status::Ok();
+  };
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 400;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int round = 0; round < kRounds; ++round) {
+        // Key range (512) >> capacity (128) forces steady eviction; the
+        // skewed stride makes threads collide on hot blocks.
+        const std::uint64_t id =
+            static_cast<std::uint64_t>((round * 3 + t) % 512);
+        const auto handle = cache.Get(id, fetch);
+        if (!handle.ok() || (**handle)[0] != (id & 0xff) ||
+            (**handle)[31] != (id & 0xff)) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (t == 0 && round % 64 == 0) {
+          cache.Invalidate(static_cast<std::uint64_t>(round));
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+  // Dedup rides along on in-flight fetches, so the fetch count can be
+  // lower than the miss count but never higher.
+  EXPECT_LE(fetches.load(), static_cast<int>(cache.misses()));
+  EXPECT_EQ(cache.hits() + cache.misses(),
+            static_cast<std::uint64_t>(kThreads) * kRounds);
   EXPECT_GT(cache.evictions(), 0u);
 }
 
