@@ -1,7 +1,14 @@
 #include "core/disk_backed.h"
 
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <limits>
 #include <memory>
+#include <numeric>
+#include <unordered_map>
 
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "storage/serializer.h"
 #include "util/logging.h"
@@ -48,12 +55,27 @@ Status ExportSvddToDisk(const SvddModel& model, const std::string& u_path,
 StatusOr<DiskBackedStore> DiskBackedStore::Open(
     const std::string& u_path, const std::string& sidecar_path,
     std::size_t cache_blocks) {
+  DiskBackedOptions options;
+  options.cache_blocks = cache_blocks;
+  return Open(u_path, sidecar_path, options);
+}
+
+StatusOr<DiskBackedStore> DiskBackedStore::Open(
+    const std::string& u_path, const std::string& sidecar_path,
+    const DiskBackedOptions& options) {
   DiskBackedStore store;
-  TSC_ASSIGN_OR_RETURN(RowStoreReader reader, RowStoreReader::Open(u_path));
+  const IoBackendKind backend =
+      options.io_backend.value_or(DefaultIoBackendKind());
+  TSC_ASSIGN_OR_RETURN(RowStoreReader reader,
+                       RowStoreReader::Open(u_path, backend));
   const std::size_t u_cols = reader.cols();
-  if (cache_blocks > 0) {
-    store.cached_ =
-        std::make_unique<CachedRowReader>(std::move(reader), cache_blocks);
+  if (options.cache_blocks > 0) {
+    store.cached_ = std::make_unique<CachedRowReader>(std::move(reader),
+                                                      options.cache_blocks);
+    if (options.prefetch_depth > 0) {
+      store.prefetcher_ =
+          std::make_unique<BlockPrefetcher>(options.prefetch_depth);
+    }
   } else {
     store.u_reader_ = std::make_unique<RowStoreReader>(std::move(reader));
   }
@@ -75,6 +97,14 @@ StatusOr<DiskBackedStore> DiskBackedStore::Open(
       store.v_.cols() != store.singular_values_.size()) {
     return Status::IoError("inconsistent disk-backed model dims");
   }
+  // Fold the eigenvalues into V once so every cell is a plain dot
+  // against a fetched U row (the same trick the in-memory models use).
+  store.weighted_v_ = Matrix(store.v_.rows(), store.v_.cols());
+  for (std::size_t j = 0; j < store.v_.rows(); ++j) {
+    for (std::size_t m = 0; m < store.v_.cols(); ++m) {
+      store.weighted_v_(j, m) = store.singular_values_[m] * store.v_(j, m);
+    }
+  }
   return store;
 }
 
@@ -83,17 +113,31 @@ Status DiskBackedStore::ReadURow(std::size_t row, std::span<double> out) {
   return u_reader_->ReadRow(row, out);
 }
 
-StatusOr<double> DiskBackedStore::ReconstructCell(std::size_t row,
-                                                  std::size_t col) {
-  if (row >= rows() || col >= cols()) {
-    return Status::OutOfRange("cell out of range");
+void DiskBackedStore::PrefetchURows(std::span<const std::size_t> row_ids) {
+  if (row_ids.empty()) return;
+  if (cached_ && prefetcher_) {
+    cached_->PrefetchRows(row_ids, prefetcher_.get());
+    return;
   }
-  std::vector<double> urow(k());
-  TSC_RETURN_IF_ERROR(ReadURow(row, urow));  // the 1 disk access
-  double value = 0.0;
-  for (std::size_t m = 0; m < k(); ++m) {
-    value += singular_values_[m] * urow[m] * v_(col, m);
+  // No buffer pool: there is nowhere to stage blocks, but the kernel can
+  // still start readahead on the spanned byte range.
+  if (u_reader_) {
+    const auto [lo, hi] =
+        std::minmax_element(row_ids.begin(), row_ids.end());
+    if (*lo >= u_reader_->rows()) return;
+    const std::uint64_t row_bytes = u_reader_->cols() * sizeof(double);
+    const std::uint64_t first = u_reader_->header_bytes() + *lo * row_bytes;
+    const std::uint64_t last_row = std::min<std::uint64_t>(
+        *hi, u_reader_->rows() - 1);
+    u_reader_->io().AdviseWillNeed(first,
+                                   (last_row - *lo + 1) * row_bytes);
   }
+}
+
+double DiskBackedStore::CellFromURow(std::span<const double> urow,
+                                     std::size_t row, std::size_t col) {
+  double value =
+      kernels::Dot(urow.data(), weighted_v_.Row(col).data(), k());
   const std::uint64_t key = DeltaTable::CellKey(row, col, cols());
   if (!bloom_.has_value() || bloom_->MightContain(key)) {
     const std::optional<double> delta = deltas_.Get(key);
@@ -106,19 +150,25 @@ StatusOr<double> DiskBackedStore::ReconstructCell(std::size_t row,
   return value;
 }
 
+StatusOr<double> DiskBackedStore::ReconstructCell(std::size_t row,
+                                                  std::size_t col) {
+  if (row >= rows() || col >= cols()) {
+    return Status::OutOfRange("cell out of range");
+  }
+  std::vector<double> urow(k());
+  TSC_RETURN_IF_ERROR(ReadURow(row, urow));  // the 1 disk access
+  return CellFromURow(urow, row, col);
+}
+
 Status DiskBackedStore::ReconstructRow(std::size_t row,
                                        std::span<double> out) {
   if (row >= rows()) return Status::OutOfRange("row out of range");
   if (out.size() != cols()) return Status::InvalidArgument("buffer size");
   std::vector<double> urow(k());
   TSC_RETURN_IF_ERROR(ReadURow(row, urow));
-  for (std::size_t j = 0; j < cols(); ++j) {
-    double value = 0.0;
-    for (std::size_t m = 0; m < k(); ++m) {
-      value += singular_values_[m] * urow[m] * v_(j, m);
-    }
-    out[j] = value;
-  }
+  std::fill(out.begin(), out.end(), 0.0);
+  kernels::Gemv(weighted_v_.Row(0).data(), cols(), k(), k(), urow.data(),
+                out.data());
   for (std::size_t j = 0; j < cols(); ++j) {
     const std::uint64_t key = DeltaTable::CellKey(row, j, cols());
     if (bloom_.has_value() && !bloom_->MightContain(key)) continue;
@@ -130,6 +180,193 @@ Status DiskBackedStore::ReconstructRow(std::size_t row,
     }
   }
   return Status::Ok();
+}
+
+Status DiskBackedStore::ReconstructCells(std::span<const CellRef> cells,
+                                         std::span<double> out) {
+  if (out.size() != cells.size()) {
+    return Status::InvalidArgument("output size mismatch");
+  }
+  if (cells.empty()) return Status::Ok();
+  for (const CellRef& cell : cells) {
+    if (cell.row >= rows() || cell.col >= cols()) {
+      return Status::OutOfRange("cell out of range");
+    }
+  }
+  // Visit cells row-major so each distinct U row is read exactly once;
+  // the prefetch wave fetches every distinct row's blocks up front so a
+  // cold batch overlaps its I/O instead of paying sequential misses.
+  std::vector<std::size_t> order(cells.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(),
+            [&cells](std::size_t a, std::size_t b) {
+              if (cells[a].row != cells[b].row) {
+                return cells[a].row < cells[b].row;
+              }
+              return cells[a].col < cells[b].col;
+            });
+  std::vector<std::size_t> distinct_rows;
+  distinct_rows.reserve(cells.size());
+  for (const std::size_t i : order) {
+    if (distinct_rows.empty() || distinct_rows.back() != cells[i].row) {
+      distinct_rows.push_back(cells[i].row);
+    }
+  }
+  PrefetchURows(distinct_rows);
+
+  std::vector<double> urow(k());
+  std::size_t loaded_row = std::numeric_limits<std::size_t>::max();
+  for (const std::size_t i : order) {
+    if (cells[i].row != loaded_row) {
+      TSC_RETURN_IF_ERROR(ReadURow(cells[i].row, urow));
+      loaded_row = cells[i].row;
+    }
+    out[i] = kernels::Dot(urow.data(),
+                          weighted_v_.Row(cells[i].col).data(), k());
+  }
+  if (deltas_.empty()) return Status::Ok();
+  // Same batched delta strategy as SvddModel: one table sweep once the
+  // batch is a reasonable fraction of the table, probes otherwise.
+  if (cells.size() >= deltas_.size() / 4) {
+    std::unordered_map<std::uint64_t, std::size_t> index;
+    index.reserve(cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      index.emplace(DeltaTable::CellKey(cells[i].row, cells[i].col, cols()),
+                    i);
+    }
+    deltas_.ForEach([&](std::uint64_t key, double delta) {
+      const auto it = index.find(key);
+      if (it != index.end()) out[it->second] += delta;
+    });
+    return Status::Ok();
+  }
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::uint64_t key =
+        DeltaTable::CellKey(cells[i].row, cells[i].col, cols());
+    if (bloom_.has_value() && !bloom_->MightContain(key)) continue;
+    const std::optional<double> delta = deltas_.Get(key);
+    if (delta.has_value()) {
+      out[i] += *delta;
+    } else if (bloom_.has_value()) {
+      CountBloomFalsePositive();
+    }
+  }
+  return Status::Ok();
+}
+
+Status DiskBackedStore::ReconstructRegion(
+    std::span<const std::size_t> row_ids,
+    std::span<const std::size_t> col_ids, Matrix* out) {
+  if (out->rows() != row_ids.size() || out->cols() != col_ids.size()) {
+    *out = Matrix(row_ids.size(), col_ids.size());
+  }
+  if (row_ids.empty() || col_ids.empty()) return Status::Ok();
+  for (const std::size_t r : row_ids) {
+    if (r >= rows()) return Status::OutOfRange("row out of range");
+  }
+  for (const std::size_t c : col_ids) {
+    if (c >= cols()) return Status::OutOfRange("col out of range");
+  }
+  const std::size_t kk = k();
+  PrefetchURows(row_ids);
+  // Gather the selected U rows (one read each, prefetched above) and the
+  // selected Lambda-weighted V rows into dense blocks, then run the same
+  // blocked product the in-memory models use.
+  Matrix a(row_ids.size(), kk);
+  for (std::size_t r = 0; r < row_ids.size(); ++r) {
+    TSC_RETURN_IF_ERROR(ReadURow(row_ids[r], a.Row(r)));
+  }
+  Matrix b(col_ids.size(), kk);
+  for (std::size_t c = 0; c < col_ids.size(); ++c) {
+    const std::span<const double> src = weighted_v_.Row(col_ids[c]);
+    std::copy(src.begin(), src.end(), b.Row(c).begin());
+  }
+  kernels::GemmNT(a.Row(0).data(), row_ids.size(), kk, b.Row(0).data(),
+                  col_ids.size(), kk, kk, out->Row(0).data(),
+                  col_ids.size());
+  if (deltas_.empty()) return Status::Ok();
+  const std::uint64_t region_cells =
+      static_cast<std::uint64_t>(row_ids.size()) * col_ids.size();
+  if (region_cells >= deltas_.size() / 4) {
+    std::unordered_map<std::size_t, std::size_t> row_index;
+    row_index.reserve(row_ids.size());
+    for (std::size_t r = 0; r < row_ids.size(); ++r) {
+      row_index.emplace(row_ids[r], r);
+    }
+    std::unordered_map<std::size_t, std::size_t> col_index;
+    col_index.reserve(col_ids.size());
+    for (std::size_t c = 0; c < col_ids.size(); ++c) {
+      col_index.emplace(col_ids[c], c);
+    }
+    const std::size_t m = cols();
+    deltas_.ForEach([&](std::uint64_t key, double delta) {
+      const auto rit = row_index.find(static_cast<std::size_t>(key / m));
+      if (rit == row_index.end()) return;
+      const auto cit = col_index.find(static_cast<std::size_t>(key % m));
+      if (cit == col_index.end()) return;
+      (*out)(rit->second, cit->second) += delta;
+    });
+    return Status::Ok();
+  }
+  for (std::size_t r = 0; r < row_ids.size(); ++r) {
+    const std::span<double> dst = out->Row(r);
+    for (std::size_t c = 0; c < col_ids.size(); ++c) {
+      const std::uint64_t key =
+          DeltaTable::CellKey(row_ids[r], col_ids[c], cols());
+      if (bloom_.has_value() && !bloom_->MightContain(key)) continue;
+      const std::optional<double> delta = deltas_.Get(key);
+      if (delta.has_value()) {
+        dst[c] += *delta;
+      } else if (bloom_.has_value()) {
+        CountBloomFalsePositive();
+      }
+    }
+  }
+  return Status::Ok();
+}
+
+double DiskBackedStoreView::ReconstructCell(std::size_t row,
+                                            std::size_t col) const {
+  const StatusOr<double> value = store_->ReconstructCell(row, col);
+  return value.ok() ? *value : std::numeric_limits<double>::quiet_NaN();
+}
+
+void DiskBackedStoreView::ReconstructRow(std::size_t row,
+                                         std::span<double> out) const {
+  if (!store_->ReconstructRow(row, out).ok()) {
+    std::fill(out.begin(), out.end(),
+              std::numeric_limits<double>::quiet_NaN());
+  }
+}
+
+void DiskBackedStoreView::ReconstructCells(std::span<const CellRef> cells,
+                                           std::span<double> out) const {
+  if (!store_->ReconstructCells(cells, out).ok()) {
+    std::fill(out.begin(), out.end(),
+              std::numeric_limits<double>::quiet_NaN());
+  }
+}
+
+void DiskBackedStoreView::ReconstructRegion(
+    std::span<const std::size_t> row_ids,
+    std::span<const std::size_t> col_ids, Matrix* out) const {
+  if (!store_->ReconstructRegion(row_ids, col_ids, out).ok()) {
+    for (std::size_t r = 0; r < out->rows(); ++r) {
+      const std::span<double> dst = out->Row(r);
+      std::fill(dst.begin(), dst.end(),
+                std::numeric_limits<double>::quiet_NaN());
+    }
+  }
+}
+
+std::uint64_t DiskBackedStoreView::CompressedBytes() const {
+  // Same Section 3.4 accounting as the in-memory model: N*k for U, k
+  // eigenvalues, k*M for V, plus the packed delta table.
+  const std::uint64_t values =
+      static_cast<std::uint64_t>(store_->rows()) * store_->k() +
+      store_->k() +
+      static_cast<std::uint64_t>(store_->k()) * store_->cols();
+  return values * sizeof(double) + store_->deltas().PackedBytes();
 }
 
 }  // namespace tsc

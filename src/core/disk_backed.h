@@ -6,14 +6,31 @@
 #include <string>
 #include <vector>
 
+#include "core/compressed_store.h"
 #include "core/svdd_compressor.h"
 #include "storage/bloom_filter.h"
 #include "storage/cached_row_reader.h"
 #include "storage/delta_table.h"
+#include "storage/io_backend.h"
+#include "storage/prefetcher.h"
 #include "storage/row_store.h"
 #include "util/status.h"
 
 namespace tsc {
+
+/// Serving-time knobs for DiskBackedStore::Open.
+struct DiskBackedOptions {
+  /// > 0 routes U-row reads through a BlockCache buffer pool of that
+  /// many blocks (the Appendix A skewed-workload serving mode).
+  std::size_t cache_blocks = 0;
+  /// I/O engine for the U file; defaults to the TSC_IO-resolved backend
+  /// (mmap where available).
+  std::optional<IoBackendKind> io_backend;
+  /// > 0 enables batched block prefetch for ReconstructCells /
+  /// ReconstructRegion: that many fetches in flight per wave. Requires
+  /// cache_blocks > 0 to have an effect.
+  std::size_t prefetch_depth = 0;
+};
 
 /// The paper's deployment layout made concrete: V and the eigenvalues
 /// pinned in memory, U stored row-wise on disk, the delta hash table and
@@ -23,15 +40,22 @@ namespace tsc {
 ///
 /// Build with ExportSvddToDisk() + Open(); the exported U file is the
 /// "TSCROWS1" row store, so a row that fits in one block is one access.
+///
+/// Thread safety: concurrent Reconstruct* calls on one store are safe
+/// under every I/O backend — the pread/mmap engines are positional (no
+/// shared cursor), the stream engine serializes internally, the block
+/// cache is sharded, and the access counters are atomic.
 class DiskBackedStore {
  public:
-  /// Opens the pair of files produced by ExportSvddToDisk. With
-  /// `cache_blocks` > 0, U-row reads go through a BlockCache buffer pool
-  /// of that many blocks, so repeated access to hot rows costs no new
-  /// disk reads (the Appendix A skewed-workload serving mode).
+  /// Opens the pair of files produced by ExportSvddToDisk. The
+  /// `cache_blocks` overload keeps the original signature; the options
+  /// overload adds I/O backend selection and prefetch.
   static StatusOr<DiskBackedStore> Open(const std::string& u_path,
                                         const std::string& sidecar_path,
                                         std::size_t cache_blocks = 0);
+  static StatusOr<DiskBackedStore> Open(const std::string& u_path,
+                                        const std::string& sidecar_path,
+                                        const DiskBackedOptions& options);
 
   DiskBackedStore(DiskBackedStore&&) = default;
   DiskBackedStore& operator=(DiskBackedStore&&) = default;
@@ -42,12 +66,35 @@ class DiskBackedStore {
   std::size_t cols() const { return v_.rows(); }
   std::size_t k() const { return singular_values_.size(); }
 
+  /// The I/O engine serving the U file.
+  const char* io_backend_name() const {
+    return cached_ ? cached_->reader().backend_name()
+                   : u_reader_->backend_name();
+  }
+
   /// Reconstructs one cell; performs one U-row disk read plus O(k) work
   /// and (for SVDD) one delta-table probe.
   StatusOr<double> ReconstructCell(std::size_t row, std::size_t col);
 
   /// Reconstructs a whole row with the same single U-row read.
   Status ReconstructRow(std::size_t row, std::span<double> out);
+
+  /// Batched point reconstruction: out[i] = cell cells[i]. Cells are
+  /// grouped by row so each distinct U row is read once, and with a
+  /// cache + prefetch configured the distinct rows' blocks are fetched
+  /// in one overlapped wave up front.
+  Status ReconstructCells(std::span<const CellRef> cells,
+                          std::span<double> out);
+
+  /// Batched region reconstruction mirroring the in-memory models:
+  /// prefetches and reads the selected U rows once, then runs the
+  /// blocked U * (Lambda V^T) product and one delta sweep.
+  Status ReconstructRegion(std::span<const std::size_t> row_ids,
+                           std::span<const std::size_t> col_ids, Matrix* out);
+
+  /// Warms the buffer pool with the blocks backing `row_ids` in one
+  /// overlapped wave (no-op without a cache + prefetcher).
+  void PrefetchURows(std::span<const std::size_t> row_ids);
 
   /// Disk accesses performed so far against the U file (cache misses
   /// when a buffer pool is configured).
@@ -61,6 +108,7 @@ class DiskBackedStore {
     return cached_ ? cached_->cache_hits() : 0;
   }
   bool has_cache() const { return cached_ != nullptr; }
+  bool has_prefetch() const { return prefetcher_ != nullptr; }
   void ResetCounters() {
     if (cached_) {
       cached_->ResetStats();
@@ -76,15 +124,52 @@ class DiskBackedStore {
 
   /// Fetches row `row` of U through the cache when configured.
   Status ReadURow(std::size_t row, std::span<double> out);
+  /// dot(u_row, weighted_v_col) + delta — Eq. 12 against a fetched row.
+  double CellFromURow(std::span<const double> urow, std::size_t row,
+                      std::size_t col);
 
-  // unique_ptr keeps the reader's ifstream stable across moves. Exactly
-  // one of u_reader_ / cached_ is set.
+  // unique_ptr keeps the reader stable across moves. Exactly one of
+  // u_reader_ / cached_ is set.
   std::unique_ptr<RowStoreReader> u_reader_;
   std::unique_ptr<CachedRowReader> cached_;
+  std::unique_ptr<BlockPrefetcher> prefetcher_;
   std::vector<double> singular_values_;
   Matrix v_;
+  Matrix weighted_v_;  ///< row j = lambda (.) v_j, derived at Open
   DeltaTable deltas_;
   std::optional<BloomFilter> bloom_;
+};
+
+/// CompressedStore adapter over a DiskBackedStore, so the query executor
+/// (and anything else programmed against the interface) can serve
+/// straight from the two-file disk layout. Implements RowPrefetchable:
+/// the executor's batched scan warms each block of rows before
+/// reconstructing it. Reads that fail surface as NaN (the interface has
+/// no error channel); `store` must outlive the view.
+class DiskBackedStoreView final : public CompressedStore,
+                                  public RowPrefetchable {
+ public:
+  explicit DiskBackedStoreView(DiskBackedStore* store) : store_(store) {}
+
+  std::size_t rows() const override { return store_->rows(); }
+  std::size_t cols() const override { return store_->cols(); }
+
+  double ReconstructCell(std::size_t row, std::size_t col) const override;
+  void ReconstructRow(std::size_t row, std::span<double> out) const override;
+  void ReconstructCells(std::span<const CellRef> cells,
+                        std::span<double> out) const override;
+  void ReconstructRegion(std::span<const std::size_t> row_ids,
+                         std::span<const std::size_t> col_ids,
+                         Matrix* out) const override;
+  std::uint64_t CompressedBytes() const override;
+  std::string MethodName() const override { return "svdd-disk"; }
+
+  void PrefetchRows(std::span<const std::size_t> row_ids) const override {
+    store_->PrefetchURows(row_ids);
+  }
+
+ private:
+  DiskBackedStore* store_;
 };
 
 /// Writes `model` into the two-file disk layout: `u_path` holds U as a

@@ -9,6 +9,7 @@
 #include "linalg/kernels.h"
 #include "linalg/svd.h"
 #include "obs/trace.h"
+#include "storage/prefetcher.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -267,6 +268,14 @@ StatusOr<SvdModel> BuildSvdModel(RowSource* source,
                                  const SvdBuildOptions& options) {
   if (source->rows() == 0 || source->cols() == 0) {
     return Status::InvalidArgument("empty source");
+  }
+  // Readahead decorator: both passes still see rows in order (bitwise-
+  // identical model), but a producer thread keeps chunks in flight so
+  // the disk works while this thread computes.
+  std::optional<ReadaheadRowSource> readahead;
+  if (options.prefetch_depth > 0) {
+    readahead.emplace(source, options.prefetch_depth);
+    source = &*readahead;
   }
   const std::size_t m = source->cols();
   std::unique_ptr<ThreadPool> pool;

@@ -116,6 +116,10 @@ struct SvdBuildOptions {
   /// their work by a fixed shard count and reduce in shard order, so any
   /// thread count produces a bitwise-identical model.
   std::size_t num_threads = 1;
+  /// > 0 reads each build pass through a ReadaheadRowSource holding that
+  /// many chunks in flight, so disk reads overlap compute. Row order is
+  /// unchanged, so the model stays bitwise-identical. 0 = direct reads.
+  std::size_t prefetch_depth = 0;
 };
 
 /// Builds a plain-SVD model with the paper's 2-pass algorithm

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 
 #include "core/parallel_build.h"
@@ -12,6 +13,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "linalg/symmetric_eigen.h"
+#include "storage/prefetcher.h"
 #include "util/bounded_heap.h"
 #include "util/kahan.h"
 #include "util/logging.h"
@@ -247,6 +249,14 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
                                    SvddBuildDiagnostics* diagnostics) {
   if (source->rows() == 0 || source->cols() == 0) {
     return Status::InvalidArgument("empty source");
+  }
+  // Readahead decorator: all three passes still see rows in order
+  // (bitwise-identical model), but a producer thread keeps chunks in
+  // flight so the disk works while this thread computes.
+  std::optional<ReadaheadRowSource> readahead;
+  if (options.prefetch_depth > 0) {
+    readahead.emplace(source, options.prefetch_depth);
+    source = &*readahead;
   }
   const std::size_t n = source->rows();
   const std::size_t m = source->cols();

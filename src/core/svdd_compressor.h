@@ -105,6 +105,10 @@ struct SvddBuildOptions {
   /// total-order outlier merge, so any thread count produces a
   /// bitwise-identical model.
   std::size_t num_threads = 1;
+  /// > 0 reads each of the three passes through a ReadaheadRowSource
+  /// holding that many chunks in flight (disk overlaps compute); 0 =
+  /// direct reads. Order-preserving, so the model is unchanged.
+  std::size_t prefetch_depth = 0;
 };
 
 /// Build-time report: the k trade-off the algorithm explored.

@@ -1,5 +1,6 @@
 #include "storage/cached_row_reader.h"
 
+#include <algorithm>
 #include <cstring>
 
 #include "util/logging.h"
@@ -39,6 +40,43 @@ Status CachedRowReader::ReadRow(std::size_t index, std::span<double> out) {
     remaining -= take;
   }
   return Status::Ok();
+}
+
+std::vector<std::uint64_t> CachedRowReader::BlocksForRows(
+    std::span<const std::size_t> row_ids) const {
+  const std::size_t block_size = cache_.block_size();
+  const std::uint64_t row_bytes = cols() * sizeof(double);
+  std::vector<std::uint64_t> blocks;
+  blocks.reserve(row_ids.size() * (1 + row_bytes / block_size));
+  for (const std::size_t index : row_ids) {
+    if (index >= rows()) continue;
+    const std::uint64_t offset =
+        reader_->header_bytes() +
+        static_cast<std::uint64_t>(index) * row_bytes;
+    const std::uint64_t first = offset / block_size;
+    const std::uint64_t last = (offset + row_bytes - 1) / block_size;
+    for (std::uint64_t b = first; b <= last; ++b) blocks.push_back(b);
+  }
+  std::sort(blocks.begin(), blocks.end());
+  blocks.erase(std::unique(blocks.begin(), blocks.end()), blocks.end());
+  return blocks;
+}
+
+void CachedRowReader::PrefetchRows(std::span<const std::size_t> row_ids,
+                                   BlockPrefetcher* prefetcher) {
+  if (prefetcher == nullptr || row_ids.empty()) return;
+  const std::vector<std::uint64_t> blocks = BlocksForRows(row_ids);
+  if (blocks.empty()) return;
+  // Tell the kernel too: under mmap the block fetches below become page
+  // touches the readahead has already scheduled.
+  const std::uint64_t block_size = cache_.block_size();
+  reader_->io().AdviseWillNeed(
+      blocks.front() * block_size,
+      (blocks.back() - blocks.front() + 1) * block_size);
+  prefetcher->Prefetch(
+      &cache_, blocks, [this](std::uint64_t id, BlockCache::Block* data) {
+        return reader_->ReadBlock(id, *data);
+      });
 }
 
 }  // namespace tsc

@@ -2,8 +2,10 @@
 #define TSC_STORAGE_CACHED_ROW_READER_H_
 
 #include <memory>
+#include <vector>
 
 #include "storage/block_cache.h"
+#include "storage/prefetcher.h"
 #include "storage/row_store.h"
 
 namespace tsc {
@@ -12,6 +14,10 @@ namespace tsc {
 /// blocks and only cache misses reach the disk. With a skewed access
 /// pattern (hot customers queried repeatedly) the effective disk cost
 /// per query drops well below the cold 1-access bound.
+///
+/// Thread safety: concurrent ReadRow calls are safe — the sharded
+/// BlockCache synchronizes itself and the underlying reader performs
+/// positional reads with no shared cursor (see storage/io_backend.h).
 class CachedRowReader {
  public:
   /// Takes ownership of `reader`; the cache holds `capacity_blocks`
@@ -20,9 +26,22 @@ class CachedRowReader {
 
   std::size_t rows() const { return reader_->rows(); }
   std::size_t cols() const { return reader_->cols(); }
+  const RowStoreReader& reader() const { return *reader_; }
 
   /// Reads row `index` into `out` (size cols()) via the cache.
   Status ReadRow(std::size_t index, std::span<double> out);
+
+  /// The distinct cache blocks covering `row_ids`, ascending — the I/O
+  /// wave a cold batched read of those rows will pay.
+  std::vector<std::uint64_t> BlocksForRows(
+      std::span<const std::size_t> row_ids) const;
+
+  /// Warms the cache with every block covering `row_ids` in one
+  /// overlapped wave through `prefetcher` (mmap additionally gets a
+  /// WILLNEED hint for the spanned byte range). Subsequent ReadRow calls
+  /// for those rows are pure cache hits.
+  void PrefetchRows(std::span<const std::size_t> row_ids,
+                    BlockPrefetcher* prefetcher);
 
   /// Disk accesses actually performed (i.e. cache misses, in blocks).
   std::uint64_t disk_accesses() const {

@@ -1,0 +1,192 @@
+#include "storage/prefetcher.h"
+
+#include <algorithm>
+#include <atomic>
+
+#include "obs/metrics.h"
+#include "util/thread_pool.h"
+
+namespace tsc {
+
+// ---------------------------------------------------------------------------
+// ReadaheadRowSource
+// ---------------------------------------------------------------------------
+
+ReadaheadRowSource::ReadaheadRowSource(RowSource* inner,
+                                       std::size_t depth_chunks,
+                                       std::size_t chunk_rows)
+    : inner_(inner),
+      depth_chunks_(std::max<std::size_t>(1, depth_chunks)),
+      chunk_rows_(std::max<std::size_t>(1, chunk_rows)) {}
+
+ReadaheadRowSource::~ReadaheadRowSource() { StopProducer(); }
+
+void ReadaheadRowSource::StartProducer() {
+  producer_done_ = false;
+  cancel_ = false;
+  producer_status_ = Status::Ok();
+  ready_.clear();
+  current_valid_ = false;
+  current_next_ = 0;
+  started_ = true;
+  producer_ = std::thread([this] { ProducerLoop(); });
+}
+
+void ReadaheadRowSource::StopProducer() {
+  if (!started_) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    cancel_ = true;
+  }
+  consumed_cv_.notify_all();
+  producer_.join();
+  started_ = false;
+}
+
+void ReadaheadRowSource::ProducerLoop() {
+  static obs::Counter& chunks_counter =
+      obs::MetricRegistry::Default().GetCounter("io.readahead_chunks");
+  for (;;) {
+    // Reuse a spare buffer when one is available; the steady state
+    // allocates nothing.
+    Chunk chunk;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!spare_.empty()) {
+        chunk.data = std::move(spare_.back());
+        spare_.pop_back();
+      }
+    }
+    if (chunk.data.rows() != chunk_rows_ ||
+        chunk.data.cols() != inner_->cols()) {
+      chunk.data = Matrix(chunk_rows_, inner_->cols());
+    }
+    chunk.count = 0;
+    Status status = Status::Ok();
+    bool end = false;
+    while (chunk.count < chunk_rows_) {
+      StatusOr<bool> more = inner_->NextRow(chunk.data.Row(chunk.count));
+      if (!more.ok()) {
+        status = more.status();
+        break;
+      }
+      if (!*more) {
+        end = true;
+        break;
+      }
+      ++chunk.count;
+    }
+    chunks_counter.Increment();
+
+    std::unique_lock<std::mutex> lock(mu_);
+    consumed_cv_.wait(
+        lock, [this] { return cancel_ || ready_.size() < depth_chunks_; });
+    if (cancel_) return;
+    if (chunk.count > 0) ready_.push_back(std::move(chunk));
+    if (!status.ok() || end) {
+      producer_status_ = status;
+      producer_done_ = true;
+      lock.unlock();
+      produced_cv_.notify_all();
+      return;
+    }
+    lock.unlock();
+    produced_cv_.notify_all();
+  }
+}
+
+StatusOr<bool> ReadaheadRowSource::NextRow(std::span<double> out) {
+  if (out.size() != cols()) return Status::InvalidArgument("buffer size");
+  // Lazy start: a consumer that never called Reset() still streams from
+  // wherever the inner source is positioned, like any RowSource.
+  if (!started_) StartProducer();
+  if (!current_valid_ || current_next_ >= current_.count) {
+    // Recycle the drained buffer and pull the next chunk.
+    std::unique_lock<std::mutex> lock(mu_);
+    if (current_valid_) {
+      spare_.push_back(std::move(current_.data));
+      current_valid_ = false;
+    }
+    produced_cv_.wait(lock,
+                      [this] { return producer_done_ || !ready_.empty(); });
+    if (ready_.empty()) {
+      return producer_status_.ok() ? StatusOr<bool>(false)
+                                   : StatusOr<bool>(producer_status_);
+    }
+    current_ = std::move(ready_.front());
+    ready_.pop_front();
+    current_next_ = 0;
+    current_valid_ = true;
+    lock.unlock();
+    consumed_cv_.notify_all();
+  }
+  const std::span<const double> row = current_.data.Row(current_next_);
+  std::copy(row.begin(), row.end(), out.begin());
+  ++current_next_;
+  return true;
+}
+
+Status ReadaheadRowSource::ResetImpl() {
+  StopProducer();
+  TSC_RETURN_IF_ERROR(inner_->Reset());
+  StartProducer();
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// BlockPrefetcher
+// ---------------------------------------------------------------------------
+
+BlockPrefetcher::BlockPrefetcher(std::size_t depth)
+    : depth_(std::max<std::size_t>(1, depth)) {}
+
+BlockPrefetcher::~BlockPrefetcher() = default;
+
+void BlockPrefetcher::Prefetch(BlockCache* cache,
+                               std::span<const std::uint64_t> block_ids,
+                               const BlockCache::FetchFn& fetch) {
+  static obs::Counter& hits_counter =
+      obs::MetricRegistry::Default().GetCounter("io.prefetch_hits");
+  static obs::Counter& fetch_counter =
+      obs::MetricRegistry::Default().GetCounter("io.prefetch_fetches");
+  if (block_ids.empty()) return;
+
+  // Ascending distinct ids: the fetch wave walks the file front to back,
+  // which is the friendliest order for the disk and the page cache.
+  std::vector<std::uint64_t> ids(block_ids.begin(), block_ids.end());
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+
+  std::atomic<std::uint64_t> fetched{0};
+  const BlockCache::FetchFn counted_fetch =
+      [&fetch, &fetched](std::uint64_t id, BlockCache::Block* data) {
+        fetched.fetch_add(1, std::memory_order_relaxed);
+        return fetch(id, data);
+      };
+
+  // A short wave is cheaper serial than waking the pool. The parallel
+  // path hands each worker a contiguous ascending run of ids rather than
+  // one block per task, so handout cost is per-run, not per-block.
+  constexpr std::size_t kSerialWave = 16;
+  if (ids.size() <= kSerialWave || depth_ == 1) {
+    for (const std::uint64_t id : ids) {
+      (void)cache->Get(id, counted_fetch);  // warm only; drop the handle
+    }
+  } else {
+    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(depth_);
+    const std::size_t runs = std::min(depth_, ids.size());
+    const std::size_t per_run = (ids.size() + runs - 1) / runs;
+    pool_->ParallelFor(0, runs, [&](std::size_t r) {
+      const std::size_t begin = r * per_run;
+      const std::size_t end = std::min(begin + per_run, ids.size());
+      for (std::size_t i = begin; i < end; ++i) {
+        (void)cache->Get(ids[i], counted_fetch);
+      }
+    });
+  }
+  const std::uint64_t misses = fetched.load(std::memory_order_relaxed);
+  fetch_counter.Add(misses);
+  hits_counter.Add(ids.size() - misses);
+}
+
+}  // namespace tsc

@@ -1,0 +1,109 @@
+#ifndef TSC_STORAGE_PREFETCHER_H_
+#define TSC_STORAGE_PREFETCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "storage/block_cache.h"
+#include "storage/row_source.h"
+#include "util/status.h"
+
+namespace tsc {
+
+class ThreadPool;
+
+/// Async readahead for sequential scans: a background producer thread
+/// pulls row chunks from the wrapped source into a bounded queue while
+/// the consumer computes on the previous chunk, overlapping disk I/O
+/// with eigen/kernel work. With depth_chunks == 1 this is classic double
+/// buffering (one chunk in flight, one being consumed).
+///
+/// Rows come out in exactly the source's order, so a build that scans
+/// through the readahead produces bit-identical models. Reset() drains
+/// the pipeline, resets the inner source, and restarts the producer —
+/// multi-pass builds work unchanged. Single consumer only; the wrapped
+/// source must outlive this object and must not be used elsewhere while
+/// a pass is in flight.
+class ReadaheadRowSource final : public RowSource {
+ public:
+  /// `depth_chunks` bounds the producer's lead, in chunks of
+  /// `chunk_rows` rows each.
+  explicit ReadaheadRowSource(RowSource* inner, std::size_t depth_chunks = 2,
+                              std::size_t chunk_rows = 256);
+  ~ReadaheadRowSource() override;
+
+  std::size_t rows() const override { return inner_->rows(); }
+  std::size_t cols() const override { return inner_->cols(); }
+
+  StatusOr<bool> NextRow(std::span<double> out) override;
+
+ protected:
+  Status ResetImpl() override;
+
+ private:
+  struct Chunk {
+    Matrix data;
+    std::size_t count = 0;
+  };
+
+  void StartProducer();
+  void StopProducer();
+  void ProducerLoop();
+
+  RowSource* inner_;
+  const std::size_t depth_chunks_;
+  const std::size_t chunk_rows_;
+
+  std::thread producer_;
+  bool started_ = false;
+
+  std::mutex mu_;
+  std::condition_variable produced_cv_;  ///< producer -> consumer
+  std::condition_variable consumed_cv_;  ///< consumer -> producer
+  std::deque<Chunk> ready_;              ///< filled chunks, FIFO
+  std::vector<Matrix> spare_;            ///< recycled chunk buffers
+  bool producer_done_ = false;
+  bool cancel_ = false;
+  Status producer_status_ = Status::Ok();
+
+  // Consumer-side cursor into the chunk currently being drained.
+  Chunk current_;
+  std::size_t current_next_ = 0;
+  bool current_valid_ = false;
+};
+
+/// Batched block prefetch into a BlockCache: one overlapped wave of
+/// parallel fetches for all the blocks a batched query is about to
+/// touch, instead of N cache misses paid one at a time on the read
+/// path. Safe against concurrent readers — the cache's in-flight dedup
+/// means a prefetch and a demand read of the same block issue one I/O.
+class BlockPrefetcher {
+ public:
+  /// `depth` = maximum fetches in flight at once (the --prefetch-depth
+  /// knob; clamped to >= 1).
+  explicit BlockPrefetcher(std::size_t depth);
+  ~BlockPrefetcher();
+
+  std::size_t depth() const { return depth_; }
+
+  /// Warms `cache` with every id in `block_ids` (need not be unique;
+  /// duplicates are dropped). Returns after the wave completes. Blocks
+  /// already resident count toward io.prefetch_hits; the rest are
+  /// fetched through `fetch` (io.prefetch_fetches).
+  void Prefetch(BlockCache* cache, std::span<const std::uint64_t> block_ids,
+                const BlockCache::FetchFn& fetch);
+
+ private:
+  std::size_t depth_;
+  std::unique_ptr<ThreadPool> pool_;  ///< created on first use
+};
+
+}  // namespace tsc
+
+#endif  // TSC_STORAGE_PREFETCHER_H_

@@ -1,6 +1,7 @@
 #include "storage/row_store.h"
 
 #include <cstring>
+#include <limits>
 
 #include "obs/metrics.h"
 #include "util/logging.h"
@@ -22,8 +23,8 @@ void DiskAccessCounter::RecordRead(std::uint64_t offset,
       obs::MetricRegistry::Default().GetCounter("storage.disk.bytes_read");
   const std::uint64_t first = offset / block_size_;
   const std::uint64_t last = (offset + length - 1) / block_size_;
-  accesses_ += last - first + 1;
-  bytes_read_ += length;
+  accesses_.fetch_add(last - first + 1, std::memory_order_relaxed);
+  bytes_read_.fetch_add(length, std::memory_order_relaxed);
   accesses.Add(last - first + 1);
   bytes_read.Add(length);
 }
@@ -78,23 +79,47 @@ Status RowStoreWriter::Close() {
 }
 
 StatusOr<RowStoreReader> RowStoreReader::Open(const std::string& path) {
+  return Open(path, DefaultIoBackendKind());
+}
+
+StatusOr<RowStoreReader> RowStoreReader::Open(const std::string& path,
+                                              IoBackendKind backend) {
   RowStoreReader reader;
-  reader.in_.open(path, std::ios::binary);
-  if (!reader.in_) return Status::IoError("cannot open: " + path);
-  char magic[8] = {};
-  reader.in_.read(magic, sizeof(magic));
-  if (!reader.in_ || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  TSC_ASSIGN_OR_RETURN(reader.io_, IoBackend::Open(path, backend));
+  if (reader.io_->size() < kHeaderBytes) {
+    return Status::IoError("truncated header in " + path);
+  }
+  std::uint8_t header[kHeaderBytes] = {};
+  TSC_RETURN_IF_ERROR(reader.io_->ReadAt(0, header));
+  if (std::memcmp(header, kMagic, sizeof(kMagic)) != 0) {
     return Status::IoError("bad magic in " + path);
   }
   std::uint64_t rows = 0;
   std::uint64_t cols = 0;
-  reader.in_.read(reinterpret_cast<char*>(&rows), 8);
-  reader.in_.read(reinterpret_cast<char*>(&cols), 8);
-  if (!reader.in_ || cols == 0) return Status::IoError("bad header in " + path);
+  std::memcpy(&rows, header + 8, 8);
+  std::memcpy(&cols, header + 16, 8);
+  if (cols == 0) return Status::IoError("bad header in " + path);
+  // Guard rows * cols * 8 against uint64 overflow before trusting it: a
+  // corrupt header must not wrap into a small "valid" payload size.
+  constexpr std::uint64_t kMax = std::numeric_limits<std::uint64_t>::max();
+  if (cols > kMax / sizeof(double) ||
+      (rows != 0 && rows > (kMax - kHeaderBytes) / (cols * sizeof(double)))) {
+    return Status::InvalidArgument("row store dimensions overflow: " + path);
+  }
+  const std::uint64_t payload = rows * cols * sizeof(double);
+  // A truncated (or padded) U file fails here, at open, instead of with a
+  // confusing "short row read" on some later query.
+  if (reader.io_->size() != kHeaderBytes + payload) {
+    return Status::IoError("row store size mismatch in " + path +
+                           ": header promises " +
+                           std::to_string(kHeaderBytes + payload) +
+                           " bytes, file has " +
+                           std::to_string(reader.io_->size()));
+  }
   reader.rows_ = rows;
   reader.cols_ = cols;
   reader.header_bytes_ = kHeaderBytes;
-  reader.payload_bytes_ = rows * cols * sizeof(double);
+  reader.payload_bytes_ = payload;
   return reader;
 }
 
@@ -103,15 +128,31 @@ Status RowStoreReader::ReadRow(std::size_t index, std::span<double> out) {
   if (out.size() != cols_) return Status::InvalidArgument("buffer size");
   const std::uint64_t offset =
       header_bytes_ + static_cast<std::uint64_t>(index) * cols_ * sizeof(double);
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
-  in_.read(reinterpret_cast<char*>(out.data()),
-           static_cast<std::streamsize>(cols_ * sizeof(double)));
-  if (in_.gcount() != static_cast<std::streamsize>(cols_ * sizeof(double))) {
-    return Status::IoError("short row read");
-  }
-  counter_.RecordRead(offset, cols_ * sizeof(double));
+  const std::uint64_t length = cols_ * sizeof(double);
+  TSC_RETURN_IF_ERROR(io_->ReadAt(
+      offset, std::span<std::uint8_t>(
+                  reinterpret_cast<std::uint8_t*>(out.data()), length)));
+  counter_.RecordRead(offset, length);
   return Status::Ok();
+}
+
+StatusOr<std::span<const double>> RowStoreReader::ReadRowView(
+    std::size_t index, std::span<double> scratch) {
+  if (index >= rows_) return Status::OutOfRange("row index out of range");
+  if (scratch.size() != cols_) return Status::InvalidArgument("buffer size");
+  const std::span<const std::uint8_t> mapped = io_->Mapped();
+  if (!mapped.empty()) {
+    const std::uint64_t offset =
+        header_bytes_ +
+        static_cast<std::uint64_t>(index) * cols_ * sizeof(double);
+    counter_.RecordRead(offset, cols_ * sizeof(double));
+    // The payload starts at byte 24, so every row is 8-byte aligned in
+    // the mapping and safe to view as doubles.
+    return std::span<const double>(
+        reinterpret_cast<const double*>(mapped.data() + offset), cols_);
+  }
+  TSC_RETURN_IF_ERROR(ReadRow(index, scratch));
+  return std::span<const double>(scratch.data(), scratch.size());
 }
 
 StatusOr<double> RowStoreReader::ReadCell(std::size_t row, std::size_t col) {
@@ -121,11 +162,10 @@ StatusOr<double> RowStoreReader::ReadCell(std::size_t row, std::size_t col) {
   const std::uint64_t offset =
       header_bytes_ +
       (static_cast<std::uint64_t>(row) * cols_ + col) * sizeof(double);
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
   double value = 0.0;
-  in_.read(reinterpret_cast<char*>(&value), sizeof(value));
-  if (in_.gcount() != sizeof(value)) return Status::IoError("short cell read");
+  TSC_RETURN_IF_ERROR(io_->ReadAt(
+      offset, std::span<std::uint8_t>(
+                  reinterpret_cast<std::uint8_t*>(&value), sizeof(value))));
   // A real disk still fetches the whole block containing the cell.
   const std::uint64_t block = offset / counter_.block_size();
   counter_.RecordRead(block * counter_.block_size(), counter_.block_size());
@@ -141,15 +181,9 @@ Status RowStoreReader::ReadBlock(std::uint64_t block_id,
   const std::uint64_t offset = block_id * block_size;
   const std::uint64_t file_size = file_bytes();
   if (offset >= file_size) return Status::OutOfRange("block beyond file");
-  in_.clear();
-  in_.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
   const std::uint64_t want = std::min<std::uint64_t>(block_size,
                                                      file_size - offset);
-  in_.read(reinterpret_cast<char*>(out.data()),
-           static_cast<std::streamsize>(want));
-  if (in_.gcount() != static_cast<std::streamsize>(want)) {
-    return Status::IoError("short block read");
-  }
+  TSC_RETURN_IF_ERROR(io_->ReadAt(offset, out.subspan(0, want)));
   std::fill(out.begin() + static_cast<std::ptrdiff_t>(want), out.end(), 0);
   counter_.RecordRead(offset, want);
   return Status::Ok();
@@ -157,9 +191,15 @@ Status RowStoreReader::ReadBlock(std::uint64_t block_id,
 
 StatusOr<Matrix> RowStoreReader::ReadAll() {
   Matrix m(rows_, cols_);
-  for (std::size_t i = 0; i < rows_; ++i) {
-    TSC_RETURN_IF_ERROR(ReadRow(i, m.Row(i)));
-  }
+  if (payload_bytes_ == 0) return m;
+  // One bulk read of the whole payload: rows*cols doubles are contiguous
+  // on disk exactly as they are in the Matrix, and the access counter
+  // sees one payload-sized sequential read instead of `rows` seeks.
+  TSC_RETURN_IF_ERROR(io_->ReadAt(
+      header_bytes_,
+      std::span<std::uint8_t>(reinterpret_cast<std::uint8_t*>(m.data().data()),
+                              payload_bytes_)));
+  counter_.RecordRead(header_bytes_, payload_bytes_);
   return m;
 }
 

@@ -1,6 +1,7 @@
 #ifndef TSC_STORAGE_ROW_STORE_H_
 #define TSC_STORAGE_ROW_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <fstream>
 #include <memory>
@@ -9,6 +10,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "storage/io_backend.h"
 #include "storage/row_source.h"
 #include "util/status.h"
 
@@ -18,28 +20,52 @@ namespace tsc {
 /// reports the set of `block_size`-byte blocks it touched; this is how the
 /// library demonstrates the paper's headline property that one cell
 /// reconstruction costs ~1 disk access.
+///
+/// The counts are relaxed atomics so concurrent readers (the pread/mmap
+/// backends allow them) account without racing. Note that mmap serves
+/// rows without an explicit read syscall; the counter still records the
+/// blocks each access logically touches, which keeps the paper's
+/// 1-access-per-cell accounting meaningful across backends.
 class DiskAccessCounter {
  public:
   explicit DiskAccessCounter(std::size_t block_size = kDefaultBlockSize)
       : block_size_(block_size) {}
 
+  DiskAccessCounter(DiskAccessCounter&& other) noexcept
+      : block_size_(other.block_size_),
+        accesses_(other.accesses_.load(std::memory_order_relaxed)),
+        bytes_read_(other.bytes_read_.load(std::memory_order_relaxed)) {}
+  DiskAccessCounter& operator=(DiskAccessCounter&& other) noexcept {
+    block_size_ = other.block_size_;
+    accesses_.store(other.accesses_.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
+    bytes_read_.store(other.bytes_read_.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+
   static constexpr std::size_t kDefaultBlockSize = 8192;
 
   /// Records a contiguous byte-range read; counts the blocks it spans.
+  /// Thread-safe.
   void RecordRead(std::uint64_t offset, std::uint64_t length);
 
-  std::uint64_t accesses() const { return accesses_; }
-  std::uint64_t bytes_read() const { return bytes_read_; }
+  std::uint64_t accesses() const {
+    return accesses_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_read() const {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
   std::size_t block_size() const { return block_size_; }
   void Reset() {
-    accesses_ = 0;
-    bytes_read_ = 0;
+    accesses_.store(0, std::memory_order_relaxed);
+    bytes_read_.store(0, std::memory_order_relaxed);
   }
 
  private:
   std::size_t block_size_;
-  std::uint64_t accesses_ = 0;
-  std::uint64_t bytes_read_ = 0;
+  std::atomic<std::uint64_t> accesses_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
 };
 
 /// Writes an N x M matrix file in the row-major binary "TSCROWS1" format.
@@ -78,10 +104,21 @@ class RowStoreWriter {
 
 /// Random and sequential access to a "TSCROWS1" matrix file, with every
 /// read accounted against a DiskAccessCounter.
+///
+/// All reads go through a pluggable IoBackend (storage/io_backend.h).
+/// Under the pread and mmap backends concurrent ReadRow/ReadCell/
+/// ReadBlock calls on one reader are safe and do not serialize: there is
+/// no shared seek cursor. The stream backend stays correct under threads
+/// but serializes on an internal mutex.
 class RowStoreReader {
  public:
-  /// Opens `path` and validates the header.
+  /// Opens `path` with the TSC_IO-resolved default backend and validates
+  /// the header, including that the physical file size matches
+  /// header + rows * cols * 8 exactly.
   static StatusOr<RowStoreReader> Open(const std::string& path);
+  /// Same, with an explicit I/O backend.
+  static StatusOr<RowStoreReader> Open(const std::string& path,
+                                       IoBackendKind backend);
 
   RowStoreReader(RowStoreReader&&) = default;
   RowStoreReader& operator=(RowStoreReader&&) = default;
@@ -91,14 +128,29 @@ class RowStoreReader {
   std::uint64_t file_bytes() const { return header_bytes_ + payload_bytes_; }
   std::uint64_t header_bytes() const { return header_bytes_; }
 
+  /// The engine serving this reader.
+  IoBackendKind backend_kind() const { return io_->kind(); }
+  const char* backend_name() const { return io_->name(); }
+  const IoBackend& io() const { return *io_; }
+
   /// Reads row `index` into `out` (size cols()); one random access.
   Status ReadRow(std::size_t index, std::span<double> out);
+
+  /// Zero-copy row access: under the mmap backend the returned span
+  /// points straight into the mapping (nothing is copied; `scratch` is
+  /// untouched); under the other backends the row is read into `scratch`
+  /// (size cols()) and the span views it. Either way the access is
+  /// accounted exactly like ReadRow.
+  StatusOr<std::span<const double>> ReadRowView(std::size_t index,
+                                                std::span<double> scratch);
 
   /// Reads the single cell (row, col); still a whole-block access, exactly
   /// like a real disk would behave.
   StatusOr<double> ReadCell(std::size_t row, std::size_t col);
 
-  /// Loads the full matrix (small files, tests).
+  /// Loads the full matrix with one bulk payload read (small files,
+  /// tests): a whole-matrix load costs payload/block_size accesses, not
+  /// one access per row.
   StatusOr<Matrix> ReadAll();
 
   /// Reads one whole `counter().block_size()`-byte block by id (block 0
@@ -113,7 +165,7 @@ class RowStoreReader {
  private:
   RowStoreReader() = default;
 
-  mutable std::ifstream in_;
+  std::unique_ptr<IoBackend> io_;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
   std::uint64_t header_bytes_ = 0;
@@ -126,11 +178,15 @@ Status WriteMatrixFile(const std::string& path, const Matrix& m);
 
 /// RowSource streaming a "TSCROWS1" file front to back with a bounded
 /// buffer: the multi-pass build path for datasets that do not fit in
-/// memory. Reads are accounted in the shared reader's counter.
+/// memory. Reads are accounted in the shared reader's counter. Wrap in a
+/// ReadaheadRowSource (storage/prefetcher.h) to overlap the file reads
+/// with the consumer's compute.
 class FileRowSource final : public RowSource {
  public:
   explicit FileRowSource(RowStoreReader reader)
-      : reader_(std::move(reader)) {}
+      : reader_(std::move(reader)) {
+    reader_.io().AdviseSequential();
+  }
 
   std::size_t rows() const override { return reader_.rows(); }
   std::size_t cols() const override { return reader_.cols(); }

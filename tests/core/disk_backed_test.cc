@@ -93,6 +93,113 @@ TEST_F(DiskBackedTest, OutOfRangeRejected) {
   EXPECT_EQ(store->ReconstructRow(150, row).code(), StatusCode::kOutOfRange);
 }
 
+TEST_F(DiskBackedTest, BatchedCellsMatchPerCellPath) {
+  for (const std::size_t cache_blocks : {std::size_t{0}, std::size_t{64}}) {
+    DiskBackedOptions options;
+    options.cache_blocks = cache_blocks;
+    options.prefetch_depth = cache_blocks > 0 ? 4 : 0;
+    auto store = DiskBackedStore::Open(u_path_, sidecar_path_, options);
+    ASSERT_TRUE(store.ok()) << "cache_blocks=" << cache_blocks;
+    std::vector<CellRef> cells;
+    for (std::size_t i = 0; i < 150; i += 7) {
+      for (std::size_t j = 0; j < 40; j += 11) cells.push_back({i, j});
+    }
+    std::vector<double> batched(cells.size());
+    ASSERT_TRUE(store->ReconstructCells(cells, batched).ok());
+    for (std::size_t n = 0; n < cells.size(); ++n) {
+      const auto single =
+          store->ReconstructCell(cells[n].row, cells[n].col);
+      ASSERT_TRUE(single.ok());
+      EXPECT_EQ(batched[n], *single);
+      EXPECT_NEAR(batched[n],
+                  model_.ReconstructCell(cells[n].row, cells[n].col), 1e-12);
+    }
+  }
+}
+
+TEST_F(DiskBackedTest, BatchedRegionMatchesModel) {
+  DiskBackedOptions options;
+  options.cache_blocks = 64;
+  options.prefetch_depth = 4;
+  auto store = DiskBackedStore::Open(u_path_, sidecar_path_, options);
+  ASSERT_TRUE(store.ok());
+  const std::vector<std::size_t> rows = {0, 3, 9, 77, 149};
+  const std::vector<std::size_t> cols = {1, 5, 39};
+  Matrix region;
+  ASSERT_TRUE(store->ReconstructRegion(rows, cols, &region).ok());
+  Matrix want;
+  model_.ReconstructRegion(rows, cols, &want);
+  ASSERT_EQ(region.rows(), want.rows());
+  ASSERT_EQ(region.cols(), want.cols());
+  for (std::size_t r = 0; r < want.rows(); ++r) {
+    for (std::size_t c = 0; c < want.cols(); ++c) {
+      EXPECT_NEAR(region(r, c), want(r, c), 1e-12) << r << "," << c;
+    }
+  }
+}
+
+TEST_F(DiskBackedTest, PrefetchedBatchPaysOneIoWave) {
+  DiskBackedOptions options;
+  options.cache_blocks = 256;
+  options.prefetch_depth = 4;
+  auto store = DiskBackedStore::Open(u_path_, sidecar_path_, options);
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store->has_prefetch());
+  std::vector<std::size_t> rows;
+  for (std::size_t i = 0; i < 150; i += 3) rows.push_back(i);
+  store->ResetCounters();
+  store->PrefetchURows(rows);
+  const std::uint64_t wave = store->disk_accesses();
+  EXPECT_GT(wave, 0u);
+  // The batched region read after the wave is served from cache: no new
+  // disk accesses beyond the wave itself.
+  Matrix region;
+  const std::vector<std::size_t> cols = {0, 10, 20, 39};
+  ASSERT_TRUE(store->ReconstructRegion(rows, cols, &region).ok());
+  EXPECT_EQ(store->disk_accesses(), wave);
+  EXPECT_GT(store->cache_hits(), 0u);
+}
+
+TEST_F(DiskBackedTest, ExplicitBackendsAgree) {
+  std::vector<IoBackendKind> kinds = {IoBackendKind::kStream,
+                                      IoBackendKind::kPread};
+  if (MmapAvailable()) kinds.push_back(IoBackendKind::kMmap);
+  for (const IoBackendKind kind : kinds) {
+    DiskBackedOptions options;
+    options.io_backend = kind;
+    auto store = DiskBackedStore::Open(u_path_, sidecar_path_, options);
+    ASSERT_TRUE(store.ok()) << IoBackendName(kind);
+    EXPECT_STREQ(store->io_backend_name(), IoBackendName(kind));
+    const auto value = store->ReconstructCell(42, 7);
+    ASSERT_TRUE(value.ok());
+    EXPECT_NEAR(*value, model_.ReconstructCell(42, 7), 1e-12);
+  }
+}
+
+TEST_F(DiskBackedTest, ViewDelegatesWithPrefetchHook) {
+  DiskBackedOptions options;
+  options.cache_blocks = 64;
+  options.prefetch_depth = 2;
+  auto store = DiskBackedStore::Open(u_path_, sidecar_path_, options);
+  ASSERT_TRUE(store.ok());
+  const DiskBackedStoreView view(&*store);
+  EXPECT_EQ(view.rows(), store->rows());
+  EXPECT_EQ(view.cols(), store->cols());
+  EXPECT_EQ(view.MethodName(), "svdd-disk");
+  EXPECT_NEAR(view.ReconstructCell(10, 10),
+              model_.ReconstructCell(10, 10), 1e-12);
+  // The view is a RowPrefetchable: the executor's scan hook discovers it
+  // via the base interface.
+  const CompressedStore& as_store = view;
+  const auto* prefetchable = dynamic_cast<const RowPrefetchable*>(&as_store);
+  ASSERT_NE(prefetchable, nullptr);
+  const std::vector<std::size_t> rows = {1, 2, 3};
+  prefetchable->PrefetchRows(rows);
+  EXPECT_GT(store->disk_accesses(), 0u);
+  // Space accounting matches the in-memory model's Section 5.1 rules.
+  EXPECT_EQ(view.CompressedBytes(), model_.CompressedBytes());
+}
+
 TEST_F(DiskBackedTest, MissingFilesRejected) {
   EXPECT_FALSE(DiskBackedStore::Open("/nonexistent/u", sidecar_path_).ok());
   EXPECT_FALSE(DiskBackedStore::Open(u_path_, "/nonexistent/side").ok());
