@@ -121,15 +121,17 @@ void SvddModel::ReconstructCells(std::span<const CellRef> cells,
   // probing per cell: O(B + D) beats B bloom probes + hash lookups once
   // the batch is a reasonable fraction of the table.
   if (cells.size() >= deltas_.size() / 4) {
-    std::unordered_map<std::uint64_t, std::size_t> index;
+    // Multimap, not map: a batch may name the same cell twice, and every
+    // occurrence must see its delta (the per-cell probe path below does).
+    std::unordered_multimap<std::uint64_t, std::size_t> index;
     index.reserve(cells.size());
     for (std::size_t i = 0; i < cells.size(); ++i) {
       index.emplace(DeltaTable::CellKey(cells[i].row, cells[i].col, cols()),
                     i);
     }
     deltas_.ForEach([&](std::uint64_t key, double delta) {
-      const auto it = index.find(key);
-      if (it != index.end()) out[it->second] += delta;
+      const auto [begin, end] = index.equal_range(key);
+      for (auto it = begin; it != end; ++it) out[it->second] += delta;
     });
     return;
   }
@@ -155,24 +157,31 @@ void SvddModel::ReconstructRegion(std::span<const std::size_t> row_ids,
       static_cast<std::uint64_t>(row_ids.size()) * col_ids.size();
   if (region_cells >= deltas_.size() / 4) {
     // One sweep of the table with row/col membership maps; every region
-    // cell's delta is found without a single bloom probe.
-    std::unordered_map<std::size_t, std::size_t> row_index;
+    // cell's delta is found without a single bloom probe. Multimaps so a
+    // region listing the same row or column twice patches every copy,
+    // matching the per-cell probe path below.
+    std::unordered_multimap<std::size_t, std::size_t> row_index;
     row_index.reserve(row_ids.size());
     for (std::size_t r = 0; r < row_ids.size(); ++r) {
       row_index.emplace(row_ids[r], r);
     }
-    std::unordered_map<std::size_t, std::size_t> col_index;
+    std::unordered_multimap<std::size_t, std::size_t> col_index;
     col_index.reserve(col_ids.size());
     for (std::size_t c = 0; c < col_ids.size(); ++c) {
       col_index.emplace(col_ids[c], c);
     }
     const std::size_t m = cols();
     deltas_.ForEach([&](std::uint64_t key, double delta) {
-      const auto rit = row_index.find(static_cast<std::size_t>(key / m));
-      if (rit == row_index.end()) return;
-      const auto cit = col_index.find(static_cast<std::size_t>(key % m));
-      if (cit == col_index.end()) return;
-      (*out)(rit->second, cit->second) += delta;
+      const auto [rbegin, rend] =
+          row_index.equal_range(static_cast<std::size_t>(key / m));
+      if (rbegin == rend) return;
+      const auto [cbegin, cend] =
+          col_index.equal_range(static_cast<std::size_t>(key % m));
+      for (auto rit = rbegin; rit != rend; ++rit) {
+        for (auto cit = cbegin; cit != cend; ++cit) {
+          (*out)(rit->second, cit->second) += delta;
+        }
+      }
     });
     return;
   }

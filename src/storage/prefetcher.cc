@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <mutex>
 
 #include "obs/metrics.h"
 #include "util/thread_pool.h"
@@ -138,7 +139,12 @@ Status ReadaheadRowSource::ResetImpl() {
 // ---------------------------------------------------------------------------
 
 BlockPrefetcher::BlockPrefetcher(std::size_t depth)
-    : depth_(std::max<std::size_t>(1, depth)) {}
+    : depth_(std::max<std::size_t>(1, depth)) {
+  // Eager pool construction: Prefetch runs concurrently (one shared
+  // prefetcher per store), so there is no race-free point to build the
+  // pool lazily.
+  if (depth_ > 1) pool_ = std::make_unique<ThreadPool>(depth_);
+}
 
 BlockPrefetcher::~BlockPrefetcher() = default;
 
@@ -167,13 +173,19 @@ void BlockPrefetcher::Prefetch(BlockCache* cache,
   // A short wave is cheaper serial than waking the pool. The parallel
   // path hands each worker a contiguous ascending run of ids rather than
   // one block per task, so handout cost is per-run, not per-block.
+  // ThreadPool::ParallelFor does not support overlapping callers, so the
+  // pool admits one wave at a time; a concurrent wave falls back to the
+  // serial loop instead of stalling behind a stranger's fetches — the
+  // two waves still overlap, and the cache dedups shared blocks.
   constexpr std::size_t kSerialWave = 16;
-  if (ids.size() <= kSerialWave || depth_ == 1) {
+  std::unique_lock<std::mutex> pool_lock(pool_mu_, std::defer_lock);
+  const bool use_pool = ids.size() > kSerialWave && pool_ != nullptr &&
+                        pool_lock.try_lock();
+  if (!use_pool) {
     for (const std::uint64_t id : ids) {
       (void)cache->Get(id, counted_fetch);  // warm only; drop the handle
     }
   } else {
-    if (pool_ == nullptr) pool_ = std::make_unique<ThreadPool>(depth_);
     const std::size_t runs = std::min(depth_, ids.size());
     const std::size_t per_run = (ids.size() + runs - 1) / runs;
     pool_->ParallelFor(0, runs, [&](std::size_t r) {

@@ -83,6 +83,13 @@ class ReadaheadRowSource final : public RowSource {
 /// touch, instead of N cache misses paid one at a time on the read
 /// path. Safe against concurrent readers — the cache's in-flight dedup
 /// means a prefetch and a demand read of the same block issue one I/O.
+///
+/// Thread safety: concurrent Prefetch calls on one prefetcher are safe
+/// (one shared prefetcher serves a whole DiskBackedStore, and the query
+/// executor's sharded scan prefetches from every pool thread). The
+/// worker pool runs at most one wave at a time; an overlapping wave
+/// falls back to fetching on its calling thread, which still overlaps
+/// with the pool-owning wave and dedups through the cache.
 class BlockPrefetcher {
  public:
   /// `depth` = maximum fetches in flight at once (the --prefetch-depth
@@ -101,7 +108,8 @@ class BlockPrefetcher {
 
  private:
   std::size_t depth_;
-  std::unique_ptr<ThreadPool> pool_;  ///< created on first use
+  std::unique_ptr<ThreadPool> pool_;  ///< built at construction; null if depth == 1
+  std::mutex pool_mu_;                ///< ParallelFor admits one wave at a time
 };
 
 }  // namespace tsc

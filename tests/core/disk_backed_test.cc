@@ -1,5 +1,8 @@
 #include "core/disk_backed.h"
 
+#include <numeric>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "data/generators.h"
@@ -115,6 +118,67 @@ TEST_F(DiskBackedTest, BatchedCellsMatchPerCellPath) {
                   model_.ReconstructCell(cells[n].row, cells[n].col), 1e-12);
     }
   }
+}
+
+TEST_F(DiskBackedTest, DuplicateCellsSeeDeltasInSweepPath) {
+  // A batch naming the same cell twice must apply the cell's delta to
+  // every occurrence, in both the large-batch table-sweep path and the
+  // in-memory model it mirrors (the sweep used to keep only the first).
+  auto store = DiskBackedStore::Open(u_path_, sidecar_path_);
+  ASSERT_TRUE(store.ok());
+  ASSERT_GT(store->deltas().size(), 0u);
+  std::vector<CellRef> cells;
+  store->deltas().ForEach([&](std::uint64_t key, double) {
+    const std::size_t row = static_cast<std::size_t>(key / data_.cols());
+    const std::size_t col = static_cast<std::size_t>(key % data_.cols());
+    cells.push_back({row, col});
+    cells.push_back({row, col});  // duplicate occurrence
+  });
+  // 2x the table size, comfortably on the sweep path (>= deltas/4).
+  std::vector<double> batched(cells.size());
+  ASSERT_TRUE(store->ReconstructCells(cells, batched).ok());
+  std::vector<double> model_batched(cells.size());
+  model_.ReconstructCells(cells, model_batched);
+  for (std::size_t n = 0; n < cells.size(); ++n) {
+    const auto single = store->ReconstructCell(cells[n].row, cells[n].col);
+    ASSERT_TRUE(single.ok());
+    EXPECT_EQ(batched[n], *single) << "cell " << n;
+    EXPECT_NEAR(model_batched[n], *single, 1e-12) << "cell " << n;
+  }
+}
+
+TEST_F(DiskBackedTest, DuplicateRegionIdsSeeDeltasInSweepPath) {
+  // Same property for regions: every occurrence of a duplicated row id
+  // must get the row's deltas (the old sweep patched only the first).
+  // Inject a delta of +100 at a known cell so a missed duplicate is off
+  // by 100, far outside GEMM rounding noise.
+  const std::size_t delta_row = 3;
+  const std::size_t delta_col = 5;
+  const double exact = model_.ReconstructCell(delta_row, delta_col) + 100.0;
+  ASSERT_TRUE(model_.PatchCell(delta_row, delta_col, exact).ok());
+  ASSERT_TRUE(ExportSvddToDisk(model_, u_path_, sidecar_path_).ok());
+  auto store = DiskBackedStore::Open(u_path_, sidecar_path_);
+  ASSERT_TRUE(store.ok());
+  // Full region plus one duplicated row: 151 x 40 cells, comfortably on
+  // the table-sweep path (>= deltas/4).
+  std::vector<std::size_t> rows(data_.rows());
+  std::iota(rows.begin(), rows.end(), std::size_t{0});
+  rows.push_back(delta_row);
+  std::vector<std::size_t> cols(data_.cols());
+  std::iota(cols.begin(), cols.end(), std::size_t{0});
+  Matrix region;
+  ASSERT_TRUE(store->ReconstructRegion(rows, cols, &region).ok());
+  Matrix model_region;
+  model_.ReconstructRegion(rows, cols, &model_region);
+  const std::size_t dup = rows.size() - 1;
+  for (std::size_t c = 0; c < cols.size(); ++c) {
+    const auto want = store->ReconstructCell(delta_row, c);
+    ASSERT_TRUE(want.ok());
+    EXPECT_NEAR(region(delta_row, c), *want, 1e-9) << "col " << c;
+    EXPECT_NEAR(region(dup, c), *want, 1e-9) << "dup col " << c;
+    EXPECT_NEAR(model_region(dup, c), *want, 1e-9) << "model dup col " << c;
+  }
+  EXPECT_NEAR(region(dup, delta_col), exact, 1e-9);
 }
 
 TEST_F(DiskBackedTest, BatchedRegionMatchesModel) {

@@ -120,6 +120,47 @@ TEST(IoConcurrencyTest, CachedReaderWithConcurrentPrefetchWaves) {
   EXPECT_EQ(failures.load(), 0);
 }
 
+// Regression for the shared-pool race: ONE BlockPrefetcher (as a
+// DiskBackedStore holds) driven from 8 threads with waves large enough
+// (> kSerialWave = 16 blocks) to enter the ThreadPool path, which
+// overlapping callers used to corrupt. Rows are 512 bytes, blocks 8192,
+// so 40 rows strided 16 apart span 40 distinct blocks per wave.
+TEST(IoConcurrencyTest, SharedPrefetcherLargeWaves) {
+  const Matrix x = RandomMatrix(1024, 64, 4);
+  const std::string path = TempPath("conc_shared_prefetch.mat");
+  ASSERT_TRUE(WriteMatrixFile(path, x).ok());
+  auto reader = RowStoreReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  CachedRowReader cached(std::move(*reader), /*capacity_blocks=*/8);
+  BlockPrefetcher prefetcher(4);  // one shared pool, as in production
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (std::size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(400 + t);
+      std::vector<double> row(x.cols());
+      for (int iter = 0; iter < 60; ++iter) {
+        const std::size_t base =
+            static_cast<std::size_t>(rng.UniformUint64(16));
+        std::vector<std::size_t> batch;
+        batch.reserve(40);
+        for (std::size_t b = 0; b < 40; ++b) {
+          batch.push_back((base + b * 16) % x.rows());
+        }
+        cached.PrefetchRows(batch, &prefetcher);
+        const std::size_t i = batch[static_cast<std::size_t>(
+            rng.UniformUint64(batch.size()))];
+        if (!cached.ReadRow(i, row).ok() || row[0] != x(i, 0) ||
+            row[x.cols() - 1] != x(i, x.cols() - 1)) {
+          ++failures;
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
 TEST(IoConcurrencyTest, DiskBackedStoreParallelCells) {
   PhoneDatasetConfig config;
   config.num_customers = 80;
