@@ -1,18 +1,25 @@
 #!/usr/bin/env bash
-# Runs the three instrumented harnesses at a small, CI-friendly scale and
-# writes one BENCH_<name>.json per harness (shared schema, see
-# bench/common/json_reporter.h). Usage:
+# Runs the instrumented harnesses at a small, CI-friendly scale, writes
+# one BENCH_<name>.json per harness (shared schema, see
+# bench/common/json_reporter.h), and consolidates them into a single
+# BENCH_<n>.json snapshot ({"<bench name>": <per-bench object>, ...}) so
+# the perf trajectory across PRs is tracked in-repo. Usage:
 #
-#   bench/run_bench_suite.sh [BUILD_DIR] [OUT_DIR]
+#   bench/run_bench_suite.sh [BUILD_DIR] [OUT_DIR] [SNAPSHOT_N]
 #
 # BUILD_DIR defaults to ./build, OUT_DIR to the current directory.
+# SNAPSHOT_N (or the BENCH_SNAPSHOT env var) numbers the consolidated
+# file; when unset, no consolidated snapshot is written.
 set -euo pipefail
 
 BUILD_DIR="${1:-build}"
 OUT_DIR="${2:-.}"
+SNAPSHOT_N="${3:-${BENCH_SNAPSHOT:-}}"
 BENCH_DIR="${BUILD_DIR}/bench"
 
-for bin in query_throughput build_scaling micro_reconstruction; do
+BENCHES=(query_throughput build_scaling micro_reconstruction io_scan)
+
+for bin in "${BENCHES[@]}"; do
   if [[ ! -x "${BENCH_DIR}/${bin}" ]]; then
     echo "missing ${BENCH_DIR}/${bin} — build the bench targets first:" >&2
     echo "  cmake --build ${BUILD_DIR} --target ${bin}" >&2
@@ -39,5 +46,30 @@ echo "== micro_reconstruction =="
   --json="${OUT_DIR}/BENCH_micro_reconstruction.json"
 
 echo
+echo "== io_scan =="
+"${BENCH_DIR}/io_scan" --rows=4000 --cols=366 \
+  --json="${OUT_DIR}/BENCH_io_scan.json"
+
+echo
 echo "wrote:"
 ls -l "${OUT_DIR}"/BENCH_*.json
+
+# Consolidated snapshot: every per-bench file is one complete JSON
+# object, so the merge is plain concatenation under the bench's name —
+# no jq/python dependency.
+if [[ -n "${SNAPSHOT_N}" ]]; then
+  SNAPSHOT="${OUT_DIR}/BENCH_${SNAPSHOT_N}.json"
+  {
+    printf '{\n'
+    first=1
+    for bin in "${BENCHES[@]}"; do
+      [[ ${first} -eq 0 ]] && printf ',\n'
+      first=0
+      printf '"%s": ' "${bin}"
+      cat "${OUT_DIR}/BENCH_${bin}.json"
+    done
+    printf '\n}\n'
+  } > "${SNAPSHOT}"
+  echo
+  echo "consolidated snapshot: ${SNAPSHOT}"
+fi

@@ -16,6 +16,7 @@
 #include "obs/trace.h"
 #include "query/executor.h"
 #include "storage/io_backend.h"
+#include "storage/quant.h"
 #include "storage/row_source.h"
 #include "util/flags.h"
 #include "util/rng.h"
@@ -33,8 +34,10 @@ commands:
   generate   --kind=phone|stocks|patients|lowrank --rows=N --cols=M --seed=S
              --out=FILE          (.csv for text, anything else binary)
   compress   --input=FILE --out=MODEL --space=PCT [--method=svdd|svd]
-             [--b=8|4] [--no-bloom] [--max-candidates=K] [--threads=N]
+             [--b=8|4] [--quant=f64|f32|int16|int8] [--no-bloom]
+             [--max-candidates=K] [--threads=N]
              [--prefetch-depth=N]  (overlap build-pass reads with compute)
+             (--quant defaults to $TSC_QUANT; quantizes the U row store)
   info       --model=MODEL
   query      --model=MODEL (--q="avg rows=0:9 cols=1,3:5" | --cell=i,j)
              [--threads=N]
@@ -176,6 +179,13 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
       static_cast<std::size_t>(flags.GetInt("threads", 1));
   const std::size_t prefetch_depth =
       static_cast<std::size_t>(flags.GetInt("prefetch-depth", 0));
+  // --quant wins; otherwise TSC_QUANT; otherwise the exact f64 store.
+  QuantScheme quant = QuantSchemeFromEnv();
+  if (flags.Has("quant")) {
+    auto parsed = ParseQuantScheme(flags.GetString("quant", "f64"));
+    if (!parsed.ok()) return Fail(err, parsed.status());
+    quant = *parsed;
+  }
   MatrixRowSource source(&dataset->values);
   Timer timer;
 
@@ -184,6 +194,7 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
     options.space_percent = space;
     options.bytes_per_value = b;
     if (b == 4) options.delta_bytes = 12;
+    options.quant = quant;
     options.build_bloom_filter = !flags.GetBool("no-bloom", false);
     options.max_candidates =
         static_cast<std::size_t>(flags.GetInt("max-candidates", 0));
@@ -195,12 +206,14 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
     const Status save = model->SaveToFile(model_path);
     if (!save.ok()) return Fail(err, save);
     out << "svdd model: k_opt=" << diag.k_opt << " (k_max=" << diag.k_max
-        << "), deltas=" << model->delta_count() << ", "
+        << "), deltas=" << model->delta_count() << ", quant="
+        << QuantSchemeName(quant) << ", "
         << TablePrinter::Percent(model->SpacePercent(b)) << " of original, "
         << TablePrinter::Num(timer.ElapsedSeconds(), 3) << "s, 3 passes\n";
   } else if (method == "svd") {
-    const SpaceBudget budget = SpaceBudget::FromPercent(
+    SpaceBudget budget = SpaceBudget::FromPercent(
         dataset->rows(), dataset->cols(), space, b);
+    budget.u_quant = quant;
     SvdBuildOptions options;
     options.k = budget.MaxK();
     options.bytes_per_value = b;
@@ -211,6 +224,9 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
     }
     auto model = BuildSvdModel(&source, options);
     if (!model.ok()) return Fail(err, model.status());
+    // Plain SVD has no delta table to absorb the quantization error, but
+    // the snapped model still reports it honestly through evaluate.
+    model->ApplyQuantization(quant);
     const Status save = model->SaveToFile(model_path);
     if (!save.ok()) return Fail(err, save);
     out << "svd model: k=" << model->k() << ", "
@@ -542,6 +558,28 @@ int CmdStats(const FlagParser& flags, std::ostream& out, std::ostream& err) {
       << " sql queries, cache=" << cache_blocks << " blocks\n";
   out << "io backend:       " << store->io_backend_name()
       << " (prefetch depth " << disk_options.prefetch_depth << ")\n";
+  // Serving footprint, broken down by component: the on-disk U row store
+  // (at its true, possibly quantized stride), the in-memory delta table,
+  // and the in-memory V + eigenvalues.
+  const std::uint64_t u_bytes = store->u_file_bytes();
+  const std::uint64_t delta_bytes = store->deltas().PackedBytes();
+  const std::uint64_t v_bytes =
+      (static_cast<std::uint64_t>(store->k()) * store->cols() + store->k()) *
+      sizeof(double);
+  const std::uint64_t footprint = u_bytes + delta_bytes + v_bytes;
+  const double total_cells =
+      static_cast<double>(store->rows()) * static_cast<double>(store->cols());
+  out << "footprint:        " << footprint << " bytes total ("
+      << TablePrinter::Num(total_cells == 0.0
+                               ? 0.0
+                               : static_cast<double>(footprint) / total_cells)
+      << " bytes/cell)\n";
+  out << "  u store:        " << u_bytes << " bytes ("
+      << QuantSchemeName(store->u_scheme()) << ", "
+      << store->u_row_stride_bytes() << " bytes/row)\n";
+  out << "  delta table:    " << delta_bytes << " bytes ("
+      << store->deltas().size() << " entries)\n";
+  out << "  v + eigenvalues: " << v_bytes << " bytes\n";
   out << "cell latency:     "
       << TablePrinter::Num(1e6 * cell_seconds /
                            static_cast<double>(queries == 0 ? 1 : queries))

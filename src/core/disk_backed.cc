@@ -31,8 +31,11 @@ void CountBloomFalsePositive() {
 Status ExportSvddToDisk(const SvddModel& model, const std::string& u_path,
                         const std::string& sidecar_path) {
   // U, row-wise, as its own row store: the structure the paper assumes
-  // lives on disk and is fetched one row per query.
-  TSC_RETURN_IF_ERROR(WriteMatrixFile(u_path, model.svd().u()));
+  // lives on disk and is fetched one row per query. The model's quant
+  // scheme carries through, so a quantized build serves from quantized
+  // rows (the snapped doubles in U re-encode to the same codes).
+  TSC_RETURN_IF_ERROR(
+      WriteMatrixFile(u_path, model.svd().u(), model.svd().quant_scheme()));
 
   TSC_ASSIGN_OR_RETURN(BinaryWriter writer, BinaryWriter::Open(sidecar_path));
   TSC_RETURN_IF_ERROR(writer.WriteU32(kSidecarMagic));
@@ -69,6 +72,9 @@ StatusOr<DiskBackedStore> DiskBackedStore::Open(
   TSC_ASSIGN_OR_RETURN(RowStoreReader reader,
                        RowStoreReader::Open(u_path, backend));
   const std::size_t u_cols = reader.cols();
+  store.u_scheme_ = reader.scheme();
+  store.u_row_stride_ = reader.row_stride_bytes();
+  store.u_file_bytes_ = reader.file_bytes();
   if (options.cache_blocks > 0) {
     store.cached_ = std::make_unique<CachedRowReader>(std::move(reader),
                                                       options.cache_blocks);
@@ -113,6 +119,12 @@ Status DiskBackedStore::ReadURow(std::size_t row, std::span<double> out) {
   return u_reader_->ReadRow(row, out);
 }
 
+StatusOr<QuantRowView> DiskBackedStore::ReadUQuantRow(
+    std::size_t row, std::span<std::uint8_t> scratch) {
+  if (cached_) return cached_->ReadQuantRow(row, scratch);
+  return u_reader_->ReadQuantRow(row, scratch);
+}
+
 void DiskBackedStore::PrefetchURows(std::span<const std::size_t> row_ids) {
   if (row_ids.empty()) return;
   if (cached_ && prefetcher_) {
@@ -125,7 +137,7 @@ void DiskBackedStore::PrefetchURows(std::span<const std::size_t> row_ids) {
     const auto [lo, hi] =
         std::minmax_element(row_ids.begin(), row_ids.end());
     if (*lo >= u_reader_->rows()) return;
-    const std::uint64_t row_bytes = u_reader_->cols() * sizeof(double);
+    const std::uint64_t row_bytes = u_reader_->row_stride_bytes();
     const std::uint64_t first = u_reader_->header_bytes() + *lo * row_bytes;
     const std::uint64_t last_row = std::min<std::uint64_t>(
         *hi, u_reader_->rows() - 1);
@@ -134,10 +146,11 @@ void DiskBackedStore::PrefetchURows(std::span<const std::size_t> row_ids) {
   }
 }
 
-double DiskBackedStore::CellFromURow(std::span<const double> urow,
+double DiskBackedStore::CellFromURow(const QuantRowView& urow,
                                      std::size_t row, std::size_t col) {
-  double value =
-      kernels::Dot(urow.data(), weighted_v_.Row(col).data(), k());
+  // The fused kernel dequantizes in registers while it accumulates, so
+  // the quantized row never materializes as doubles.
+  double value = QuantDot(urow, weighted_v_.Row(col).data());
   const std::uint64_t key = DeltaTable::CellKey(row, col, cols());
   if (!bloom_.has_value() || bloom_->MightContain(key)) {
     const std::optional<double> delta = deltas_.Get(key);
@@ -155,8 +168,9 @@ StatusOr<double> DiskBackedStore::ReconstructCell(std::size_t row,
   if (row >= rows() || col >= cols()) {
     return Status::OutOfRange("cell out of range");
   }
-  std::vector<double> urow(k());
-  TSC_RETURN_IF_ERROR(ReadURow(row, urow));  // the 1 disk access
+  std::vector<std::uint8_t> scratch(u_row_stride_);
+  TSC_ASSIGN_OR_RETURN(const QuantRowView urow,
+                       ReadUQuantRow(row, scratch));  // the 1 disk access
   return CellFromURow(urow, row, col);
 }
 
@@ -164,11 +178,10 @@ Status DiskBackedStore::ReconstructRow(std::size_t row,
                                        std::span<double> out) {
   if (row >= rows()) return Status::OutOfRange("row out of range");
   if (out.size() != cols()) return Status::InvalidArgument("buffer size");
-  std::vector<double> urow(k());
-  TSC_RETURN_IF_ERROR(ReadURow(row, urow));
+  std::vector<std::uint8_t> scratch(u_row_stride_);
+  TSC_ASSIGN_OR_RETURN(const QuantRowView urow, ReadUQuantRow(row, scratch));
   std::fill(out.begin(), out.end(), 0.0);
-  kernels::Gemv(weighted_v_.Row(0).data(), cols(), k(), k(), urow.data(),
-                out.data());
+  QuantGemv(urow, weighted_v_.Row(0).data(), cols(), k(), out.data());
   for (std::size_t j = 0; j < cols(); ++j) {
     const std::uint64_t key = DeltaTable::CellKey(row, j, cols());
     if (bloom_.has_value() && !bloom_->MightContain(key)) continue;
@@ -214,15 +227,15 @@ Status DiskBackedStore::ReconstructCells(std::span<const CellRef> cells,
   }
   PrefetchURows(distinct_rows);
 
-  std::vector<double> urow(k());
+  std::vector<std::uint8_t> scratch(u_row_stride_);
+  QuantRowView urow;
   std::size_t loaded_row = std::numeric_limits<std::size_t>::max();
   for (const std::size_t i : order) {
     if (cells[i].row != loaded_row) {
-      TSC_RETURN_IF_ERROR(ReadURow(cells[i].row, urow));
+      TSC_ASSIGN_OR_RETURN(urow, ReadUQuantRow(cells[i].row, scratch));
       loaded_row = cells[i].row;
     }
-    out[i] = kernels::Dot(urow.data(),
-                          weighted_v_.Row(cells[i].col).data(), k());
+    out[i] = QuantDot(urow, weighted_v_.Row(cells[i].col).data());
   }
   if (deltas_.empty()) return Status::Ok();
   // Same batched delta strategy as SvddModel: one table sweep once the
@@ -271,9 +284,10 @@ Status DiskBackedStore::ReconstructRegion(
   }
   const std::size_t kk = k();
   PrefetchURows(row_ids);
-  // Gather the selected U rows (one read each, prefetched above) and the
-  // selected Lambda-weighted V rows into dense blocks, then run the same
-  // blocked product the in-memory models use.
+  // Gather the selected U rows (one read each, prefetched above; a
+  // quantized row dequantizes once here, amortized over the whole column
+  // block) and the selected Lambda-weighted V rows into dense blocks,
+  // then run the same blocked product the in-memory models use.
   Matrix a(row_ids.size(), kk);
   for (std::size_t r = 0; r < row_ids.size(); ++r) {
     TSC_RETURN_IF_ERROR(ReadURow(row_ids[r], a.Row(r)));
@@ -369,13 +383,16 @@ void DiskBackedStoreView::ReconstructRegion(
 }
 
 std::uint64_t DiskBackedStoreView::CompressedBytes() const {
-  // Same Section 3.4 accounting as the in-memory model: N*k for U, k
-  // eigenvalues, k*M for V, plus the packed delta table.
-  const std::uint64_t values =
-      static_cast<std::uint64_t>(store_->rows()) * store_->k() +
-      store_->k() +
-      static_cast<std::uint64_t>(store_->k()) * store_->cols();
-  return values * sizeof(double) + store_->deltas().PackedBytes();
+  // Section 3.4 accounting against the bytes actually served: the U row
+  // store's true payload (quantized rows are smaller), k eigenvalues and
+  // k*M of V in memory, plus the packed delta table.
+  const std::uint64_t u_payload =
+      static_cast<std::uint64_t>(store_->rows()) *
+      store_->u_row_stride_bytes();
+  const std::uint64_t resident =
+      store_->k() + static_cast<std::uint64_t>(store_->k()) * store_->cols();
+  return u_payload + resident * sizeof(double) +
+         store_->deltas().PackedBytes();
 }
 
 }  // namespace tsc

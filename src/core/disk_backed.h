@@ -72,6 +72,16 @@ class DiskBackedStore {
                    : u_reader_->backend_name();
   }
 
+  /// Coefficient encoding of the U file (kF64 for the plain layout).
+  /// Quantized rows are consumed in place by the fused kernels — cached
+  /// blocks stay encoded, so the same block budget covers 2-8x more rows.
+  QuantScheme u_scheme() const { return u_scheme_; }
+  /// On-disk bytes of one U row (meta + padded codes when quantized).
+  std::size_t u_row_stride_bytes() const { return u_row_stride_; }
+  /// Total bytes of the U file (header + rows * stride) — the actual
+  /// serving footprint of the on-disk factor.
+  std::uint64_t u_file_bytes() const { return u_file_bytes_; }
+
   /// Reconstructs one cell; performs one U-row disk read plus O(k) work
   /// and (for SVDD) one delta-table probe.
   StatusOr<double> ReconstructCell(std::size_t row, std::size_t col);
@@ -122,10 +132,17 @@ class DiskBackedStore {
  private:
   DiskBackedStore() = default;
 
-  /// Fetches row `row` of U through the cache when configured.
+  /// Fetches row `row` of U through the cache when configured, decoding
+  /// quantized rows into doubles.
   Status ReadURow(std::size_t row, std::span<double> out);
-  /// dot(u_row, weighted_v_col) + delta — Eq. 12 against a fetched row.
-  double CellFromURow(std::span<const double> urow, std::size_t row,
+  /// Fetches row `row` of U still encoded: zero-copy under mmap, into
+  /// `scratch` (size >= u_row_stride_bytes()) otherwise. The fused
+  /// dequantize kernels consume the view directly.
+  StatusOr<QuantRowView> ReadUQuantRow(std::size_t row,
+                                       std::span<std::uint8_t> scratch);
+  /// fused-dot(u_row, weighted_v_col) + delta — Eq. 12 against a fetched
+  /// (possibly still-quantized) row.
+  double CellFromURow(const QuantRowView& urow, std::size_t row,
                       std::size_t col);
 
   // unique_ptr keeps the reader stable across moves. Exactly one of
@@ -138,6 +155,9 @@ class DiskBackedStore {
   Matrix weighted_v_;  ///< row j = lambda (.) v_j, derived at Open
   DeltaTable deltas_;
   std::optional<BloomFilter> bloom_;
+  QuantScheme u_scheme_ = QuantScheme::kF64;
+  std::size_t u_row_stride_ = 0;
+  std::uint64_t u_file_bytes_ = 0;
 };
 
 /// CompressedStore adapter over a DiskBackedStore, so the query executor

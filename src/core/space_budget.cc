@@ -22,6 +22,14 @@ SpaceBudget SpaceBudget::FromPercent(std::size_t num_rows,
 }
 
 std::uint64_t SpaceBudget::SvdBytes(std::size_t k) const {
+  if (u_quant != QuantScheme::kF64) {
+    // U at its true quantized stride; eigenvalues and V stay at b.
+    const std::uint64_t u_bytes =
+        static_cast<std::uint64_t>(num_rows) * QuantRowStride(u_quant, k);
+    const std::uint64_t resident =
+        static_cast<std::uint64_t>(k) + static_cast<std::uint64_t>(k) * num_cols;
+    return u_bytes + resident * bytes_per_value;
+  }
   const std::uint64_t values =
       static_cast<std::uint64_t>(num_rows) * k + k +
       static_cast<std::uint64_t>(k) * num_cols;
@@ -29,13 +37,25 @@ std::uint64_t SpaceBudget::SvdBytes(std::size_t k) const {
 }
 
 std::size_t SpaceBudget::MaxK() const {
-  // SvdBytes is linear in k; solve directly then adjust for rounding.
+  // SvdBytes is linear in k up to the quantized rows' 8-byte padding;
+  // solve with the per-component estimate, then adjust both ways so the
+  // result is exact under any scheme.
+  const std::uint64_t u_elem_bytes =
+      u_quant == QuantScheme::kF64 ? bytes_per_value : QuantElemBytes(u_quant);
   const std::uint64_t per_component =
-      (static_cast<std::uint64_t>(num_rows) + 1 + num_cols) * bytes_per_value;
+      static_cast<std::uint64_t>(num_rows) * u_elem_bytes +
+      (1 + static_cast<std::uint64_t>(num_cols)) * bytes_per_value;
   if (per_component == 0) return 0;
-  std::size_t k = static_cast<std::size_t>(total_bytes / per_component);
+  const std::uint64_t fixed =
+      u_quant == QuantScheme::kF64
+          ? 0
+          : static_cast<std::uint64_t>(num_rows) * kQuantRowMetaBytes;
+  if (total_bytes <= fixed) return 0;
+  std::size_t k =
+      static_cast<std::size_t>((total_bytes - fixed) / per_component);
   k = k > num_cols ? num_cols : k;
   while (k > 0 && SvdBytes(k) > total_bytes) --k;
+  while (k < num_cols && SvdBytes(k + 1) <= total_bytes) ++k;
   return k;
 }
 

@@ -4,6 +4,8 @@
 #include <cstdint>
 #include <cstddef>
 
+#include "storage/quant.h"
+
 namespace tsc {
 
 /// Space accounting for the SVD family (Section 3.4 and 4.2 of the paper).
@@ -13,14 +15,20 @@ struct SpaceBudget {
   std::size_t num_cols = 0;        ///< M
   std::size_t bytes_per_value = 8; ///< b
   std::uint64_t total_bytes = 0;   ///< the compressed-size allowance
+  /// Coefficient encoding of the on-disk U factor. A quantized U is
+  /// charged at its true row stride (16-byte meta + padded codes), which
+  /// both raises the affordable k_max and frees budget for more deltas.
+  QuantScheme u_quant = QuantScheme::kF64;
 
   /// Budget equal to `space_percent`% of the uncompressed N*M*b matrix.
   static SpaceBudget FromPercent(std::size_t num_rows, std::size_t num_cols,
                                  double space_percent,
                                  std::size_t bytes_per_value = 8);
 
-  /// Bytes consumed by a rank-k truncated SVD: (N*k + k + k*M) * b
-  /// (Eq. 9 numerator: U, the eigenvalues, and V).
+  /// Bytes consumed by a rank-k truncated SVD: N rows of U at the
+  /// u_quant row stride, plus (k + k*M) * b for the eigenvalues and V
+  /// (Eq. 9 numerator). With u_quant = f64 this is the paper's
+  /// (N*k + k + k*M) * b exactly.
   std::uint64_t SvdBytes(std::size_t k) const;
 
   /// Largest k whose SVD representation fits the budget (the paper's

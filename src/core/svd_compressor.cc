@@ -89,11 +89,17 @@ void SvdModel::ReconstructRegion(std::span<const std::size_t> row_ids,
 }
 
 std::uint64_t SvdModel::CompressedBytes() const {
-  // Section 3.4: N*k for U, k eigenvalues, k*M for V, at b bytes each.
-  const std::uint64_t values =
-      static_cast<std::uint64_t>(u_.rows()) * k() + k() +
-      static_cast<std::uint64_t>(k()) * v_.rows();
-  return values * bytes_per_value_;
+  // Section 3.4: N*k for U, k eigenvalues, k*M for V, at b bytes each —
+  // except that a quantized U is charged at its true on-disk row stride
+  // (16-byte meta + padded codes), matching what the row store writes.
+  const std::uint64_t u_bytes =
+      quant_scheme_ == QuantScheme::kF64
+          ? static_cast<std::uint64_t>(u_.rows()) * k() * bytes_per_value_
+          : static_cast<std::uint64_t>(u_.rows()) *
+                QuantRowStride(quant_scheme_, k());
+  const std::uint64_t resident =
+      k() + static_cast<std::uint64_t>(k()) * v_.rows();
+  return u_bytes + resident * bytes_per_value_;
 }
 
 std::vector<double> SvdModel::ProjectRow(std::size_t row) const {
@@ -114,6 +120,17 @@ void SvdModel::QuantizeToFloat() {
   // The derived cache must reflect the quantized factors (the products
   // themselves stay double precision).
   RebuildWeightedV();
+}
+
+void SvdModel::ApplyQuantization(QuantScheme scheme) {
+  quant_scheme_ = scheme;
+  if (scheme == QuantScheme::kF64) return;
+  // Snap each U row to its decode(encode) image so every in-memory
+  // reconstruction sees exactly what the quantized row store serves.
+  // weighted_v_ is untouched — only the left factor changes.
+  for (std::size_t i = 0; i < u_.rows(); ++i) {
+    SnapQuantRow(scheme, u_.Row(i));
+  }
 }
 
 SvdModel::FoldInStats SvdModel::FoldInRows(const Matrix& new_rows) {
@@ -146,6 +163,8 @@ SvdModel::FoldInStats SvdModel::FoldInRows(const Matrix& new_rows) {
 Status SvdModel::Serialize(BinaryWriter* writer) const {
   TSC_RETURN_IF_ERROR(writer->WriteU32(kSvdModelMagic));
   TSC_RETURN_IF_ERROR(writer->WriteU64(bytes_per_value_));
+  TSC_RETURN_IF_ERROR(
+      writer->WriteU32(static_cast<std::uint32_t>(quant_scheme_)));
   TSC_RETURN_IF_ERROR(writer->WriteDoubleVector(singular_values_));
   TSC_RETURN_IF_ERROR(writer->WriteMatrix(v_));
   return writer->WriteMatrix(u_);
@@ -155,6 +174,10 @@ StatusOr<SvdModel> SvdModel::Deserialize(BinaryReader* reader) {
   TSC_ASSIGN_OR_RETURN(const std::uint32_t magic, reader->ReadU32());
   if (magic != kSvdModelMagic) return Status::IoError("not an SVD model");
   TSC_ASSIGN_OR_RETURN(const std::uint64_t bytes_per_value, reader->ReadU64());
+  TSC_ASSIGN_OR_RETURN(const std::uint32_t scheme_raw, reader->ReadU32());
+  if (scheme_raw > static_cast<std::uint32_t>(QuantScheme::kI8)) {
+    return Status::IoError("unknown quant scheme in SVD model");
+  }
   TSC_ASSIGN_OR_RETURN(std::vector<double> sv, reader->ReadDoubleVector());
   TSC_ASSIGN_OR_RETURN(Matrix v, reader->ReadMatrix());
   TSC_ASSIGN_OR_RETURN(Matrix u, reader->ReadMatrix());
@@ -163,6 +186,9 @@ StatusOr<SvdModel> SvdModel::Deserialize(BinaryReader* reader) {
   }
   SvdModel model(std::move(u), std::move(sv), std::move(v));
   model.set_bytes_per_value(static_cast<std::size_t>(bytes_per_value));
+  // The rows of U were snapped at build time; recording the scheme is
+  // enough for the loaded model to export the same quantized store.
+  model.quant_scheme_ = static_cast<QuantScheme>(scheme_raw);
   return model;
 }
 

@@ -8,6 +8,7 @@
 #include "core/compressed_store.h"
 #include "linalg/matrix.h"
 #include "linalg/symmetric_eigen.h"
+#include "storage/quant.h"
 #include "storage/row_source.h"
 #include "storage/serializer.h"
 #include "util/status.h"
@@ -87,6 +88,18 @@ class SvdModel : public CompressedStore {
   /// quantization loss.
   void QuantizeToFloat();
 
+  /// Row-store quantization of the U factor: snaps every row of U to the
+  /// values the quantized "TSCROWQ1" store will serve (decode of encode,
+  /// per-row affine meta) and records the scheme, so the in-memory
+  /// model, the delta selection and the exported file all agree.
+  /// CompressedBytes() then charges U at its true quantized stride.
+  /// kF64 is a no-op; V and the eigenvalues stay untouched (they are
+  /// memory-resident and tiny next to U).
+  void ApplyQuantization(QuantScheme scheme);
+
+  /// The U coefficient encoding ExportSvddToDisk will write.
+  QuantScheme quant_scheme() const { return quant_scheme_; }
+
   Status Serialize(BinaryWriter* writer) const;
   static StatusOr<SvdModel> Deserialize(BinaryReader* reader);
   Status SaveToFile(const std::string& path) const;
@@ -102,6 +115,7 @@ class SvdModel : public CompressedStore {
   Matrix v_;
   Matrix weighted_v_;  ///< derived cache, never serialized
   std::size_t bytes_per_value_ = 8;
+  QuantScheme quant_scheme_ = QuantScheme::kF64;
 };
 
 /// Options for the streaming SVD build.

@@ -269,8 +269,11 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
   }
   const std::size_t n = source->rows();
   const std::size_t m = source->cols();
-  const SpaceBudget budget = SpaceBudget::FromPercent(
+  SpaceBudget budget = SpaceBudget::FromPercent(
       n, m, options.space_percent, options.bytes_per_value);
+  // Charge U at its quantized stride: a smaller U raises k_max and frees
+  // delta allowance, which is the whole point of quantizing the store.
+  budget.u_quant = options.quant;
   const std::uint64_t total_cells =
       static_cast<std::uint64_t>(n) * static_cast<std::uint64_t>(m);
   std::unique_ptr<ThreadPool> pool;
@@ -354,6 +357,7 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
     std::vector<OutlierHeap> queues;      // one per candidate k
     std::vector<KahanSum> sse;            // one per candidate k
     std::vector<double> projection;       // scratch: x_i . v_p
+    std::vector<double> ucoef;            // scratch: quantized-U preview
   };
   std::vector<Pass2Shard> shards(kBuildShards);
   for (Pass2Shard& shard : shards) {
@@ -363,6 +367,7 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
     }
     shard.sse.resize(num_candidates);
     shard.projection.resize(k_max);
+    shard.ucoef.resize(k_max);
   }
   // Pruning bounds. A zero-allowance candidate retains nothing, so every
   // offer to it can be skipped outright.
@@ -391,6 +396,20 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
               double dot = 0.0;
               for (std::size_t l = 0; l < m; ++l) dot += row[l] * v(l, p);
               shard.projection[p] = dot;
+            }
+            if (options.quant != QuantScheme::kF64) {
+              // Preview the quantized U row this sequence will get
+              // (u_ip = projection_p / lambda_p, snapped at k_max) and
+              // fold it back, so the per-cell errors below — and hence
+              // the outlier queues — rank cells by their combined
+              // truncation + quantization damage.
+              for (std::size_t p = 0; p < k_max; ++p) {
+                shard.ucoef[p] = shard.projection[p] / singular_values[p];
+              }
+              SnapQuantRow(options.quant, shard.ucoef);
+              for (std::size_t p = 0; p < k_max; ++p) {
+                shard.projection[p] = shard.ucoef[p] * singular_values[p];
+              }
             }
             for (std::size_t j = 0; j < m; ++j) {
               // recon_k = sum_{p<k} projection_p * v_jp, accumulated
@@ -496,7 +515,7 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
   std::vector<OutlierHeap::Entry> entries = std::move(merged[best_ci]);
   DeltaTable deltas(entries.size());
   deltas.set_entry_bytes(options.delta_bytes);
-  if (options.bytes_per_value == 4) {
+  if (options.bytes_per_value == 4 || options.quant != QuantScheme::kF64) {
     // Quantize the factors first, then re-derive each stored delta
     // against the QUANTIZED reconstruction so outlier cells still
     // round-trip (up to float rounding of the delta itself).
@@ -505,7 +524,8 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
       const std::size_t j = static_cast<std::size_t>(entry.key.cell % m);
       entry.value += svd.ReconstructCell(i, j);  // = original x_ij
     }
-    svd.QuantizeToFloat();
+    if (options.bytes_per_value == 4) svd.QuantizeToFloat();
+    svd.ApplyQuantization(options.quant);  // snaps U rows at k_opt
     for (auto& entry : entries) {
       const std::size_t i = static_cast<std::size_t>(entry.key.cell / m);
       const std::size_t j = static_cast<std::size_t>(entry.key.cell % m);

@@ -88,6 +88,12 @@ struct SvddBuildOptions {
   std::size_t bytes_per_value = 8;
   /// On-disk bytes per outlier triplet.
   std::uint64_t delta_bytes = kDefaultDeltaBytes;
+  /// Coefficient encoding of the U row store (storage/quant.h). A
+  /// quantized scheme shrinks the on-disk U 2-8x; the freed budget buys
+  /// a larger k and more deltas, and pass 2 measures per-cell error
+  /// against the QUANTIZED reconstruction so the bounded queues pick the
+  /// cells worst hit by truncation plus quantization combined.
+  QuantScheme quant = QuantScheme::kF64;
   /// Force a specific k instead of optimizing (ablation hook); 0 = choose
   /// k_opt by the paper's algorithm.
   std::size_t forced_k = 0;

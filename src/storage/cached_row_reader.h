@@ -26,10 +26,25 @@ class CachedRowReader {
 
   std::size_t rows() const { return reader_->rows(); }
   std::size_t cols() const { return reader_->cols(); }
+  QuantScheme scheme() const { return reader_->scheme(); }
   const RowStoreReader& reader() const { return *reader_; }
 
-  /// Reads row `index` into `out` (size cols()) via the cache.
+  /// Reads row `index` into `out` (size cols()) via the cache, decoding
+  /// quantized rows.
   Status ReadRow(std::size_t index, std::span<double> out);
+
+  /// The raw (still-encoded) row assembled from cached blocks into
+  /// `scratch` (size >= reader().row_stride_bytes()): cached blocks hold
+  /// the file bytes verbatim, so quantized stores keep their smaller
+  /// footprint — and higher hit rate per byte — all the way through the
+  /// buffer pool. The returned view points into `scratch`.
+  StatusOr<QuantRowView> ReadQuantRow(std::size_t index,
+                                      std::span<std::uint8_t> scratch);
+
+  /// Reads the single cell (row, col) through the cache: only the
+  /// block(s) holding the row meta and the one code are touched, so a
+  /// prefetch-warmed probe is a pure cache hit. Counted in io.cell_reads.
+  StatusOr<double> ReadCell(std::size_t row, std::size_t col);
 
   /// The distinct cache blocks covering `row_ids`, ascending — the I/O
   /// wave a cold batched read of those rows will pay.
@@ -57,6 +72,10 @@ class CachedRowReader {
   }
 
  private:
+  /// Assembles `out.size()` file bytes starting at `offset` from cached
+  /// blocks (the common path of the row/cell reads above).
+  Status ReadBytes(std::uint64_t offset, std::span<std::uint8_t> out);
+
   std::unique_ptr<RowStoreReader> reader_;
   BlockCache cache_;
 };

@@ -11,6 +11,7 @@
 
 #include "linalg/matrix.h"
 #include "storage/io_backend.h"
+#include "storage/quant.h"
 #include "storage/row_source.h"
 #include "util/status.h"
 
@@ -68,15 +69,20 @@ class DiskAccessCounter {
   std::atomic<std::uint64_t> bytes_read_{0};
 };
 
-/// Writes an N x M matrix file in the row-major binary "TSCROWS1" format.
-/// Rows are appended one at a time so a dataset larger than memory can be
-/// produced by a streaming generator.
+/// Writes an N x M matrix file row by row, so a dataset larger than
+/// memory can be produced by a streaming generator. The f64 scheme emits
+/// the original row-major binary "TSCROWS1" format unchanged; the
+/// quantized schemes emit "TSCROWQ1", where every row is its 16-byte
+/// scale/offset meta followed by the 8-byte-padded codes
+/// (QuantRowStride). AppendRow encodes each row as it is written.
 class RowStoreWriter {
  public:
-  /// Creates `path`, fixing the column count; rows() is finalized by the
-  /// number of AppendRow calls (the header is patched on Close).
-  static StatusOr<RowStoreWriter> Create(const std::string& path,
-                                         std::size_t cols);
+  /// Creates `path`, fixing the column count and coefficient encoding;
+  /// rows() is finalized by the number of AppendRow calls (the header is
+  /// patched on Close).
+  static StatusOr<RowStoreWriter> Create(
+      const std::string& path, std::size_t cols,
+      QuantScheme scheme = QuantScheme::kF64);
 
   RowStoreWriter(RowStoreWriter&&) = default;
   RowStoreWriter& operator=(RowStoreWriter&&) = default;
@@ -92,6 +98,7 @@ class RowStoreWriter {
 
   std::size_t rows_written() const { return rows_written_; }
   std::size_t cols() const { return cols_; }
+  QuantScheme scheme() const { return scheme_; }
 
  private:
   RowStoreWriter() = default;
@@ -99,11 +106,13 @@ class RowStoreWriter {
   std::ofstream out_;
   std::size_t cols_ = 0;
   std::size_t rows_written_ = 0;
+  QuantScheme scheme_ = QuantScheme::kF64;
+  std::vector<std::uint8_t> row_buf_;  ///< one encoded row (quant schemes)
   bool closed_ = true;
 };
 
-/// Random and sequential access to a "TSCROWS1" matrix file, with every
-/// read accounted against a DiskAccessCounter.
+/// Random and sequential access to a "TSCROWS1" / "TSCROWQ1" matrix
+/// file, with every read accounted against a DiskAccessCounter.
 ///
 /// All reads go through a pluggable IoBackend (storage/io_backend.h).
 /// Under the pread and mmap backends concurrent ReadRow/ReadCell/
@@ -114,7 +123,7 @@ class RowStoreReader {
  public:
   /// Opens `path` with the TSC_IO-resolved default backend and validates
   /// the header, including that the physical file size matches
-  /// header + rows * cols * 8 exactly.
+  /// header + rows * row-stride exactly.
   static StatusOr<RowStoreReader> Open(const std::string& path);
   /// Same, with an explicit I/O backend.
   static StatusOr<RowStoreReader> Open(const std::string& path,
@@ -128,24 +137,45 @@ class RowStoreReader {
   std::uint64_t file_bytes() const { return header_bytes_ + payload_bytes_; }
   std::uint64_t header_bytes() const { return header_bytes_; }
 
+  /// Coefficient encoding of the file (kF64 for "TSCROWS1").
+  QuantScheme scheme() const { return scheme_; }
+  /// On-disk bytes of one row (meta + padded codes for the quantized
+  /// schemes, cols * 8 for f64).
+  std::size_t row_stride_bytes() const { return row_stride_; }
+
   /// The engine serving this reader.
   IoBackendKind backend_kind() const { return io_->kind(); }
   const char* backend_name() const { return io_->name(); }
   const IoBackend& io() const { return *io_; }
 
-  /// Reads row `index` into `out` (size cols()); one random access.
+  /// Reads row `index` into `out` (size cols()), decoding quantized
+  /// rows; one random access.
   Status ReadRow(std::size_t index, std::span<double> out);
 
-  /// Zero-copy row access: under the mmap backend the returned span
-  /// points straight into the mapping (nothing is copied; `scratch` is
-  /// untouched); under the other backends the row is read into `scratch`
-  /// (size cols()) and the span views it. Either way the access is
-  /// accounted exactly like ReadRow.
+  /// Zero-copy row access for f64 files: under the mmap backend the
+  /// returned span points straight into the mapping (nothing is copied;
+  /// `scratch` is untouched); otherwise the row lands in `scratch` (size
+  /// cols()) — quantized files always decode into `scratch`. The access
+  /// is accounted exactly like ReadRow. Quantized serving paths that
+  /// want the codes themselves use ReadQuantRow instead.
   StatusOr<std::span<const double>> ReadRowView(std::size_t index,
                                                 std::span<double> scratch);
 
-  /// Reads the single cell (row, col); still a whole-block access, exactly
-  /// like a real disk would behave.
+  /// The quantized row as stored: under mmap `view.data` points straight
+  /// into the mapping (zero-copy, codes and all); otherwise the raw row
+  /// bytes are read into `scratch` (size >= row_stride_bytes()) and the
+  /// view points there. For f64 files the view's data is the row of
+  /// doubles with identity meta. One random access, accounted like
+  /// ReadRow; the fused kernels (storage/quant.h) consume the view in
+  /// place.
+  StatusOr<QuantRowView> ReadQuantRow(std::size_t index,
+                                      std::span<std::uint8_t> scratch);
+
+  /// Reads the single cell (row, col) — still accounted as a whole-block
+  /// access, exactly like a real disk would behave. Served through the
+  /// backend's cached path: straight from the mapping under mmap, and by
+  /// a positional read of only the needed bytes (row meta + one code)
+  /// otherwise. Counted in io.cell_reads.
   StatusOr<double> ReadCell(std::size_t row, std::size_t col);
 
   /// Loads the full matrix with one bulk payload read (small files,
@@ -165,16 +195,23 @@ class RowStoreReader {
  private:
   RowStoreReader() = default;
 
+  /// Builds the QuantRowView over one raw row image (meta + codes for
+  /// the quantized schemes, plain doubles for f64).
+  QuantRowView ViewOverRowBytes(const std::uint8_t* row_bytes) const;
+
   std::unique_ptr<IoBackend> io_;
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
+  QuantScheme scheme_ = QuantScheme::kF64;
+  std::size_t row_stride_ = 0;
   std::uint64_t header_bytes_ = 0;
   std::uint64_t payload_bytes_ = 0;
   DiskAccessCounter counter_;
 };
 
-/// Writes `m` to `path` in one call.
-Status WriteMatrixFile(const std::string& path, const Matrix& m);
+/// Writes `m` to `path` in one call, encoding rows under `scheme`.
+Status WriteMatrixFile(const std::string& path, const Matrix& m,
+                       QuantScheme scheme = QuantScheme::kF64);
 
 /// RowSource streaming a "TSCROWS1" file front to back with a bounded
 /// buffer: the multi-pass build path for datasets that do not fit in

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include "data/dataset.h"
 
@@ -24,7 +25,10 @@ CliResult RunTool(const std::vector<std::string>& args) {
 }
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Per-process suffix: ctest -j runs each discovered test in its own
+  // process, and every process re-runs SetUpTestSuite — fixed names
+  // would have concurrent processes truncating each other's files.
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 TEST(CliTest, HelpAndNoArgs) {

@@ -1,9 +1,11 @@
 #include "core/disk_backed.h"
 
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include "data/generators.h"
 #include "storage/row_source.h"
@@ -29,8 +31,11 @@ class DiskBackedTest : public ::testing::Test {
     auto model = BuildTestModel(data_, 15.0);
     ASSERT_TRUE(model.ok());
     model_ = std::move(*model);
-    u_path_ = ::testing::TempDir() + "/u_store.mat";
-    sidecar_path_ = ::testing::TempDir() + "/sidecar.bin";
+    // Per-process suffix: ctest runs each test in its own process, and
+    // every process re-runs SetUp — fixed names would race.
+    const std::string pid = std::to_string(::getpid());
+    u_path_ = ::testing::TempDir() + "/u_store_" + pid + ".mat";
+    sidecar_path_ = ::testing::TempDir() + "/sidecar_" + pid + ".bin";
     ASSERT_TRUE(ExportSvddToDisk(model_, u_path_, sidecar_path_).ok());
   }
 

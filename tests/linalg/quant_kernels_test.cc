@@ -1,0 +1,146 @@
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linalg/kernels.h"
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+// Lengths chosen to hit the AVX2 8-lane main loop, the 4-lane pair loop,
+// and every scalar tail size.
+const std::size_t kLengths[] = {1, 2, 3, 4, 7, 8, 9, 15, 16, 17, 31, 64, 100};
+
+std::vector<double> RandomVector(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> v(n);
+  for (double& x : v) x = rng.Gaussian();
+  return v;
+}
+
+/// Reference semantics of every fused kernel: decode the whole row to
+/// doubles first, then run the plain scalar dot.
+template <typename Q>
+double DecodeThenDot(const Q* q, double scale, double offset,
+                     const double* b, std::size_t n) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    total += (offset + scale * static_cast<double>(q[i])) * b[i];
+  }
+  return total;
+}
+
+template <typename Q>
+std::vector<Q> RandomCodes(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Q> q(n);
+  for (Q& c : q) {
+    c = static_cast<Q>(static_cast<std::int64_t>(rng.UniformUint64(255)) -
+                       127);
+  }
+  return q;
+}
+
+// The fused kernels may reassociate (AVX2 runs multiple accumulators),
+// so comparisons are relative, not exact.
+void ExpectClose(double actual, double expected) {
+  const double tol = 1e-9 * (1.0 + std::abs(expected));
+  EXPECT_NEAR(actual, expected, tol);
+}
+
+TEST(QuantKernels, DotI8MatchesDecodeThenDot) {
+  for (const std::size_t n : kLengths) {
+    const std::vector<std::int8_t> q = RandomCodes<std::int8_t>(n, n);
+    const std::vector<double> b = RandomVector(n, n + 100);
+    const double scale = 0.037;
+    const double offset = -1.25;
+    ExpectClose(kernels::DotI8(q.data(), scale, offset, b.data(), n),
+                DecodeThenDot(q.data(), scale, offset, b.data(), n));
+  }
+}
+
+TEST(QuantKernels, DotI16MatchesDecodeThenDot) {
+  for (const std::size_t n : kLengths) {
+    const std::vector<std::int16_t> q = RandomCodes<std::int16_t>(n, n + 1);
+    const std::vector<double> b = RandomVector(n, n + 200);
+    const double scale = 1.5e-4;
+    const double offset = 2.0;
+    ExpectClose(kernels::DotI16(q.data(), scale, offset, b.data(), n),
+                DecodeThenDot(q.data(), scale, offset, b.data(), n));
+  }
+}
+
+TEST(QuantKernels, DotF32MatchesDecodeThenDot) {
+  for (const std::size_t n : kLengths) {
+    std::vector<float> q(n);
+    Rng rng(n + 2);
+    for (float& x : q) x = static_cast<float>(rng.Gaussian());
+    const std::vector<double> b = RandomVector(n, n + 300);
+    // f32 rows carry identity meta: decode is the plain float widening.
+    ExpectClose(kernels::DotF32(q.data(), 1.0, 0.0, b.data(), n),
+                DecodeThenDot(q.data(), 1.0, 0.0, b.data(), n));
+  }
+}
+
+TEST(QuantKernels, DispatchedAgreesWithScalarTier) {
+  // Whatever tier TSC_SIMD resolves to, the dispatched symbols must agree
+  // with the always-scalar namespace up to reassociation.
+  for (const std::size_t n : kLengths) {
+    const std::vector<std::int8_t> q = RandomCodes<std::int8_t>(n, n + 3);
+    const std::vector<double> b = RandomVector(n, n + 400);
+    ExpectClose(kernels::DotI8(q.data(), 0.01, 0.5, b.data(), n),
+                kernels::scalar::DotI8(q.data(), 0.01, 0.5, b.data(), n));
+    const std::vector<std::int16_t> q16 = RandomCodes<std::int16_t>(n, n + 4);
+    ExpectClose(
+        kernels::DotI16(q16.data(), 0.01, 0.5, b.data(), n),
+        kernels::scalar::DotI16(q16.data(), 0.01, 0.5, b.data(), n));
+  }
+}
+
+TEST(QuantKernels, DotBatchMatchesPerRowDots) {
+  const std::size_t n = 33;
+  // 5 rows with a stride wider than n, as in a row-major V slice.
+  const std::size_t stride = 40;
+  const std::size_t count = 5;
+  const std::vector<double> rows = RandomVector(stride * count, 7);
+  const std::vector<std::int8_t> q = RandomCodes<std::int8_t>(n, 8);
+  const double scale = 0.02;
+  const double offset = -0.3;
+  std::vector<double> out(count, 0.0);
+  kernels::DotBatchI8(rows.data(), stride, count, q.data(), scale, offset, n,
+                      out.data());
+  for (std::size_t r = 0; r < count; ++r) {
+    ExpectClose(out[r], DecodeThenDot(q.data(), scale, offset,
+                                      rows.data() + r * stride, n));
+  }
+}
+
+TEST(QuantKernels, GemvAccumulatesIntoY) {
+  const std::size_t n = 19;
+  const std::size_t stride = 24;
+  const std::size_t count = 7;  // odd: exercises the unpaired final row
+  const std::vector<double> a = RandomVector(stride * count, 9);
+  const std::vector<std::int16_t> q = RandomCodes<std::int16_t>(n, 10);
+  const double scale = 3e-3;
+  const double offset = 1.0;
+  std::vector<double> y(count, 2.5);  // Gemv adds, it must not overwrite
+  kernels::GemvI16(a.data(), count, n, stride, q.data(), scale, offset,
+                   y.data());
+  for (std::size_t r = 0; r < count; ++r) {
+    ExpectClose(y[r], 2.5 + DecodeThenDot(q.data(), scale, offset,
+                                          a.data() + r * stride, n));
+  }
+}
+
+TEST(QuantKernels, ZeroLengthIsZero) {
+  const double b = 1.0;
+  const std::int8_t q = 3;
+  EXPECT_EQ(kernels::DotI8(&q, 1.0, 0.0, &b, 0), 0.0);
+  EXPECT_EQ(kernels::scalar::DotI8(&q, 1.0, 0.0, &b, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace tsc

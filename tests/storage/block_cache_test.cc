@@ -2,8 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <atomic>
 #include <latch>
+#include <string>
 #include <thread>
 
 #include "storage/cached_row_reader.h"
@@ -226,7 +229,10 @@ class CachedRowReaderTest : public ::testing::Test {
     Rng rng(9);
     data_ = Matrix(64, 32);
     for (auto& v : data_.data()) v = rng.Gaussian();
-    path_ = ::testing::TempDir() + "/cached_reader.mat";
+    // Per-process suffix: each discovered test runs in its own process
+    // and re-runs SetUp — a fixed name would race under ctest -j.
+    path_ = ::testing::TempDir() + "/cached_reader_" +
+            std::to_string(::getpid()) + ".mat";
     ASSERT_TRUE(WriteMatrixFile(path_, data_).ok());
   }
 

@@ -4,9 +4,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include "storage/cached_row_reader.h"
 #include "storage/prefetcher.h"
@@ -17,7 +19,10 @@ namespace tsc {
 namespace {
 
 std::string TempPath(const std::string& name) {
-  return ::testing::TempDir() + "/" + name;
+  // Per-process suffix: the io_parity_scalar_env re-run executes this
+  // binary while ctest -j runs the discovered tests in their own
+  // processes — fixed names would have them truncating each other.
+  return ::testing::TempDir() + "/" + std::to_string(::getpid()) + "_" + name;
 }
 
 Matrix RandomMatrix(std::size_t n, std::size_t m, std::uint64_t seed) {
