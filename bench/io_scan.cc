@@ -55,11 +55,12 @@ ScanResult SequentialReadRow(const std::string& path, IoBackendKind kind) {
 }
 
 ScanResult SequentialReadahead(const std::string& path, IoBackendKind kind,
-                               std::size_t depth) {
+                               std::size_t depth, bool* engaged) {
   auto reader = tsc::RowStoreReader::Open(path, kind);
   TSC_CHECK(reader.ok());
   tsc::FileRowSource file_source(std::move(*reader));
   tsc::ReadaheadRowSource source(&file_source, depth);
+  if (engaged != nullptr) *engaged = source.active();
   std::vector<double> row(source.cols());
   ScanResult result;
   tsc::Timer timer;
@@ -111,17 +112,22 @@ CellBatches MakeBatches(std::size_t rows, std::size_t batches,
 ScanResult ColdBatchedProbes(const std::string& path, IoBackendKind kind,
                              std::size_t cache_blocks,
                              std::size_t prefetch_depth,
-                             const CellBatches& work) {
+                             const CellBatches& work,
+                             bool* waves_ran = nullptr) {
   auto reader = tsc::RowStoreReader::Open(path, kind);
   TSC_CHECK(reader.ok());
   const std::size_t cols = reader->cols();
   tsc::CachedRowReader cached(std::move(*reader), cache_blocks);
   tsc::BlockPrefetcher prefetcher(prefetch_depth == 0 ? 1 : prefetch_depth);
+  if (waves_ran != nullptr) *waves_ran = false;
   std::vector<double> row(cols);
   ScanResult result;
   tsc::Timer timer;
   for (const auto& batch : work.batch_rows) {
-    if (prefetch_depth > 0) cached.PrefetchRows(batch, &prefetcher);
+    if (prefetch_depth > 0) {
+      const bool ran = cached.PrefetchRows(batch, &prefetcher);
+      if (waves_ran != nullptr && ran) *waves_ran = true;
+    }
     for (const std::size_t r : batch) {
       TSC_CHECK(cached.ReadRow(r, row).ok());
       result.checksum += row[0];
@@ -218,8 +224,14 @@ int main(int argc, char** argv) {
         payload_bytes / (1024.0 * 1024.0) / plain.seconds, 0.0,
         base / plain.seconds);
 
-    const ScanResult ahead = SequentialReadahead(path, kind, prefetch_depth);
-    add("seq", name, "readahead", ahead.seconds,
+    // The mode column records whether the producer thread actually
+    // engaged: "readahead(off)" means the wrapper auto-disabled itself
+    // (mmap source or single-core machine) and the row measures the
+    // passthrough — expected to track readrow, not beat it.
+    bool engaged = false;
+    const ScanResult ahead =
+        SequentialReadahead(path, kind, prefetch_depth, &engaged);
+    add("seq", name, engaged ? "readahead" : "readahead(off)", ahead.seconds,
         payload_bytes / (1024.0 * 1024.0) / ahead.seconds, 0.0,
         base / ahead.seconds);
 
@@ -232,6 +244,15 @@ int main(int argc, char** argv) {
   const CellBatches work = MakeBatches(rows, batches, batch_cells, seed + 1);
   const double total_cells =
       static_cast<double>(batches) * static_cast<double>(batch_cells);
+  // Mode column: "prefetch" = waves actually ran; "prefetch(off)" = the
+  // reader auto-disabled them (no pool to overlap with and a positional
+  // backend, so a wave could only lose) and the row measures plain
+  // demand reads plus the disable check.
+  report.AddScalar(
+      "prefetch_parallel_waves",
+      tsc::BlockPrefetcher(prefetch_depth == 0 ? 1 : prefetch_depth).parallel()
+          ? 1.0
+          : 0.0);
   double batch_baseline = 0.0;  // stream backend, no prefetch
   for (const IoBackendKind kind : backends) {
     const char* name = tsc::IoBackendName(kind);
@@ -242,10 +263,13 @@ int main(int argc, char** argv) {
     add("batch", name, "demand", demand.seconds, 0.0,
         total_cells / demand.seconds, base / demand.seconds);
 
-    const ScanResult waved =
-        ColdBatchedProbes(path, kind, cache_blocks, prefetch_depth, work);
-    add("batch", name, "prefetch", waved.seconds, 0.0,
-        total_cells / waved.seconds, base / waved.seconds);
+    bool waves_ran = false;
+    const ScanResult waved = ColdBatchedProbes(path, kind, cache_blocks,
+                                               prefetch_depth, work,
+                                               &waves_ran);
+    add("batch", name, waves_ran ? "prefetch" : "prefetch(off)",
+        waved.seconds, 0.0, total_cells / waved.seconds,
+        base / waved.seconds);
   }
 
   // --- quantized row scans --------------------------------------------------

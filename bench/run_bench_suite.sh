@@ -17,7 +17,8 @@ OUT_DIR="${2:-.}"
 SNAPSHOT_N="${3:-${BENCH_SNAPSHOT:-}}"
 BENCH_DIR="${BUILD_DIR}/bench"
 
-BENCHES=(query_throughput build_scaling micro_reconstruction io_scan)
+BENCHES=(query_throughput build_scaling micro_reconstruction io_scan
+  server_load)
 
 for bin in "${BENCHES[@]}"; do
   if [[ ! -x "${BENCH_DIR}/${bin}" ]]; then
@@ -49,6 +50,11 @@ echo
 echo "== io_scan =="
 "${BENCH_DIR}/io_scan" --rows=4000 --cols=366 \
   --json="${OUT_DIR}/BENCH_io_scan.json"
+
+echo
+echo "== server_load =="
+"${BENCH_DIR}/server_load" --rows=2000 --cols=128 --clients=64,256 \
+  --requests=10 --json="${OUT_DIR}/BENCH_server_load.json"
 
 echo
 echo "wrote:"

@@ -1,7 +1,12 @@
 #include "cli/cli.h"
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <memory>
+#include <optional>
+#include <thread>
 
 #include "core/disk_backed.h"
 #include "core/metrics.h"
@@ -15,6 +20,7 @@
 #include "obs/snapshot.h"
 #include "obs/trace.h"
 #include "query/executor.h"
+#include "server/server.h"
 #include "storage/io_backend.h"
 #include "storage/quant.h"
 #include "storage/row_source.h"
@@ -50,6 +56,12 @@ commands:
   stats      --model=MODEL [--queries=N] [--cache-blocks=N] [--zipf=S]
              [--seed=S] [--io-backend=stream|pread|mmap] [--prefetch-depth=N]
                           (runs a serving workload, prints instrument values)
+  serve      --model=MODEL [--port=7496] [--max-concurrent=N] [--queue=N]
+             [--timeout-ms=MS] [--batch-window-us=US] [--duration-s=S]
+             [--cache-blocks=N] [--io-backend=...] [--prefetch-depth=N]
+                          (HTTP query server on 127.0.0.1; endpoints
+                           /api/v1/data, /api/v1/query, /api/v1/cell,
+                           /metrics, /healthz — see docs/server.md)
   help
 
 global flags (any command):
@@ -602,6 +614,114 @@ int CmdStats(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+std::atomic<bool> g_serve_interrupted{false};
+
+void ServeSignalHandler(int) { g_serve_interrupted.store(true); }
+
+/// Runs the concurrent query server over a model file until SIGINT /
+/// SIGTERM (or --duration-s elapses). With --cache-blocks > 0 an SVDD
+/// model is exported to the two-file disk layout and served through one
+/// shared BlockCache + BlockPrefetcher; otherwise the in-memory model
+/// serves directly (SVDD still gets the compressed-domain fast path).
+int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  auto loaded = LoadModel(flags.GetString("model", ""));
+  if (!loaded.ok()) return Fail(err, loaded.status());
+
+  server::ServerOptions options;
+  options.port = flags.GetInt("port", 7496);
+  options.max_concurrent =
+      static_cast<std::size_t>(flags.GetInt("max-concurrent", 0));
+  options.max_queue = static_cast<std::size_t>(flags.GetInt("queue", 64));
+  options.timeout_ms =
+      static_cast<std::uint64_t>(flags.GetInt("timeout-ms", 2000));
+  options.batch_window_us =
+      static_cast<std::uint64_t>(flags.GetInt("batch-window-us", 150));
+
+  // The executor is shared by every connection, so it must not carry an
+  // internal scan pool (concurrency comes from concurrent requests).
+  const SvddModel* svdd =
+      loaded->kind == "svdd"
+          ? static_cast<const SvddModel*>(loaded->store.get())
+          : nullptr;
+  const std::size_t cache_blocks =
+      static_cast<std::size_t>(flags.GetInt("cache-blocks", 0));
+
+  std::optional<DiskBackedStore> disk_store;
+  std::optional<DiskBackedStoreView> disk_view;
+  std::optional<QueryExecutor> executor;
+  const CompressedStore* store = loaded->store.get();
+  std::string u_path;
+  std::string sidecar_path;
+  if (cache_blocks > 0) {
+    if (svdd == nullptr) {
+      return Fail(err, Status::InvalidArgument(
+                           "--cache-blocks needs an svdd model"));
+    }
+    DiskBackedOptions disk_options;
+    disk_options.cache_blocks = cache_blocks;
+    disk_options.prefetch_depth =
+        static_cast<std::size_t>(flags.GetInt("prefetch-depth", 0));
+    if (const std::string backend = flags.GetString("io-backend", "");
+        !backend.empty()) {
+      auto kind = ParseIoBackendName(backend);
+      if (!kind.ok()) return Fail(err, kind.status());
+      disk_options.io_backend = *kind;
+    }
+    u_path = flags.GetString("model", "") + ".serve_u";
+    sidecar_path = flags.GetString("model", "") + ".serve_sidecar";
+    Status status = ExportSvddToDisk(*svdd, u_path, sidecar_path);
+    if (!status.ok()) return Fail(err, status);
+    auto opened = DiskBackedStore::Open(u_path, sidecar_path, disk_options);
+    if (!opened.ok()) {
+      std::remove(u_path.c_str());
+      std::remove(sidecar_path.c_str());
+      return Fail(err, opened.status());
+    }
+    disk_store.emplace(std::move(*opened));
+    disk_view.emplace(&*disk_store);
+    store = &*disk_view;
+    executor.emplace(store, 1);
+    out << "serving from disk layout (" << disk_store->io_backend_name()
+        << " backend, " << cache_blocks << "-block cache)\n";
+  } else if (svdd != nullptr) {
+    executor.emplace(svdd, 1);
+  } else {
+    executor.emplace(store, 1);
+  }
+
+  server::QueryServer query_server(&*executor, store, options);
+  Status status = query_server.Start();
+  if (status.ok()) {
+    out << "listening on 127.0.0.1:" << query_server.port() << " ("
+        << store->rows() << " x " << store->cols() << " "
+        << store->MethodName() << ")\n";
+    out.flush();
+    g_serve_interrupted.store(false);
+    std::signal(SIGINT, ServeSignalHandler);
+    std::signal(SIGTERM, ServeSignalHandler);
+    const int duration_s = flags.GetInt("duration-s", 0);
+    const auto started = std::chrono::steady_clock::now();
+    while (!g_serve_interrupted.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+      if (duration_s > 0 &&
+          std::chrono::steady_clock::now() - started >=
+              std::chrono::seconds(duration_s)) {
+        break;
+      }
+    }
+    std::signal(SIGINT, SIG_DFL);
+    std::signal(SIGTERM, SIG_DFL);
+    query_server.Stop();
+    out << "served " << query_server.connections_accepted()
+        << " connections\n";
+  }
+  if (!u_path.empty()) {
+    std::remove(u_path.c_str());
+    std::remove(sidecar_path.c_str());
+  }
+  return status.ok() ? 0 : Fail(err, status);
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -641,6 +761,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     code = CmdReconstruct(flags, out, err);
   } else if (command == "stats") {
     code = CmdStats(flags, out, err);
+  } else if (command == "serve") {
+    code = CmdServe(flags, out, err);
   } else {
     known = false;
   }

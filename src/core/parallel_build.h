@@ -19,8 +19,12 @@ inline constexpr std::size_t kBuildShards = 16;
 
 /// Rows buffered per streaming chunk. Purely a batching knob: it bounds
 /// the in-memory window of the out-of-core passes and amortizes the
-/// fork/join cost per chunk, but does not affect results.
-inline constexpr std::size_t kBuildChunkRows = 256;
+/// fork/join cost per chunk, but does not affect results. Sized so the
+/// serial section between parallel chunk visits (the NextRow loop below
+/// plus one pool fork/join) is paid once per ~thousand rows — at the old
+/// 256 the per-chunk rendezvous was a measurable Amdahl term at 2
+/// threads. The buffer stays small (1024 rows x cols doubles).
+inline constexpr std::size_t kBuildChunkRows = 1024;
 
 /// First buffer-local row index belonging to `shard` when the chunk
 /// starts at global row `base`.

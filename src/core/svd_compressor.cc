@@ -233,14 +233,28 @@ StatusOr<Matrix> AccumulateColumnSimilarity(RowSource* source,
           return Status::Ok();
         }));
   }
-  // Ordered reduction: shard 0 + shard 1 + ... keeps the summation order
-  // fixed regardless of which threads ran which shards.
+  // Ordered reduction: each element sums shard 0 + shard 1 + ... in
+  // shard order, which fixes the arithmetic regardless of which threads
+  // ran which shards. The elements are independent, so the element range
+  // splits across the pool without touching the per-element order.
   obs::TraceSpan reduce_span("similarity.reduce");
   Matrix c = std::move(partial[0]);
-  for (std::size_t s = 1; s < kBuildShards; ++s) {
-    const std::vector<double>& src = partial[s].data();
+  {
     std::vector<double>& dst = c.data();
-    for (std::size_t idx = 0; idx < dst.size(); ++idx) dst[idx] += src[idx];
+    const std::size_t total = dst.size();
+    const std::size_t pieces =
+        pool != nullptr ? std::min<std::size_t>(kBuildShards,
+                                                std::max<std::size_t>(1, total / 4096))
+                        : 1;
+    const std::size_t per_piece = (total + pieces - 1) / pieces;
+    ParallelFor(pool, pieces, [&](std::size_t p) {
+      const std::size_t begin = p * per_piece;
+      const std::size_t end = std::min(begin + per_piece, total);
+      for (std::size_t s = 1; s < kBuildShards; ++s) {
+        const std::vector<double>& src = partial[s].data();
+        for (std::size_t idx = begin; idx < end; ++idx) dst[idx] += src[idx];
+      }
+    });
   }
   for (std::size_t j = 0; j < m; ++j) {
     for (std::size_t l = j + 1; l < m; ++l) c(l, j) = c(j, l);
@@ -297,10 +311,18 @@ StatusOr<SvdModel> BuildSvdModel(RowSource* source,
   }
   // Readahead decorator: both passes still see rows in order (bitwise-
   // identical model), but a producer thread keeps chunks in flight so
-  // the disk works while this thread computes.
+  // the disk works while this thread computes. Threaded builds opt in
+  // automatically — the serial chunk read between parallel visits is
+  // exactly the Amdahl term that capped 2-thread speedup — and the
+  // wrapper self-disables (passthrough) when overlap cannot pay, so the
+  // auto-wrap is free for in-memory, mmap, and single-core sources.
+  const std::size_t readahead_depth =
+      options.prefetch_depth > 0
+          ? options.prefetch_depth
+          : (options.num_threads > 1 ? std::size_t{2} : std::size_t{0});
   std::optional<ReadaheadRowSource> readahead;
-  if (options.prefetch_depth > 0) {
-    readahead.emplace(source, options.prefetch_depth);
+  if (readahead_depth > 0) {
+    readahead.emplace(source, readahead_depth);
     source = &*readahead;
   }
   const std::size_t m = source->cols();

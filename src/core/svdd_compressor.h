@@ -113,7 +113,10 @@ struct SvddBuildOptions {
   std::size_t num_threads = 1;
   /// > 0 reads each of the three passes through a ReadaheadRowSource
   /// holding that many chunks in flight (disk overlaps compute); 0 =
-  /// direct reads. Order-preserving, so the model is unchanged.
+  /// automatic: threaded builds use a depth-2 readahead that
+  /// self-disables when overlap cannot pay (in-memory or mmap sources,
+  /// single-core machines); serial builds read directly.
+  /// Order-preserving either way, so the model is unchanged.
   std::size_t prefetch_depth = 0;
 };
 

@@ -1,0 +1,89 @@
+#ifndef TSC_SERVER_ADMISSION_H_
+#define TSC_SERVER_ADMISSION_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace tsc::server {
+
+/// Request admission control: a fixed number of requests execute at
+/// once, a bounded FIFO of waiters absorbs short bursts, and everything
+/// beyond the queue bound is shed immediately (the caller maps that to
+/// HTTP 429). A waiter whose per-request deadline passes before a slot
+/// frees is failed instead of executed (mapped to 504), so a saturated
+/// server sheds stale work rather than burning its capacity producing
+/// answers nobody is still waiting for.
+///
+/// Thread safety: fully synchronized; one controller is shared by every
+/// connection thread.
+class AdmissionController {
+ public:
+  struct Options {
+    std::size_t max_concurrent = 2;  ///< slots executing at once
+    std::size_t max_queue = 64;      ///< waiters beyond the slots
+  };
+
+  enum class Outcome {
+    kAdmitted,  ///< permit held; run the request
+    kRejected,  ///< queue full => shed (429)
+    kTimedOut,  ///< deadline passed while queued (504)
+    kShutdown,  ///< controller shut down while queued (503)
+  };
+
+  /// RAII execution slot: releasing it (destruction) wakes the next
+  /// waiter. Move-only; a default-constructed permit holds nothing.
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& other) noexcept : controller_(other.controller_) {
+      other.controller_ = nullptr;
+    }
+    Permit& operator=(Permit&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = other.controller_;
+        other.controller_ = nullptr;
+      }
+      return *this;
+    }
+    ~Permit() { Release(); }
+    bool held() const { return controller_ != nullptr; }
+    void Release();
+
+   private:
+    friend class AdmissionController;
+    explicit Permit(AdmissionController* controller)
+        : controller_(controller) {}
+    AdmissionController* controller_ = nullptr;
+  };
+
+  explicit AdmissionController(const Options& options);
+
+  /// Tries to take an execution slot, queueing until `deadline` when all
+  /// slots are busy. On kAdmitted, `*permit` holds the slot.
+  Outcome Acquire(std::chrono::steady_clock::time_point deadline,
+                  Permit* permit);
+
+  /// Fails every queued waiter with kShutdown and makes future Acquire
+  /// calls return kShutdown immediately.
+  void Shutdown();
+
+  std::size_t active() const;
+  std::size_t queued() const;
+
+ private:
+  void Release();
+
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::size_t active_ = 0;
+  std::size_t queued_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace tsc::server
+
+#endif  // TSC_SERVER_ADMISSION_H_

@@ -1,0 +1,65 @@
+#include "server/batcher.h"
+
+#include <span>
+
+#include "obs/metrics.h"
+
+namespace tsc::server {
+
+CellBatcher::CellBatcher(const CompressedStore* store, const Options& options)
+    : store_(store), options_(options) {}
+
+StatusOr<double> CellBatcher::Fetch(std::size_t row, std::size_t col) {
+  if (row >= store_->rows() || col >= store_->cols()) {
+    return Status::OutOfRange("cell out of range");
+  }
+  static obs::Histogram& batch_size =
+      obs::MetricRegistry::Default().GetHistogram("server.batch_size");
+
+  std::unique_lock<std::mutex> lock(mu_);
+  const bool leader = open_ == nullptr;
+  if (leader) open_ = std::make_shared<Batch>();
+  const std::shared_ptr<Batch> batch = open_;
+  const std::size_t index = batch->cells.size();
+  batch->cells.push_back({row, col});
+
+  if (!leader) {
+    if (batch->cells.size() >= options_.max_batch) leader_cv_.notify_all();
+    batch->done_cv.wait(lock, [&] { return batch->done; });
+    return batch->values[index];
+  }
+
+  // Leader: hold the batch open for the window (riders arriving
+  // meanwhile join it), close it, run one wave, wake everyone.
+  leader_cv_.wait_for(lock, options_.window, [&] {
+    return batch->cells.size() >= options_.max_batch;
+  });
+  open_.reset();  // later arrivals start the next batch immediately
+  const std::size_t count = batch->cells.size();
+  lock.unlock();
+
+  std::vector<double> values(count);
+  store_->ReconstructCells(std::span<const CellRef>(batch->cells),
+                           std::span<double>(values));
+
+  lock.lock();
+  batch->values = std::move(values);
+  batch->done = true;
+  ++waves_;
+  batched_cells_ += count;
+  batch_size.Record(static_cast<double>(count));
+  batch->done_cv.notify_all();
+  return batch->values[index];
+}
+
+std::uint64_t CellBatcher::waves() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return waves_;
+}
+
+std::uint64_t CellBatcher::batched_cells() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return batched_cells_;
+}
+
+}  // namespace tsc::server

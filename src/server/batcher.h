@@ -1,0 +1,72 @@
+#ifndef TSC_SERVER_BATCHER_H_
+#define TSC_SERVER_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/compressed_store.h"
+#include "util/status.h"
+
+namespace tsc::server {
+
+/// Coalesces concurrent single-cell probes from many connections into
+/// one batched ReconstructCells wave. The first request to arrive while
+/// no batch is open becomes the leader: it holds the batch open for a
+/// short window (or until it fills) so concurrent requests can ride
+/// along, then runs one reconstruction for the whole batch and hands
+/// each rider its value. Against a disk-backed store this turns N
+/// concurrent cell requests into one prefetch wave + one grouped read
+/// pass instead of N independent row reads.
+///
+/// A lone request still pays at most `window` of added latency; under
+/// concurrency the window is what buys the batching win. Thread safe.
+class CellBatcher {
+ public:
+  struct Options {
+    std::size_t max_batch = 256;  ///< execute early when full
+    /// Leader's hold-open time for riders to join.
+    std::chrono::microseconds window = std::chrono::microseconds(150);
+  };
+
+  /// `store` must outlive the batcher and support concurrent
+  /// ReconstructCells (every store in this library does).
+  CellBatcher(const CompressedStore* store, const Options& options);
+  explicit CellBatcher(const CompressedStore* store)
+      : CellBatcher(store, Options()) {}
+
+  /// Blocks until the batch holding (row, col) has executed and returns
+  /// the reconstructed value. Validates the coordinates first.
+  StatusOr<double> Fetch(std::size_t row, std::size_t col);
+
+  /// Reconstruction waves run so far.
+  std::uint64_t waves() const;
+  /// Cells served across all waves (>= waves(); the ratio is the
+  /// average batch size).
+  std::uint64_t batched_cells() const;
+
+ private:
+  /// One in-flight batch; riders hold a shared_ptr so a batch outlives
+  /// any individual request.
+  struct Batch {
+    std::vector<CellRef> cells;
+    std::vector<double> values;
+    bool done = false;
+    std::condition_variable done_cv;
+  };
+
+  const CompressedStore* store_;
+  const Options options_;
+  mutable std::mutex mu_;
+  std::condition_variable leader_cv_;  ///< wakes the leader when full
+  std::shared_ptr<Batch> open_;        ///< batch accepting riders, if any
+  std::uint64_t waves_ = 0;
+  std::uint64_t batched_cells_ = 0;
+};
+
+}  // namespace tsc::server
+
+#endif  // TSC_SERVER_BATCHER_H_

@@ -1,0 +1,257 @@
+#include "server/data_api.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+#include <sstream>
+
+#include "core/query.h"
+#include "util/json_writer.h"
+
+namespace tsc::server {
+namespace {
+
+/// Strict signed integer parse: the whole string must be one number.
+StatusOr<long long> ParseInt(const std::string& text) {
+  if (text.empty()) return Status::InvalidArgument("empty number");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (errno == ERANGE) return Status::InvalidArgument("number out of range");
+  if (end == text.c_str() || *end != '\0') {
+    return Status::InvalidArgument("malformed number: '" +
+                                   JsonWriter::Escape(text) + "'");
+  }
+  return value;
+}
+
+StatusOr<std::size_t> ParseIndex(const std::string& text) {
+  TSC_ASSIGN_OR_RETURN(const long long value, ParseInt(text));
+  if (value < 0) return Status::InvalidArgument("negative index");
+  return static_cast<std::size_t>(value);
+}
+
+/// Number of distinct rows covered by a union of (possibly overlapping)
+/// ranges.
+std::size_t UnionCount(std::vector<IndexRange> ranges) {
+  std::sort(ranges.begin(), ranges.end(),
+            [](const IndexRange& a, const IndexRange& b) {
+              return a.lo < b.lo;
+            });
+  std::size_t count = 0;
+  std::size_t next_free = 0;
+  bool any = false;
+  for (const IndexRange& range : ranges) {
+    const std::size_t lo = any ? std::max(range.lo, next_free) : range.lo;
+    if (!any || range.hi >= next_free) {
+      if (range.hi >= lo) count += range.hi - lo + 1;
+      next_free = std::max(any ? next_free : 0, range.hi + 1);
+      any = true;
+    }
+  }
+  return count;
+}
+
+/// The bucket reduction over per-column aggregates. Exact for all four
+/// group methods (see ExecuteDataRequest's doc).
+double ReduceBucket(AggregateFn fn, const double* values, std::size_t n) {
+  double acc = values[0];
+  for (std::size_t i = 1; i < n; ++i) {
+    switch (fn) {
+      case AggregateFn::kSum:
+      case AggregateFn::kAvg:
+        acc += values[i];
+        break;
+      case AggregateFn::kMin:
+        acc = std::min(acc, values[i]);
+        break;
+      case AggregateFn::kMax:
+        acc = std::max(acc, values[i]);
+        break;
+      default:
+        break;
+    }
+  }
+  if (fn == AggregateFn::kAvg) acc /= static_cast<double>(n);
+  return acc;
+}
+
+}  // namespace
+
+StatusOr<std::vector<IndexRange>> ParseRowsParam(const std::string& text,
+                                                 std::size_t num_rows,
+                                                 std::size_t max_ranges) {
+  std::vector<IndexRange> ranges;
+  std::stringstream stream(text);
+  std::string piece;
+  while (std::getline(stream, piece, ',')) {
+    if (ranges.size() >= max_ranges) {
+      return Status::InvalidArgument("too many row ranges");
+    }
+    IndexRange range;
+    const std::size_t colon = piece.find(':');
+    if (colon == std::string::npos) {
+      TSC_ASSIGN_OR_RETURN(range.lo, ParseIndex(piece));
+      range.hi = range.lo;
+    } else {
+      TSC_ASSIGN_OR_RETURN(range.lo, ParseIndex(piece.substr(0, colon)));
+      TSC_ASSIGN_OR_RETURN(range.hi, ParseIndex(piece.substr(colon + 1)));
+    }
+    if (range.lo > range.hi) {
+      return Status::InvalidArgument("row range lo > hi");
+    }
+    if (range.hi >= num_rows) {
+      return Status::InvalidArgument("row index out of range");
+    }
+    ranges.push_back(range);
+  }
+  if (ranges.empty()) return Status::InvalidArgument("empty rows selection");
+  return ranges;
+}
+
+StatusOr<DataRequest> ResolveDataRequest(
+    const std::map<std::string, std::string>& params, std::size_t num_rows,
+    std::size_t num_cols, const DataApiLimits& limits) {
+  static const std::string kEmpty;
+  if (num_cols == 0 || num_rows == 0) {
+    return Status::FailedPrecondition("empty matrix");
+  }
+  DataRequest request;
+  const long long last = static_cast<long long>(num_cols) - 1;
+
+  // before: absolute column, or <= 0 relative to the newest column.
+  long long before = last;
+  if (auto it = params.find("before"); it != params.end()) {
+    TSC_ASSIGN_OR_RETURN(const long long raw, ParseInt(it->second));
+    before = raw > 0 ? raw : last + raw;
+  }
+  if (before < 0 || before > last) {
+    return Status::InvalidArgument("before outside the column range");
+  }
+
+  // after: absolute column, or < 0 meaning "-after columns ending at
+  // before" (clamped at column 0, netdata-style).
+  long long after = 0;
+  if (auto it = params.find("after"); it != params.end()) {
+    TSC_ASSIGN_OR_RETURN(const long long raw, ParseInt(it->second));
+    after = raw >= 0 ? raw : std::max<long long>(0, before + raw + 1);
+  }
+  if (after > before) {
+    return Status::InvalidArgument("after is past before");
+  }
+  request.after = static_cast<std::size_t>(after);
+  request.before = static_cast<std::size_t>(before);
+  const std::size_t window = request.before - request.after + 1;
+
+  // points: output bucket count, capped and clamped to the window.
+  std::size_t points = 0;  // 0 = one point per column
+  if (auto it = params.find("points"); it != params.end()) {
+    TSC_ASSIGN_OR_RETURN(points, ParseIndex(it->second));
+    if (points > limits.max_points) {
+      return Status::InvalidArgument("points exceeds the server cap");
+    }
+  }
+  if (points == 0 || points > window) points = window;
+  if (points > limits.max_points) {
+    return Status::InvalidArgument(
+        "window too wide; pass points= to downsample");
+  }
+  request.points = points;
+
+  // group: the bucket reduction method.
+  if (auto it = params.find("group"); it != params.end()) {
+    TSC_ASSIGN_OR_RETURN(request.group, ParseAggregateFn(it->second));
+    if (request.group != AggregateFn::kAvg &&
+        request.group != AggregateFn::kMin &&
+        request.group != AggregateFn::kMax &&
+        request.group != AggregateFn::kSum) {
+      return Status::InvalidArgument("group must be avg, min, max or sum");
+    }
+  }
+
+  // rows: selection, default everything.
+  if (auto it = params.find("rows"); it != params.end()) {
+    TSC_ASSIGN_OR_RETURN(
+        request.rows,
+        ParseRowsParam(it->second, num_rows, limits.max_ranges));
+  }
+  return request;
+}
+
+StatusOr<DataResult> ExecuteDataRequest(const QueryExecutor& executor,
+                                        const DataRequest& request) {
+  // One per-column aggregate pass phrased in the query language, so the
+  // planner can route sum/avg through the compressed domain.
+  std::ostringstream sql;
+  sql << "SELECT " << AggregateFnName(request.group) << "(value) WHERE ";
+  if (!request.rows.empty()) {
+    sql << "row IN ";
+    for (std::size_t i = 0; i < request.rows.size(); ++i) {
+      if (i > 0) sql << ",";
+      sql << request.rows[i].lo << ":" << request.rows[i].hi;
+    }
+    sql << " AND ";
+  }
+  sql << "col IN " << request.after << ":" << request.before
+      << " GROUP BY col";
+  TSC_ASSIGN_OR_RETURN(const QueryResult per_col,
+                       executor.Execute(sql.str()));
+  const std::size_t window = request.before - request.after + 1;
+  if (per_col.values.size() != window) {
+    return Status::Internal("per-column pass returned wrong group count");
+  }
+
+  DataResult result;
+  result.request = request;
+  result.rows_selected =
+      request.rows.empty() ? executor.rows() : UnionCount(request.rows);
+  result.exec_us = per_col.exec_us;
+  result.compressed_domain_aggregates = per_col.compressed_domain_aggregates;
+  result.data.reserve(request.points);
+  for (std::size_t b = 0; b < request.points; ++b) {
+    const std::size_t lo = b * window / request.points;
+    const std::size_t hi = (b + 1) * window / request.points;  // exclusive
+    DataPoint point;
+    point.t = request.after + lo;
+    point.value =
+        ReduceBucket(request.group, per_col.values.data() + lo, hi - lo);
+    result.data.push_back(point);
+  }
+  return result;
+}
+
+std::string DataResultToJson(const DataResult& result) {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("api", std::uint64_t{1});
+  json.KV("after", static_cast<std::uint64_t>(result.request.after));
+  json.KV("before", static_cast<std::uint64_t>(result.request.before));
+  json.KV("points", static_cast<std::uint64_t>(result.request.points));
+  json.KV("group", AggregateFnName(result.request.group));
+  json.KV("rows_selected", static_cast<std::uint64_t>(result.rows_selected));
+  json.KV("compressed_domain_aggregates",
+          result.compressed_domain_aggregates);
+  json.Key("labels").BeginArray();
+  json.Value("t").Value("value");
+  json.EndArray();
+  json.Key("data").BeginArray();
+  for (const DataPoint& point : result.data) {
+    json.BeginArray();
+    json.Value(static_cast<std::uint64_t>(point.t)).Value(point.value);
+    json.EndArray();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+std::string DataResultToCsv(const DataResult& result) {
+  std::ostringstream out;
+  out << "t,value\n";
+  for (const DataPoint& point : result.data) {
+    out << point.t << "," << point.value << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace tsc::server

@@ -1,0 +1,73 @@
+#ifndef TSC_SERVER_HTTP_H_
+#define TSC_SERVER_HTTP_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace tsc::server {
+
+/// Hard ceilings on what one request may look like on the wire. The
+/// parser enforces every one of them before any routing code sees the
+/// request, so a hostile client cannot make the server allocate more
+/// than `max_header_bytes` per request no matter what it sends.
+struct HttpLimits {
+  std::size_t max_header_bytes = 8192;  ///< request line + all headers
+  std::size_t max_headers = 64;
+  std::size_t max_params = 32;          ///< query-string key=value pairs
+  std::size_t max_target_bytes = 4096;  ///< request-target (path + query)
+};
+
+/// One parsed request. Header names are lower-cased; query parameters
+/// are percent-decoded. Only the pieces the query server routes on are
+/// retained.
+struct HttpRequest {
+  std::string method;                          ///< "GET", "HEAD", ...
+  std::string path;                            ///< decoded, no query string
+  std::map<std::string, std::string> params;   ///< decoded query params
+  std::map<std::string, std::string> headers;  ///< lower-case names
+  int version_minor = 1;                       ///< HTTP/1.<minor>
+  bool keep_alive = true;
+
+  /// Parameter lookup with a default (missing key => `fallback`).
+  const std::string& Param(const std::string& key,
+                           const std::string& fallback) const {
+    auto it = params.find(key);
+    return it == params.end() ? fallback : it->second;
+  }
+  bool HasParam(const std::string& key) const {
+    return params.find(key) != params.end();
+  }
+};
+
+/// Scans `buffer` for the end of the header section ("\r\n\r\n", with a
+/// bare "\n\n" accepted for hand-typed clients). On success `*end` is
+/// the offset one past the terminator. Returns false while more bytes
+/// are needed.
+bool FindHeaderEnd(std::string_view buffer, std::size_t* end);
+
+/// Percent-decodes one URL component ('+' becomes a space). Rejects
+/// truncated or non-hex escapes and embedded NUL bytes.
+StatusOr<std::string> UrlDecode(std::string_view text);
+
+/// Parses a complete header section (request line + headers, including
+/// the terminating blank line) under `limits`. Any violation — unknown
+/// version, oversized target, header count/byte caps, malformed
+/// escapes — is an InvalidArgument the caller maps to 400.
+StatusOr<HttpRequest> ParseRequest(std::string_view text,
+                                   const HttpLimits& limits = {});
+
+/// Canonical reason phrase for the status codes this server emits.
+const char* HttpStatusText(int code);
+
+/// Serializes a full response with Content-Length and Connection
+/// headers. `content_type` may be empty for bodyless responses.
+std::string SerializeResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive);
+
+}  // namespace tsc::server
+
+#endif  // TSC_SERVER_HTTP_H_

@@ -52,10 +52,17 @@ class CachedRowReader {
       std::span<const std::size_t> row_ids) const;
 
   /// Warms the cache with every block covering `row_ids` in one
-  /// overlapped wave through `prefetcher` (mmap additionally gets a
-  /// WILLNEED hint for the spanned byte range). Subsequent ReadRow calls
-  /// for those rows are pure cache hits.
-  void PrefetchRows(std::span<const std::size_t> row_ids,
+  /// overlapped wave through `prefetcher` (dense waves additionally get
+  /// a WILLNEED hint for the spanned byte range). Subsequent ReadRow
+  /// calls for those rows are pure cache hits. Returns false when the
+  /// wave was skipped because it could not pay: with no worker pool
+  /// (single-core machine or depth 1) a wave cannot overlap anything,
+  /// and on the positional backends (pread/mmap) its only other lever —
+  /// issuing fetches in ascending file order — buys nothing either, so
+  /// running it would just tax every batch with wave bookkeeping. The
+  /// serialized stream backend keeps its serial waves: ordered fetches
+  /// genuinely beat the demand pattern there.
+  bool PrefetchRows(std::span<const std::size_t> row_ids,
                     BlockPrefetcher* prefetcher);
 
   /// Disk accesses actually performed (i.e. cache misses, in blocks).

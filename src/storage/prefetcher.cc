@@ -18,7 +18,13 @@ ReadaheadRowSource::ReadaheadRowSource(RowSource* inner,
                                        std::size_t chunk_rows)
     : inner_(inner),
       depth_chunks_(std::max<std::size_t>(1, depth_chunks)),
-      chunk_rows_(std::max<std::size_t>(1, chunk_rows)) {}
+      chunk_rows_(std::max<std::size_t>(1, chunk_rows)),
+      // Passthrough unless overlap can pay: the inner source must
+      // actually block on I/O, and there must be a second hardware
+      // thread for the producer to run on. Decided once here — the
+      // wrapper's behavior never changes mid-pass.
+      active_(inner->BenefitsFromReadahead() &&
+              ThreadPool::HardwareThreads() > 1) {}
 
 ReadaheadRowSource::~ReadaheadRowSource() { StopProducer(); }
 
@@ -98,6 +104,9 @@ void ReadaheadRowSource::ProducerLoop() {
 
 StatusOr<bool> ReadaheadRowSource::NextRow(std::span<double> out) {
   if (out.size() != cols()) return Status::InvalidArgument("buffer size");
+  // Passthrough: no producer thread, no chunk copies — the wrapper is
+  // byte-for-byte the inner scan.
+  if (!active_) return inner_->NextRow(out);
   // Lazy start: a consumer that never called Reset() still streams from
   // wherever the inner source is positioned, like any RowSource.
   if (!started_) StartProducer();
@@ -128,6 +137,7 @@ StatusOr<bool> ReadaheadRowSource::NextRow(std::span<double> out) {
 }
 
 Status ReadaheadRowSource::ResetImpl() {
+  if (!active_) return inner_->Reset();
   StopProducer();
   TSC_RETURN_IF_ERROR(inner_->Reset());
   StartProducer();
@@ -142,8 +152,12 @@ BlockPrefetcher::BlockPrefetcher(std::size_t depth)
     : depth_(std::max<std::size_t>(1, depth)) {
   // Eager pool construction: Prefetch runs concurrently (one shared
   // prefetcher per store), so there is no race-free point to build the
-  // pool lazily.
-  if (depth_ > 1) pool_ = std::make_unique<ThreadPool>(depth_);
+  // pool lazily. On a single-core machine the pool is skipped outright —
+  // fanning a wave over worker threads there only adds context switches,
+  // so waves run serially on the caller instead.
+  if (depth_ > 1 && ThreadPool::HardwareThreads() > 1) {
+    pool_ = std::make_unique<ThreadPool>(depth_);
+  }
 }
 
 BlockPrefetcher::~BlockPrefetcher() = default;
@@ -163,6 +177,22 @@ void BlockPrefetcher::Prefetch(BlockCache* cache,
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
 
+  // Drop the blocks that are already resident (or being fetched by
+  // someone else) BEFORE doing any work on them. A warm working set —
+  // the steady state of a serving cache — makes the whole wave one
+  // membership sweep; the old behavior of pushing every id through
+  // cache->Get() made re-prefetching warm blocks cost more than the
+  // demand reads it was meant to hide. Contains is advisory (a block
+  // may be evicted right after), which is fine: the demand read still
+  // fetches correctly, this path only decides where effort goes.
+  std::vector<std::uint64_t> missing;
+  missing.reserve(ids.size());
+  for (const std::uint64_t id : ids) {
+    if (!cache->Contains(id)) missing.push_back(id);
+  }
+  hits_counter.Add(ids.size() - missing.size());
+  if (missing.empty()) return;
+
   std::atomic<std::uint64_t> fetched{0};
   const BlockCache::FetchFn counted_fetch =
       [&fetch, &fetched](std::uint64_t id, BlockCache::Block* data) {
@@ -179,26 +209,28 @@ void BlockPrefetcher::Prefetch(BlockCache* cache,
   // two waves still overlap, and the cache dedups shared blocks.
   constexpr std::size_t kSerialWave = 16;
   std::unique_lock<std::mutex> pool_lock(pool_mu_, std::defer_lock);
-  const bool use_pool = ids.size() > kSerialWave && pool_ != nullptr &&
+  const bool use_pool = missing.size() > kSerialWave && pool_ != nullptr &&
                         pool_lock.try_lock();
   if (!use_pool) {
-    for (const std::uint64_t id : ids) {
+    for (const std::uint64_t id : missing) {
       (void)cache->Get(id, counted_fetch);  // warm only; drop the handle
     }
   } else {
-    const std::size_t runs = std::min(depth_, ids.size());
-    const std::size_t per_run = (ids.size() + runs - 1) / runs;
+    const std::size_t runs = std::min(depth_, missing.size());
+    const std::size_t per_run = (missing.size() + runs - 1) / runs;
     pool_->ParallelFor(0, runs, [&](std::size_t r) {
       const std::size_t begin = r * per_run;
-      const std::size_t end = std::min(begin + per_run, ids.size());
+      const std::size_t end = std::min(begin + per_run, missing.size());
       for (std::size_t i = begin; i < end; ++i) {
-        (void)cache->Get(ids[i], counted_fetch);
+        (void)cache->Get(missing[i], counted_fetch);
       }
     });
   }
+  // A Get that rode along on another caller's in-flight fetch issued no
+  // I/O of its own; count it as a hit like the cache does.
   const std::uint64_t misses = fetched.load(std::memory_order_relaxed);
   fetch_counter.Add(misses);
-  hits_counter.Add(ids.size() - misses);
+  hits_counter.Add(missing.size() - misses);
 }
 
 }  // namespace tsc

@@ -24,12 +24,20 @@ class ThreadPool;
 /// with eigen/kernel work. With depth_chunks == 1 this is classic double
 /// buffering (one chunk in flight, one being consumed).
 ///
-/// Rows come out in exactly the source's order, so a build that scans
-/// through the readahead produces bit-identical models. Reset() drains
-/// the pipeline, resets the inner source, and restarts the producer —
-/// multi-pass builds work unchanged. Single consumer only; the wrapped
-/// source must outlive this object and must not be used elsewhere while
-/// a pass is in flight.
+/// Readahead is a no-loss default: when overlap cannot pay — the inner
+/// source says NextRow never blocks on I/O (in-memory matrices, the
+/// mmap backend), or the machine has a single hardware thread so
+/// producer and consumer would time-slice one core — the wrapper runs
+/// in passthrough mode, forwarding NextRow/Reset straight to the inner
+/// source with no producer thread and no chunk copies. active() tells
+/// which mode was picked.
+///
+/// Rows come out in exactly the source's order either way, so a build
+/// that scans through the readahead produces bit-identical models.
+/// Reset() drains the pipeline, resets the inner source, and restarts
+/// the producer — multi-pass builds work unchanged. Single consumer
+/// only; the wrapped source must outlive this object and must not be
+/// used elsewhere while a pass is in flight.
 class ReadaheadRowSource final : public RowSource {
  public:
   /// `depth_chunks` bounds the producer's lead, in chunks of
@@ -42,6 +50,9 @@ class ReadaheadRowSource final : public RowSource {
   std::size_t cols() const override { return inner_->cols(); }
 
   StatusOr<bool> NextRow(std::span<double> out) override;
+
+  /// False when the wrapper auto-disabled itself (passthrough mode).
+  bool active() const { return active_; }
 
  protected:
   Status ResetImpl() override;
@@ -59,6 +70,7 @@ class ReadaheadRowSource final : public RowSource {
   RowSource* inner_;
   const std::size_t depth_chunks_;
   const std::size_t chunk_rows_;
+  const bool active_;
 
   std::thread producer_;
   bool started_ = false;
@@ -84,6 +96,15 @@ class ReadaheadRowSource final : public RowSource {
 /// path. Safe against concurrent readers — the cache's in-flight dedup
 /// means a prefetch and a demand read of the same block issue one I/O.
 ///
+/// A wave only works on the blocks that are actually missing: resident
+/// ids are filtered out with BlockCache::Contains before any fetching,
+/// so re-prefetching a warm working set costs one sorted membership
+/// sweep instead of a cache Get per block. The worker pool exists only
+/// when it can help (depth > 1 AND the machine has > 1 hardware
+/// thread); otherwise waves fetch serially on the caller, which is the
+/// same I/O a demand read would pay, just issued front-to-back and
+/// earlier.
+///
 /// Thread safety: concurrent Prefetch calls on one prefetcher are safe
 /// (one shared prefetcher serves a whole DiskBackedStore, and the query
 /// executor's sharded scan prefetches from every pool thread). The
@@ -98,6 +119,10 @@ class BlockPrefetcher {
   ~BlockPrefetcher();
 
   std::size_t depth() const { return depth_; }
+
+  /// True when waves can fan out over a worker pool (depth > 1 on a
+  /// multi-core machine); false means waves run serially on the caller.
+  bool parallel() const { return pool_ != nullptr; }
 
   /// Warms `cache` with every id in `block_ids` (need not be unique;
   /// duplicates are dropped). Returns after the wave completes. Blocks

@@ -230,6 +230,13 @@ class FileRowSource final : public RowSource {
 
   StatusOr<bool> NextRow(std::span<double> out) override;
 
+  /// Readahead pays off when rows come through read syscalls; under mmap
+  /// the rows are already memory-mapped and a producer thread would only
+  /// add copies and handoffs.
+  bool BenefitsFromReadahead() const override {
+    return reader_.backend_kind() != IoBackendKind::kMmap;
+  }
+
   RowStoreReader& reader() { return reader_; }
 
  protected:

@@ -211,6 +211,9 @@ TEST_F(DiskBackedTest, PrefetchedBatchPaysOneIoWave) {
   DiskBackedOptions options;
   options.cache_blocks = 256;
   options.prefetch_depth = 4;
+  // Stream backend: waves always run there, even on a single-core
+  // machine where the positional backends auto-disable serial waves.
+  options.io_backend = IoBackendKind::kStream;
   auto store = DiskBackedStore::Open(u_path_, sidecar_path_, options);
   ASSERT_TRUE(store.ok());
   EXPECT_TRUE(store->has_prefetch());
@@ -249,6 +252,9 @@ TEST_F(DiskBackedTest, ViewDelegatesWithPrefetchHook) {
   DiskBackedOptions options;
   options.cache_blocks = 64;
   options.prefetch_depth = 2;
+  // Stream backend so the prefetch wave runs even on a single-core
+  // machine (the positional backends auto-disable serial waves).
+  options.io_backend = IoBackendKind::kStream;
   auto store = DiskBackedStore::Open(u_path_, sidecar_path_, options);
   ASSERT_TRUE(store.ok());
   const DiskBackedStoreView view(&*store);

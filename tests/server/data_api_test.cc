@@ -1,0 +1,191 @@
+#include "server/data_api.h"
+
+#include <cmath>
+#include <map>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "storage/row_source.h"
+#include "util/logging.h"
+
+namespace tsc::server {
+namespace {
+
+using Params = std::map<std::string, std::string>;
+
+class DataApiTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    PhoneDatasetConfig config;
+    config.num_customers = 120;
+    config.num_days = 60;
+    data_ = new Matrix(GeneratePhoneDataset(config).values);
+    MatrixRowSource source(data_);
+    SvddBuildOptions options;
+    options.space_percent = 25.0;
+    auto model = BuildSvddModel(&source, options);
+    TSC_CHECK_OK(model.status());
+    model_ = new SvddModel(std::move(*model));
+    executor_ = new QueryExecutor(model_);
+  }
+  static void TearDownTestSuite() {
+    delete executor_;
+    delete model_;
+    delete data_;
+  }
+
+  static Matrix* data_;
+  static SvddModel* model_;
+  static QueryExecutor* executor_;
+};
+
+Matrix* DataApiTest::data_ = nullptr;
+SvddModel* DataApiTest::model_ = nullptr;
+QueryExecutor* DataApiTest::executor_ = nullptr;
+
+TEST(ParseRowsParamTest, AcceptsRangesAndSingles) {
+  auto ranges = ParseRowsParam("0:9,15,20:21", 100, 64);
+  ASSERT_TRUE(ranges.ok()) << ranges.status().ToString();
+  ASSERT_EQ(ranges->size(), 3u);
+  EXPECT_EQ((*ranges)[0].lo, 0u);
+  EXPECT_EQ((*ranges)[0].hi, 9u);
+  EXPECT_EQ((*ranges)[1].lo, 15u);
+  EXPECT_EQ((*ranges)[1].hi, 15u);
+}
+
+TEST(ParseRowsParamTest, RejectsHostileSelections) {
+  EXPECT_FALSE(ParseRowsParam("", 100, 64).ok());
+  EXPECT_FALSE(ParseRowsParam("0:99999999", 100, 64).ok());  // oversized
+  EXPECT_FALSE(ParseRowsParam("100", 100, 64).ok());         // == num_rows
+  EXPECT_FALSE(ParseRowsParam("9:1", 100, 64).ok());         // lo > hi
+  EXPECT_FALSE(ParseRowsParam("1:2:3", 100, 64).ok());       // garbage
+  EXPECT_FALSE(ParseRowsParam("abc", 100, 64).ok());
+  EXPECT_FALSE(ParseRowsParam("5x", 100, 64).ok());          // trailing junk
+  EXPECT_FALSE(ParseRowsParam("-3", 100, 64).ok());          // negative
+  EXPECT_FALSE(ParseRowsParam("1,2,3,4,5", 100, 4).ok());    // over the cap
+}
+
+TEST(ResolveDataRequestTest, DefaultsToTheWholeMatrix) {
+  auto request = ResolveDataRequest(Params{}, 100, 50, DataApiLimits{});
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->after, 0u);
+  EXPECT_EQ(request->before, 49u);
+  EXPECT_EQ(request->points, 50u);
+  EXPECT_EQ(request->group, AggregateFn::kAvg);
+  EXPECT_TRUE(request->rows.empty());
+}
+
+TEST(ResolveDataRequestTest, ResolvesRelativeWindows) {
+  // netdata idiom: the last 20 columns ending at "now".
+  auto request = ResolveDataRequest(
+      Params{{"after", "-20"}, {"before", "0"}}, 100, 50, DataApiLimits{});
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->after, 30u);
+  EXPECT_EQ(request->before, 49u);
+
+  // before relative to the newest column; after clamps at zero.
+  request = ResolveDataRequest(
+      Params{{"after", "-1000"}, {"before", "-5"}}, 100, 50, DataApiLimits{});
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->after, 0u);
+  EXPECT_EQ(request->before, 44u);
+}
+
+TEST(ResolveDataRequestTest, RejectsBadWindowsPointsAndGroups) {
+  const DataApiLimits limits;
+  EXPECT_FALSE(
+      ResolveDataRequest(Params{{"before", "50"}}, 100, 50, limits).ok());
+  EXPECT_FALSE(
+      ResolveDataRequest(Params{{"after", "40"}, {"before", "10"}}, 100, 50,
+                         limits)
+          .ok());
+  EXPECT_FALSE(
+      ResolveDataRequest(Params{{"after", "abc"}}, 100, 50, limits).ok());
+  EXPECT_FALSE(
+      ResolveDataRequest(Params{{"points", "1000000"}}, 100, 50, limits)
+          .ok());
+  EXPECT_FALSE(
+      ResolveDataRequest(Params{{"group", "stddev"}}, 100, 50, limits).ok());
+  EXPECT_FALSE(
+      ResolveDataRequest(Params{{"group", "nope"}}, 100, 50, limits).ok());
+  // A window wider than max_points without downsampling must be refused.
+  DataApiLimits tight;
+  tight.max_points = 10;
+  EXPECT_FALSE(ResolveDataRequest(Params{}, 100, 50, tight).ok());
+  EXPECT_TRUE(
+      ResolveDataRequest(Params{{"points", "5"}}, 100, 50, tight).ok());
+}
+
+TEST_F(DataApiTest, BucketsMatchDirectRegionQueries) {
+  // 40-column window, 8 buckets of 5 columns: every bucket value must
+  // equal the same aggregate computed by an independent region query.
+  for (const std::string group : {"avg", "sum", "min", "max"}) {
+    auto resolved = ResolveDataRequest(
+        Params{{"after", "10"}, {"before", "49"}, {"points", "8"},
+               {"group", group}, {"rows", "0:59,80:99"}},
+        executor_->rows(), executor_->cols(), DataApiLimits{});
+    ASSERT_TRUE(resolved.ok()) << resolved.status().ToString();
+    auto result = ExecuteDataRequest(*executor_, *resolved);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_EQ(result->data.size(), 8u);
+    EXPECT_EQ(result->rows_selected, 80u);
+    for (std::size_t b = 0; b < 8; ++b) {
+      const std::size_t lo = 10 + b * 5;
+      const std::size_t hi = lo + 4;
+      EXPECT_EQ(result->data[b].t, lo);
+      std::ostringstream sql;
+      sql << "SELECT " << group << "(value) WHERE row IN 0:59,80:99 AND "
+          << "col IN " << lo << ":" << hi;
+      auto direct = executor_->Execute(sql.str());
+      ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+      EXPECT_NEAR(result->data[b].value, direct->values[0],
+                  1e-6 * (1.0 + std::abs(direct->values[0])))
+          << group << " bucket " << b;
+    }
+  }
+}
+
+TEST_F(DataApiTest, OverlappingRowRangesCountOnce) {
+  auto resolved = ResolveDataRequest(
+      Params{{"rows", "0:49,25:74"}, {"points", "4"}}, executor_->rows(),
+      executor_->cols(), DataApiLimits{});
+  ASSERT_TRUE(resolved.ok());
+  auto result = ExecuteDataRequest(*executor_, *resolved);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->rows_selected, 75u);
+}
+
+TEST_F(DataApiTest, SumAndAvgRunInTheCompressedDomain) {
+  auto resolved = ResolveDataRequest(
+      Params{{"group", "sum"}, {"points", "6"}}, executor_->rows(),
+      executor_->cols(), DataApiLimits{});
+  ASSERT_TRUE(resolved.ok());
+  auto result = ExecuteDataRequest(*executor_, *resolved);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->compressed_domain_aggregates, 0u);
+}
+
+TEST_F(DataApiTest, SerializationsCarryEveryPoint) {
+  auto resolved = ResolveDataRequest(
+      Params{{"points", "5"}, {"rows", "0:9"}}, executor_->rows(),
+      executor_->cols(), DataApiLimits{});
+  ASSERT_TRUE(resolved.ok());
+  auto result = ExecuteDataRequest(*executor_, *resolved);
+  ASSERT_TRUE(result.ok());
+
+  const std::string json = DataResultToJson(*result);
+  EXPECT_NE(json.find("\"labels\":[\"t\",\"value\"]"), std::string::npos);
+  EXPECT_NE(json.find("\"points\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"rows_selected\":10"), std::string::npos);
+
+  const std::string csv = DataResultToCsv(*result);
+  std::size_t lines = 0;
+  for (const char c : csv) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 6u);  // header + 5 points
+}
+
+}  // namespace
+}  // namespace tsc::server

@@ -1,0 +1,104 @@
+#ifndef TSC_TESTS_SERVER_HTTP_CLIENT_H_
+#define TSC_TESTS_SERVER_HTTP_CLIENT_H_
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <string>
+
+namespace tsc::server::testing {
+
+/// One parsed client-side response.
+struct ClientResponse {
+  int status = 0;
+  std::string body;
+  bool ok = false;  ///< transport-level success (response fully read)
+};
+
+/// Minimal blocking HTTP/1.1 client for the in-process server tests:
+/// one connection, sequential requests, Content-Length framing.
+class TestClient {
+ public:
+  explicit TestClient(int port) {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    connected_ = ::connect(fd_, reinterpret_cast<sockaddr*>(&addr),
+                           sizeof(addr)) == 0;
+  }
+  ~TestClient() {
+    if (fd_ >= 0) ::close(fd_);
+  }
+  TestClient(const TestClient&) = delete;
+  TestClient& operator=(const TestClient&) = delete;
+
+  bool connected() const { return connected_; }
+
+  /// Sends raw bytes on the connection (for malformed-request tests).
+  bool SendRaw(const std::string& bytes) {
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n =
+          ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<std::size_t>(n);
+    }
+    return true;
+  }
+
+  /// GETs `target` and reads one complete response.
+  ClientResponse Get(const std::string& target, bool keep_alive = true) {
+    ClientResponse response;
+    if (!connected_) return response;
+    std::string request = "GET " + target + " HTTP/1.1\r\nHost: t\r\n";
+    if (!keep_alive) request += "Connection: close\r\n";
+    request += "\r\n";
+    if (!SendRaw(request)) return response;
+    return ReadResponse();
+  }
+
+  /// Reads one Content-Length framed response off the wire.
+  ClientResponse ReadResponse() {
+    ClientResponse response;
+    std::string buffer;
+    char chunk[4096];
+    std::size_t header_end = std::string::npos;
+    while (header_end == std::string::npos) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return response;
+      buffer.append(chunk, static_cast<std::size_t>(n));
+      header_end = buffer.find("\r\n\r\n");
+    }
+    // Status line: HTTP/1.1 NNN reason
+    if (buffer.size() < 12) return response;
+    response.status = std::atoi(buffer.c_str() + 9);
+    std::size_t content_length = 0;
+    const std::size_t cl = buffer.find("Content-Length: ");
+    if (cl != std::string::npos && cl < header_end) {
+      content_length = static_cast<std::size_t>(
+          std::atoll(buffer.c_str() + cl + 16));
+    }
+    std::string body = buffer.substr(header_end + 4);
+    while (body.size() < content_length) {
+      const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+      if (n <= 0) return response;
+      body.append(chunk, static_cast<std::size_t>(n));
+    }
+    response.body = body.substr(0, content_length);
+    response.ok = true;
+    return response;
+  }
+
+ private:
+  int fd_ = -1;
+  bool connected_ = false;
+};
+
+}  // namespace tsc::server::testing
+
+#endif  // TSC_TESTS_SERVER_HTTP_CLIENT_H_

@@ -1,0 +1,124 @@
+#include "server/http.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tsc::server {
+namespace {
+
+TEST(FindHeaderEndTest, FindsCrlfAndBareLfTerminators) {
+  std::size_t end = 0;
+  EXPECT_FALSE(FindHeaderEnd("GET / HTTP/1.1\r\nHost: x\r\n", &end));
+  EXPECT_TRUE(FindHeaderEnd("GET / HTTP/1.1\r\nHost: x\r\n\r\nrest", &end));
+  EXPECT_EQ(end, 27u);
+  EXPECT_TRUE(FindHeaderEnd("GET / HTTP/1.1\n\n", &end));
+  EXPECT_EQ(end, 16u);
+}
+
+TEST(UrlDecodeTest, DecodesEscapesAndRejectsHostileInput) {
+  auto decoded = UrlDecode("a%20b+c%3A%2F");
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, "a b c:/");
+  EXPECT_FALSE(UrlDecode("trailing%2").ok());
+  EXPECT_FALSE(UrlDecode("bad%zzescape").ok());
+  EXPECT_FALSE(UrlDecode("nul%00byte").ok());
+}
+
+TEST(ParseRequestTest, ParsesRequestLineParamsAndHeaders) {
+  const auto request = ParseRequest(
+      "GET /api/v1/data?after=-30&before=0&group=avg HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "X-Custom: a value\r\n"
+      "\r\n");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request->method, "GET");
+  EXPECT_EQ(request->path, "/api/v1/data");
+  EXPECT_EQ(request->Param("after", ""), "-30");
+  EXPECT_EQ(request->Param("before", ""), "0");
+  EXPECT_EQ(request->Param("group", ""), "avg");
+  EXPECT_EQ(request->headers.at("host"), "localhost");
+  EXPECT_EQ(request->headers.at("x-custom"), "a value");
+  EXPECT_TRUE(request->keep_alive);
+}
+
+TEST(ParseRequestTest, ConnectionSemanticsFollowVersionAndHeader) {
+  auto http10 = ParseRequest("GET / HTTP/1.0\r\n\r\n");
+  ASSERT_TRUE(http10.ok());
+  EXPECT_FALSE(http10->keep_alive);
+
+  auto explicit_close =
+      ParseRequest("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+  ASSERT_TRUE(explicit_close.ok());
+  EXPECT_FALSE(explicit_close->keep_alive);
+
+  auto revived =
+      ParseRequest("GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n");
+  ASSERT_TRUE(revived.ok());
+  EXPECT_TRUE(revived->keep_alive);
+}
+
+TEST(ParseRequestTest, RejectsMalformedRequests) {
+  EXPECT_FALSE(ParseRequest("").ok());
+  EXPECT_FALSE(ParseRequest("\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET\r\n\r\n").ok());
+  EXPECT_FALSE(ParseRequest("GET /\r\n\r\n").ok());            // no version
+  EXPECT_FALSE(ParseRequest("GET / HTTP/2.0\r\n\r\n").ok());   // bad version
+  EXPECT_FALSE(ParseRequest("get / HTTP/1.1\r\n\r\n").ok());   // lowercase
+  EXPECT_FALSE(ParseRequest("GET x HTTP/1.1\r\n\r\n").ok());   // relative
+  EXPECT_FALSE(
+      ParseRequest("GET /%zz HTTP/1.1\r\n\r\n").ok());         // bad escape
+  EXPECT_FALSE(
+      ParseRequest("GET / HTTP/1.1\r\nNoColonHeader\r\n\r\n").ok());
+  EXPECT_FALSE(
+      ParseRequest("GET / HTTP/1.1\r\n: empty name\r\n\r\n").ok());
+}
+
+TEST(ParseRequestTest, EnforcesEveryLimit) {
+  HttpLimits limits;
+  limits.max_headers = 2;
+  EXPECT_FALSE(ParseRequest("GET / HTTP/1.1\r\nA: 1\r\nB: 2\r\nC: 3\r\n\r\n",
+                            limits)
+                   .ok());
+
+  limits = HttpLimits();
+  limits.max_params = 2;
+  EXPECT_FALSE(ParseRequest("GET /?a=1&b=2&c=3 HTTP/1.1\r\n\r\n", limits)
+                   .ok());
+
+  limits = HttpLimits();
+  limits.max_target_bytes = 16;
+  const std::string long_target(64, 'x');
+  EXPECT_FALSE(
+      ParseRequest("GET /" + long_target + " HTTP/1.1\r\n\r\n", limits).ok());
+
+  limits = HttpLimits();
+  limits.max_header_bytes = 32;
+  EXPECT_FALSE(ParseRequest("GET / HTTP/1.1\r\nPadding: " +
+                                std::string(64, 'p') + "\r\n\r\n",
+                            limits)
+                   .ok());
+}
+
+TEST(ParseRequestTest, RepeatedParamKeepsFirstValue) {
+  const auto request = ParseRequest("GET /?q=first&q=second HTTP/1.1\r\n\r\n");
+  ASSERT_TRUE(request.ok());
+  EXPECT_EQ(request->Param("q", ""), "first");
+}
+
+TEST(SerializeResponseTest, FramesBodyWithLengthAndConnection) {
+  const std::string response =
+      SerializeResponse(429, "application/json", "{\"error\":\"x\"}", true);
+  EXPECT_NE(response.find("HTTP/1.1 429 Too Many Requests\r\n"),
+            std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 13\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: keep-alive\r\n"), std::string::npos);
+  EXPECT_NE(response.find("\r\n\r\n{\"error\":\"x\"}"), std::string::npos);
+
+  const std::string closing = SerializeResponse(200, "", "", false);
+  EXPECT_NE(closing.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(closing.find("Content-Length: 0\r\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tsc::server

@@ -1,0 +1,153 @@
+// ThreadSanitizer hammer for the query server: many live connections
+// sharing ONE executor over ONE disk-backed store — one BlockCache, one
+// BlockPrefetcher, one delta table — mixing every endpoint while the
+// admission controller and cell batcher do their cross-thread work.
+// Labeled server-tsan so both `ctest -L server` and the tsan preset
+// (-L tsan) run it.
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/disk_backed.h"
+#include "data/generators.h"
+#include "server/server.h"
+#include "storage/row_source.h"
+#include "tests/server/http_client.h"
+#include "util/logging.h"
+
+namespace tsc::server {
+namespace {
+
+using testing::ClientResponse;
+using testing::TestClient;
+
+TEST(ServerConcurrencyTest, EightConnectionsShareOneDiskBackedStore) {
+  PhoneDatasetConfig config;
+  config.num_customers = 96;
+  config.num_days = 40;
+  Matrix data = GeneratePhoneDataset(config).values;
+  MatrixRowSource source(&data);
+  SvddBuildOptions build;
+  build.space_percent = 25.0;
+  auto model = BuildSvddModel(&source, build);
+  TSC_CHECK_OK(model.status());
+
+  const std::string dir = ::testing::TempDir();
+  const std::string u_path = dir + "/server_hammer_u";
+  const std::string sidecar_path = dir + "/server_hammer_sidecar";
+  TSC_CHECK_OK(ExportSvddToDisk(*model, u_path, sidecar_path));
+  DiskBackedOptions disk_options;
+  disk_options.cache_blocks = 32;
+  disk_options.prefetch_depth = 4;
+  auto store = DiskBackedStore::Open(u_path, sidecar_path, disk_options);
+  TSC_CHECK_OK(store.status());
+  const DiskBackedStoreView view(&*store);
+  const QueryExecutor executor(&view);
+
+  ServerOptions options;
+  options.max_concurrent = 4;
+  options.max_queue = 64;
+  QueryServer server(&executor, &view, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // Expected answers computed once, before the hammer.
+  const std::vector<std::string> queries = {
+      "SELECT sum(value)",
+      "SELECT avg(value) WHERE row IN 0:47",
+      "SELECT max(value) WHERE col IN 0:9",
+  };
+  std::vector<std::string> expected_text;
+  for (const std::string& query : queries) {
+    auto result = executor.Execute(query);
+    TSC_CHECK_OK(result.status());
+    std::ostringstream out;
+    for (const double value : result->values) out << value << "\n";
+    expected_text.push_back(out.str());
+  }
+  std::vector<std::vector<double>> expected_cells(8);
+  for (int t = 0; t < 8; ++t) {
+    for (int i = 0; i < 4; ++i) {
+      const std::size_t row =
+          static_cast<std::size_t>(t * 11 + i * 3) % view.rows();
+      const std::size_t col =
+          static_cast<std::size_t>(t + i * 7) % view.cols();
+      expected_cells[t].push_back(view.ReconstructCell(row, col));
+    }
+  }
+
+  constexpr int kConnections = 8;
+  constexpr int kRounds = 6;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kConnections; ++t) {
+    clients.emplace_back([&, t] {
+      TestClient client(server.port());
+      if (!client.connected()) {
+        ++wrong;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        // SQL queries must match the single-threaded answer exactly.
+        const std::size_t qi = static_cast<std::size_t>(t + round) % 3;
+        std::string target = "/api/v1/query?q=" + queries[qi];
+        for (char& c : target) {
+          if (c == ' ') c = '+';
+        }
+        ClientResponse response = client.Get(target);
+        // 429/504 are legitimate under saturation; wrong bytes are not.
+        if (!response.ok ||
+            (response.status == 200 && response.body != expected_text[qi])) {
+          ++wrong;
+        }
+
+        // Cell probes through the shared batcher.
+        const int i = round % 4;
+        const std::size_t row =
+            static_cast<std::size_t>(t * 11 + i * 3) % view.rows();
+        const std::size_t col =
+            static_cast<std::size_t>(t + i * 7) % view.cols();
+        response = client.Get("/api/v1/cell?row=" + std::to_string(row) +
+                              "&col=" + std::to_string(col));
+        if (!response.ok) {
+          ++wrong;
+        } else if (response.status == 200) {
+          // The %.17g value round-trips: parse it back and require the
+          // exact double the shared store reconstructs.
+          const std::size_t value_pos = response.body.find("\"value\":");
+          if (value_pos == std::string::npos ||
+              std::strtod(response.body.c_str() + value_pos + 8, nullptr) !=
+                  expected_cells[t][static_cast<std::size_t>(i)]) {
+            ++wrong;
+          }
+        }
+
+        // Windowed data queries and the control plane.
+        response = client.Get("/api/v1/data?after=-16&before=0&points=4");
+        if (!response.ok || (response.status != 200 &&
+                             response.status != 429 &&
+                             response.status != 504)) {
+          ++wrong;
+        }
+        response = client.Get("/metrics");
+        if (!response.ok || response.status != 200) ++wrong;
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  server.Stop();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_GE(server.connections_accepted(), 8u);
+  std::remove(u_path.c_str());
+  std::remove(sidecar_path.c_str());
+}
+
+}  // namespace
+}  // namespace tsc::server
