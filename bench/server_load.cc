@@ -129,6 +129,43 @@ struct Expected {
   std::string body;
 };
 
+/// Counters sampled from the live server before and after the load
+/// phase; the deltas land in the JSON report so a bench run carries the
+/// server's own accounting of the work it did (cache traffic, bytes
+/// read, rows scanned) alongside the client-side QPS numbers.
+const char* const kDeltaCounters[] = {
+    "server.requests",    "server.connections", "server.rejected",
+    "request.count",      "block_cache.hits",   "block_cache.misses",
+    "io.bytes_read",      "query.rows_scanned",
+};
+
+/// Reads one counter out of the /metrics?format=json body. The snapshot
+/// serializer emits flat `"name":value` pairs, so a substring scan is
+/// enough — no JSON parser needed. Missing names (e.g. a counter never
+/// touched, or an instruments-disabled build) read as 0.
+double CounterFromJson(const std::string& body, const std::string& name) {
+  const std::string needle = "\"" + name + "\":";
+  const std::size_t pos = body.find(needle);
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(body.c_str() + pos + needle.size(), nullptr);
+}
+
+/// GETs /metrics?format=json from the running server and extracts the
+/// delta-tracked counters. Transport failures read as all-zero.
+std::map<std::string, double> SampleCounters(int port) {
+  std::map<std::string, double> counters;
+  LoadClient client(port);
+  int status = 0;
+  std::string body;
+  if (client.connected() && client.Get("/metrics?format=json", &status, &body)
+      && status == 200) {
+    for (const char* name : kDeltaCounters) {
+      counters[name] = CounterFromJson(body, name);
+    }
+  }
+  return counters;
+}
+
 LevelResult RunLevel(int port, std::size_t clients, std::size_t requests,
                      const std::vector<Expected>& mix) {
   LevelResult level;
@@ -292,6 +329,9 @@ int main(int argc, char** argv) {
   reporter.AddScalar("hardware_threads",
                      static_cast<double>(tsc::ThreadPool::HardwareThreads()));
 
+  const std::map<std::string, double> counters_before =
+      SampleCounters(server.port());
+
   std::size_t incorrect_total = 0;
   for (const std::int64_t level_clients : client_levels) {
     const LevelResult level = RunLevel(
@@ -327,6 +367,23 @@ int main(int argc, char** argv) {
                      tsc::TablePrinter::Num(level.p999_us)});
   }
   std::printf("%s\n", table.ToString().c_str());
+
+  // /metrics deltas across the load phase: what the server says it did.
+  const std::map<std::string, double> counters_after =
+      SampleCounters(server.port());
+  std::printf("server-side /metrics deltas across the load phase:\n");
+  for (const char* name : kDeltaCounters) {
+    double delta = 0.0;
+    const auto after_it = counters_after.find(name);
+    const auto before_it = counters_before.find(name);
+    if (after_it != counters_after.end()) {
+      delta = after_it->second -
+              (before_it != counters_before.end() ? before_it->second : 0.0);
+    }
+    std::printf("  %-24s %+.0f\n", name, delta);
+    reporter.AddScalar(std::string("metrics_delta.") + name, delta);
+  }
+  std::printf("\n");
   server.Stop();
 
   // Shed section: a 1-slot, 2-deep server hammered by 32 clients must

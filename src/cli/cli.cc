@@ -4,6 +4,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <fstream>
 #include <memory>
 #include <optional>
 #include <thread>
@@ -56,12 +57,21 @@ commands:
   stats      --model=MODEL [--queries=N] [--cache-blocks=N] [--zipf=S]
              [--seed=S] [--io-backend=stream|pread|mmap] [--prefetch-depth=N]
                           (runs a serving workload, prints instrument values)
+             --port=N [--host=IP]  (instead: fetch a running server's
+                          /metrics table + SLO window, see docs/server.md)
   serve      --model=MODEL [--port=7496] [--max-concurrent=N] [--queue=N]
              [--timeout-ms=MS] [--batch-window-us=US] [--duration-s=S]
              [--cache-blocks=N] [--io-backend=...] [--prefetch-depth=N]
+             [--keys=FILE] [--slowlog=K] [--slo-budget-ms=MS]
+             [--slo-window-s=S]
                           (HTTP query server on 127.0.0.1; endpoints
                            /api/v1/data, /api/v1/query, /api/v1/cell,
-                           /metrics, /healthz — see docs/server.md)
+                           /api/v1/debug/slow, /metrics, /healthz —
+                           see docs/server.md. --keys names rows for
+                           rows=~regex filters; default row<i>)
+  slowlog    --port=N [--host=IP] [--format=table|json]
+                          (the K slowest requests on a running server,
+                           with per-request cost vectors)
   help
 
 global flags (any command):
@@ -487,6 +497,24 @@ int CmdReconstruct(const FlagParser& flags, std::ostream& out,
 /// Zipf-skewed cell workload plus a few SQL aggregates, then reports the
 /// derived rates and the full registry snapshot.
 int CmdStats(const FlagParser& flags, std::ostream& out, std::ostream& err) {
+  // Remote mode: pull a running server's registry (with the slo.* window
+  // gauges published on scrape) and its verbose health document.
+  if (const int port = flags.GetInt("port", 0); port > 0) {
+    const std::string host = flags.GetString("host", "127.0.0.1");
+    auto metrics = server::HttpGet(host, port, "/metrics?format=table");
+    if (!metrics.ok()) return Fail(err, metrics.status());
+    if (metrics->status != 200) {
+      return Fail(err, Status::IoError("server returned HTTP " +
+                                       std::to_string(metrics->status)));
+    }
+    out << metrics->body;
+    if (auto health = server::HttpGet(host, port, "/healthz?verbose=1");
+        health.ok() && health->status == 200) {
+      out << "\n" << health->body << "\n";
+    }
+    return 0;
+  }
+
   auto loaded = LoadModel(flags.GetString("model", ""));
   if (!loaded.ok()) return Fail(err, loaded.status());
   if (loaded->kind != "svdd") {
@@ -636,6 +664,37 @@ int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
       static_cast<std::uint64_t>(flags.GetInt("timeout-ms", 2000));
   options.batch_window_us =
       static_cast<std::uint64_t>(flags.GetInt("batch-window-us", 150));
+  options.slowlog_capacity =
+      static_cast<std::size_t>(flags.GetInt("slowlog", 64));
+  options.slo_window_s =
+      static_cast<std::uint64_t>(flags.GetInt("slo-window-s", 60));
+  options.slo_latency_budget_us =
+      1000.0 * static_cast<double>(flags.GetInt("slo-budget-ms", 250));
+
+  // Row-key map backing rows=~regex dimension filters: --keys=FILE (one
+  // key per line, at least one per row) or synthetic row<i> names.
+  if (const std::string keys_path = flags.GetString("keys", "");
+      !keys_path.empty()) {
+    std::ifstream keys_in(keys_path);
+    if (!keys_in) {
+      return Fail(err,
+                  Status::IoError("cannot open --keys file: " + keys_path));
+    }
+    std::string line;
+    while (std::getline(keys_in, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      options.row_keys.push_back(line);
+    }
+    if (options.row_keys.size() < loaded->store->rows()) {
+      return Fail(err, Status::InvalidArgument(
+                           "--keys file names fewer keys than rows"));
+    }
+  } else {
+    options.row_keys.reserve(loaded->store->rows());
+    for (std::size_t i = 0; i < loaded->store->rows(); ++i) {
+      options.row_keys.push_back("row" + std::to_string(i));
+    }
+  }
 
   // The executor is shared by every connection, so it must not carry an
   // internal scan pool (concurrency comes from concurrent requests).
@@ -722,6 +781,30 @@ int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
   return status.ok() ? 0 : Fail(err, status);
 }
 
+/// Fetches the slow-query log from a running server: the K slowest
+/// requests with their cost vectors, as a table (default) or raw JSON.
+int CmdSlowlog(const FlagParser& flags, std::ostream& out,
+               std::ostream& err) {
+  const int port = flags.GetInt("port", 7496);
+  const std::string host = flags.GetString("host", "127.0.0.1");
+  const std::string format = flags.GetString("format", "table");
+  if (format != "table" && format != "json") {
+    return Fail(err,
+                Status::InvalidArgument("--format must be table or json"));
+  }
+  auto result =
+      server::HttpGet(host, port, "/api/v1/debug/slow?format=" + format);
+  if (!result.ok()) return Fail(err, result.status());
+  if (result->status != 200) {
+    return Fail(err, Status::IoError("server returned HTTP " +
+                                     std::to_string(result->status) + ": " +
+                                     result->body));
+  }
+  out << result->body;
+  if (!result->body.empty() && result->body.back() != '\n') out << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int RunCli(const std::vector<std::string>& args, std::ostream& out,
@@ -763,6 +846,8 @@ int RunCli(const std::vector<std::string>& args, std::ostream& out,
     code = CmdStats(flags, out, err);
   } else if (command == "serve") {
     code = CmdServe(flags, out, err);
+  } else if (command == "slowlog") {
+    code = CmdSlowlog(flags, out, err);
   } else {
     known = false;
   }

@@ -94,17 +94,19 @@ double Histogram::Quantile(double q) const {
 }
 
 Histogram::Summary Histogram::Snapshot() const {
-  std::array<std::uint64_t, kBuckets> copy;
   Summary summary;
   for (std::size_t i = 0; i < kBuckets; ++i) {
-    copy[i] = buckets_[i].load(std::memory_order_relaxed);
-    summary.count += copy[i];
+    summary.buckets[i] = buckets_[i].load(std::memory_order_relaxed);
+    summary.count += summary.buckets[i];
   }
   summary.sum = sum_.load(std::memory_order_relaxed);
   summary.max = max_.load(std::memory_order_relaxed);
-  summary.p50 = QuantileFromBuckets(copy, summary.count, summary.max, 0.50);
-  summary.p90 = QuantileFromBuckets(copy, summary.count, summary.max, 0.90);
-  summary.p99 = QuantileFromBuckets(copy, summary.count, summary.max, 0.99);
+  summary.p50 =
+      QuantileFromBuckets(summary.buckets, summary.count, summary.max, 0.50);
+  summary.p90 =
+      QuantileFromBuckets(summary.buckets, summary.count, summary.max, 0.90);
+  summary.p99 =
+      QuantileFromBuckets(summary.buckets, summary.count, summary.max, 0.99);
   return summary;
 }
 

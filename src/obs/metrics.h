@@ -176,7 +176,10 @@ class Histogram {
   /// Exclusive upper bound of bucket `index` (1, 2, 4, 8, ...).
   static double BucketUpperBound(std::size_t index) noexcept;
 
-  /// Point-in-time aggregate view; quantiles precomputed for export.
+  /// Point-in-time aggregate view; quantiles precomputed for export. The
+  /// raw bucket counts ride along so exporters that need the full
+  /// distribution (the Prometheus text serializer's cumulative `le`
+  /// series) don't have to re-read the live histogram.
   struct Summary {
     std::uint64_t count = 0;
     double sum = 0.0;
@@ -184,6 +187,7 @@ class Histogram {
     double p50 = 0.0;
     double p90 = 0.0;
     double p99 = 0.0;
+    std::array<std::uint64_t, kBuckets> buckets{};
 
     double mean() const {
       return count == 0 ? 0.0 : sum / static_cast<double>(count);
@@ -195,13 +199,16 @@ class Histogram {
   /// Interpolated quantile, q in [0, 1], from a consistent bucket copy.
   double Quantile(double q) const;
 
-  void Reset() noexcept;
-
- private:
+  /// The quantile interpolation over an externally-held bucket array
+  /// (same log2 layout). Shared with the SLO tracker, which merges
+  /// per-second bucket rings before asking for percentiles.
   static double QuantileFromBuckets(
       const std::array<std::uint64_t, kBuckets>& buckets,
       std::uint64_t count, double observed_max, double q);
 
+  void Reset() noexcept;
+
+ private:
   std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
   std::atomic<double> sum_{0.0};
   std::atomic<double> max_{0.0};

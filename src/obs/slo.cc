@@ -1,0 +1,106 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+
+namespace tsc::obs {
+
+SloTracker::SloTracker() : SloTracker(Options()) {}
+
+SloTracker::SloTracker(const Options& options)
+    : options_([&] {
+        Options o = options;
+        o.window_seconds = std::max<std::uint64_t>(1, o.window_seconds);
+        o.objective = std::clamp(o.objective, 0.0, 0.999999);
+        return o;
+      }()),
+      origin_(std::chrono::steady_clock::now()) {}
+
+std::uint64_t SloTracker::NowSecond() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::seconds>(
+          std::chrono::steady_clock::now() - origin_)
+          .count());
+}
+
+void SloTracker::Record(const std::string& endpoint, double latency_us,
+                        int http_status) {
+#ifndef TSC_OBS_DISABLED
+  const std::uint64_t second = NowSecond();
+  std::lock_guard<std::mutex> lock(mu_);
+  Endpoint& ep = endpoints_[endpoint];
+  if (ep.ring.empty()) ep.ring.resize(options_.window_seconds);
+  SecondBucket& bucket = ep.ring[second % options_.window_seconds];
+  if (bucket.second != second) {
+    bucket = SecondBucket{};
+    bucket.second = second;
+  }
+  ++bucket.count;
+  if (http_status >= 500) ++bucket.errors;
+  if (http_status == 429) ++bucket.shed;
+  if (latency_us > options_.latency_budget_us) ++bucket.over_budget;
+  bucket.max_us = std::max(bucket.max_us, latency_us);
+  ++bucket.latency[Histogram::BucketFor(latency_us)];
+#else
+  (void)endpoint;
+  (void)latency_us;
+  (void)http_status;
+#endif
+}
+
+std::vector<SloTracker::EndpointStats> SloTracker::Snapshot() const {
+  const std::uint64_t now = NowSecond();
+  std::vector<EndpointStats> out;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, ep] : endpoints_) {
+    EndpointStats stats;
+    stats.endpoint = name;
+    std::array<std::uint64_t, Histogram::kBuckets> merged{};
+    for (const SecondBucket& bucket : ep.ring) {
+      // A slot is live when its tag falls inside the trailing window;
+      // stale slots (overwritten lazily on the next write) are skipped.
+      if (bucket.second == ~0ull || now - bucket.second >=
+                                        options_.window_seconds) {
+        continue;
+      }
+      stats.count += bucket.count;
+      stats.errors += bucket.errors;
+      stats.shed += bucket.shed;
+      stats.over_budget += bucket.over_budget;
+      stats.max_us = std::max(stats.max_us, bucket.max_us);
+      for (std::size_t i = 0; i < merged.size(); ++i) {
+        merged[i] += bucket.latency[i];
+      }
+    }
+    if (stats.count > 0) {
+      stats.p50_us = Histogram::QuantileFromBuckets(merged, stats.count,
+                                                    stats.max_us, 0.50);
+      stats.p99_us = Histogram::QuantileFromBuckets(merged, stats.count,
+                                                    stats.max_us, 0.99);
+      stats.p999_us = Histogram::QuantileFromBuckets(merged, stats.count,
+                                                     stats.max_us, 0.999);
+      const double count = static_cast<double>(stats.count);
+      stats.error_rate = static_cast<double>(stats.errors) / count;
+      stats.shed_rate = static_cast<double>(stats.shed) / count;
+      stats.burn_rate = (static_cast<double>(stats.over_budget) / count) /
+                        (1.0 - options_.objective);
+    }
+    out.push_back(std::move(stats));
+  }
+  return out;
+}
+
+void SloTracker::PublishTo(MetricRegistry& registry) const {
+  for (const EndpointStats& stats : Snapshot()) {
+    const std::string& ep = stats.endpoint;
+    registry.GetGauge("slo.count." + ep)
+        .Set(static_cast<double>(stats.count));
+    registry.GetGauge("slo.p50_us." + ep).Set(stats.p50_us);
+    registry.GetGauge("slo.p99_us." + ep).Set(stats.p99_us);
+    registry.GetGauge("slo.p999_us." + ep).Set(stats.p999_us);
+    registry.GetGauge("slo.error_rate." + ep).Set(stats.error_rate);
+    registry.GetGauge("slo.shed_rate." + ep).Set(stats.shed_rate);
+    registry.GetGauge("slo.burn_rate." + ep).Set(stats.burn_rate);
+  }
+}
+
+}  // namespace tsc::obs

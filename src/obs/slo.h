@@ -1,0 +1,95 @@
+#ifndef TSC_OBS_SLO_H_
+#define TSC_OBS_SLO_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace tsc::obs {
+
+/// Rolling-window SLO tracker: per-endpoint latency percentiles, error
+/// and shed rates, and latency-budget burn over the last
+/// `window_seconds` of traffic (not since process start — a spike ages
+/// out of the window instead of polluting the average forever).
+///
+/// Implementation: a ring of per-second buckets per endpoint, each a
+/// log2 histogram plus outcome counts, tagged with its absolute second
+/// so stale slots self-invalidate lazily; one mutex, touched once per
+/// request (the server path records milliseconds-scale work, so a
+/// sub-microsecond lock is far inside the 5% overhead budget).
+///
+/// Burn rate is the classic multiwindow-burn numerator: the fraction of
+/// requests over the latency budget divided by the SLO's error
+/// allowance (1 - objective). burn == 1.0 means the budget is being
+/// spent exactly as fast as the objective allows; > 1 means an alert.
+class SloTracker {
+ public:
+  struct Options {
+    std::uint64_t window_seconds = 60;
+    double latency_budget_us = 250'000.0;  ///< per-request latency SLO
+    double objective = 0.999;              ///< fraction within budget
+  };
+
+  SloTracker();
+  explicit SloTracker(const Options& options);
+
+  /// Records one finished request. `http_status` classifies outcomes:
+  /// >= 500 is an error, 429 is a shed; both still count latency.
+  void Record(const std::string& endpoint, double latency_us,
+              int http_status);
+
+  struct EndpointStats {
+    std::string endpoint;
+    std::uint64_t count = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t over_budget = 0;
+    double p50_us = 0.0;
+    double p99_us = 0.0;
+    double p999_us = 0.0;
+    double max_us = 0.0;
+    double error_rate = 0.0;
+    double shed_rate = 0.0;
+    double burn_rate = 0.0;  ///< over_budget_rate / (1 - objective)
+  };
+
+  /// Per-endpoint stats over the live window, endpoint-name order.
+  std::vector<EndpointStats> Snapshot() const;
+
+  /// Publishes the snapshot as `slo.<stat>.<endpoint>` gauges so the
+  /// window stats ride every registry export (/metrics, tsctool stats).
+  void PublishTo(MetricRegistry& registry) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  struct SecondBucket {
+    std::uint64_t second = ~0ull;  ///< absolute tag; ~0 = never used
+    std::uint64_t count = 0;
+    std::uint64_t errors = 0;
+    std::uint64_t shed = 0;
+    std::uint64_t over_budget = 0;
+    double max_us = 0.0;
+    std::array<std::uint64_t, Histogram::kBuckets> latency{};
+  };
+  struct Endpoint {
+    std::vector<SecondBucket> ring;
+  };
+
+  std::uint64_t NowSecond() const;
+
+  const Options options_;
+  const std::chrono::steady_clock::time_point origin_;
+  mutable std::mutex mu_;
+  std::map<std::string, Endpoint> endpoints_;
+};
+
+}  // namespace tsc::obs
+
+#endif  // TSC_OBS_SLO_H_

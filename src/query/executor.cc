@@ -6,6 +6,7 @@
 
 #include "linalg/kernels.h"
 #include "obs/metrics.h"
+#include "obs/query_context.h"
 #include "obs/trace.h"
 #include "query/parser.h"
 #include "storage/delta_table.h"
@@ -245,7 +246,11 @@ std::vector<GroupAcc> ScanGroupsBatched(const QueryPlan& plan,
   // overlapped I/O wave. In-memory stores don't implement it.
   const auto* prefetchable = dynamic_cast<const RowPrefetchable*>(&store);
   std::vector<std::vector<GroupAcc>> shard_accs(kQueryShards);
+  // Shards may run on pool threads: re-install the requesting thread's
+  // QueryContext so cache/disk/delta work stays attributed per request.
+  obs::QueryContext* request_context = obs::CurrentQueryContext();
   ParallelFor(pool, kQueryShards, [&](std::size_t shard) {
+    obs::ScopedQueryContext context_scope(request_context);
     obs::TraceSpan shard_span("query.scan.shard", shard);
     std::vector<GroupAcc>& accs = shard_accs[shard];
     accs.resize(groups);
@@ -438,6 +443,7 @@ StatusOr<QueryResult> QueryExecutor::ExecutePlan(const QueryPlan& plan) const {
   exec_hist.Record(result.exec_us);
   query_count.Increment();
   scanned_counter.Add(rows_scanned);
+  obs::ChargeRowsScanned(rows_scanned);
   return result;
 }
 

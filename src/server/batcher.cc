@@ -3,6 +3,7 @@
 #include <span>
 
 #include "obs/metrics.h"
+#include "obs/query_context.h"
 
 namespace tsc::server {
 
@@ -26,6 +27,9 @@ StatusOr<double> CellBatcher::Fetch(std::size_t row, std::size_t col) {
   if (!leader) {
     if (batch->cells.size() >= options_.max_batch) leader_cv_.notify_all();
     batch->done_cv.wait(lock, [&] { return batch->done; });
+    // Riders report the wave they rode; the leader's context absorbed
+    // the wave's storage costs (it ran the reconstruction inline).
+    obs::SetBatchFill(batch->values.size());
     return batch->values[index];
   }
 
@@ -48,6 +52,7 @@ StatusOr<double> CellBatcher::Fetch(std::size_t row, std::size_t col) {
   ++waves_;
   batched_cells_ += count;
   batch_size.Record(static_cast<double>(count));
+  obs::SetBatchFill(count);
   batch->done_cv.notify_all();
   return batch->values[index];
 }

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cstdlib>
 #include <limits>
+#include <regex>
 #include <sstream>
 
 #include "core/query.h"
+#include "obs/metrics.h"
 #include "util/json_writer.h"
 
 namespace tsc::server {
@@ -111,7 +113,8 @@ StatusOr<std::vector<IndexRange>> ParseRowsParam(const std::string& text,
 
 StatusOr<DataRequest> ResolveDataRequest(
     const std::map<std::string, std::string>& params, std::size_t num_rows,
-    std::size_t num_cols, const DataApiLimits& limits) {
+    std::size_t num_cols, const DataApiLimits& limits,
+    const std::vector<std::string>* row_keys) {
   static const std::string kEmpty;
   if (num_cols == 0 || num_rows == 0) {
     return Status::FailedPrecondition("empty matrix");
@@ -169,13 +172,64 @@ StatusOr<DataRequest> ResolveDataRequest(
     }
   }
 
-  // rows: selection, default everything.
+  // rows: selection, default everything. A leading '~' switches from
+  // index ranges to a key-regex over the server's row-key map.
   if (auto it = params.find("rows"); it != params.end()) {
-    TSC_ASSIGN_OR_RETURN(
-        request.rows,
-        ParseRowsParam(it->second, num_rows, limits.max_ranges));
+    if (!it->second.empty() && it->second.front() == '~') {
+      if (row_keys == nullptr || row_keys->empty()) {
+        return Status::InvalidArgument(
+            "rows=~pattern needs a row-key map (serve with --keys or "
+            "synthetic keys)");
+      }
+      if (row_keys->size() < num_rows) {
+        return Status::FailedPrecondition("row-key map shorter than matrix");
+      }
+      TSC_ASSIGN_OR_RETURN(request.rows,
+                           ResolveRowsPattern(it->second.substr(1),
+                                              *row_keys));
+      // The coalesced match ranges are bounded by the row count, not
+      // max_ranges: capping them would silently drop matched rows.
+    } else {
+      TSC_ASSIGN_OR_RETURN(
+          request.rows,
+          ParseRowsParam(it->second, num_rows, limits.max_ranges));
+    }
   }
   return request;
+}
+
+StatusOr<std::vector<IndexRange>> ResolveRowsPattern(
+    const std::string& pattern, const std::vector<std::string>& row_keys) {
+  constexpr std::size_t kMaxPatternBytes = 256;
+  static obs::Counter& rows_matched =
+      obs::MetricRegistry::Default().GetCounter("query.rows_matched");
+  if (pattern.empty()) return Status::InvalidArgument("empty rows pattern");
+  if (pattern.size() > kMaxPatternBytes) {
+    return Status::InvalidArgument("rows pattern too long");
+  }
+  std::regex regex;
+  try {
+    regex.assign(pattern, std::regex::ECMAScript | std::regex::optimize);
+  } catch (const std::regex_error&) {
+    return Status::InvalidArgument("malformed rows pattern: '" +
+                                   JsonWriter::Escape(pattern) + "'");
+  }
+  std::vector<IndexRange> ranges;
+  std::uint64_t matched = 0;
+  for (std::size_t i = 0; i < row_keys.size(); ++i) {
+    if (!std::regex_search(row_keys[i], regex)) continue;
+    ++matched;
+    if (!ranges.empty() && ranges.back().hi + 1 == i) {
+      ranges.back().hi = i;  // extend the run
+    } else {
+      ranges.push_back(IndexRange{i, i});
+    }
+  }
+  rows_matched.Add(matched);
+  if (ranges.empty()) {
+    return Status::InvalidArgument("rows pattern matched no keys");
+  }
+  return ranges;
 }
 
 StatusOr<DataResult> ExecuteDataRequest(const QueryExecutor& executor,

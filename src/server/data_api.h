@@ -31,7 +31,9 @@ struct DataApiLimits {
 ///   points  number of output buckets; 0 or >= window means every
 ///           column as-is
 ///   group   bucket reduction: avg (default) | min | max | sum
-///   rows    row selection, e.g. "0:99,150,200:209"; default all rows
+///   rows    row selection, e.g. "0:99,150,200:209"; or "~pattern", a
+///           key regex matched against the server's row-key map
+///           (netdata-style dimension patterns); default all rows
 struct DataRequest {
   std::size_t after = 0;
   std::size_t before = 0;
@@ -62,10 +64,21 @@ StatusOr<std::vector<IndexRange>> ParseRowsParam(const std::string& text,
                                                  std::size_t num_rows,
                                                  std::size_t max_ranges);
 
+/// Resolves a `rows=~pattern` key regex against the row-key map:
+/// `pattern` (ECMAScript, searched anywhere in the key, capped at 256
+/// bytes) selects every row whose key matches; consecutive matches
+/// coalesce into ranges. Matches count into the `query.rows_matched`
+/// counter. Zero matches and invalid patterns are InvalidArgument.
+StatusOr<std::vector<IndexRange>> ResolveRowsPattern(
+    const std::string& pattern, const std::vector<std::string>& row_keys);
+
 /// Resolves the wire parameters against the executor's matrix shape.
+/// `row_keys` (one key per row, may be nullptr) enables the
+/// `rows=~pattern` form; index selections never need it.
 StatusOr<DataRequest> ResolveDataRequest(
     const std::map<std::string, std::string>& params, std::size_t num_rows,
-    std::size_t num_cols, const DataApiLimits& limits);
+    std::size_t num_cols, const DataApiLimits& limits,
+    const std::vector<std::string>* row_keys = nullptr);
 
 /// Runs one resolved request: a single per-column aggregate pass through
 /// the executor (compressed-domain for sum/avg on SVDD models), then an

@@ -1,7 +1,14 @@
 #include "server/http.h"
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <cctype>
+#include <cstdlib>
+#include <cstring>
 #include <sstream>
 
 namespace tsc::server {
@@ -212,6 +219,12 @@ const char* HttpStatusText(int code) {
 
 std::string SerializeResponse(int status, std::string_view content_type,
                               std::string_view body, bool keep_alive) {
+  return SerializeResponse(status, content_type, body, keep_alive, {});
+}
+
+std::string SerializeResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive,
+                              const HeaderList& extra_headers) {
   std::ostringstream out;
   out << "HTTP/1.1 " << status << ' ' << HttpStatusText(status) << "\r\n";
   if (!content_type.empty()) {
@@ -219,9 +232,69 @@ std::string SerializeResponse(int status, std::string_view content_type,
   }
   out << "Content-Length: " << body.size() << "\r\n";
   out << "Connection: " << (keep_alive ? "keep-alive" : "close") << "\r\n";
+  for (const auto& [name, value] : extra_headers) {
+    out << name << ": " << value << "\r\n";
+  }
   out << "\r\n";
   out << body;
   return out.str();
+}
+
+StatusOr<HttpGetResult> HttpGet(const std::string& host, int port,
+                                const std::string& target) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  struct FdCloser {
+    int fd;
+    ~FdCloser() { ::close(fd); }
+  } closer{fd};
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    return Status::IoError("connect to " + host + ":" +
+                           std::to_string(port) + " failed: " +
+                           std::strerror(errno));
+  }
+
+  const std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                              "\r\nConnection: close\r\n\r\n";
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, 0);
+    if (n <= 0) return Status::IoError("send failed");
+    sent += static_cast<std::size_t>(n);
+  }
+
+  std::string raw;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n < 0) return Status::IoError("recv failed");
+    if (n == 0) break;
+    raw.append(chunk, static_cast<std::size_t>(n));
+  }
+
+  std::size_t header_end = 0;
+  if (!FindHeaderEnd(raw, &header_end)) {
+    return Status::IoError("truncated response (no header terminator)");
+  }
+  HttpGetResult result;
+  const std::string_view head = std::string_view(raw).substr(0, header_end);
+  const std::size_t space = head.find(' ');
+  if (space == std::string_view::npos) {
+    return Status::IoError("malformed status line");
+  }
+  result.status =
+      std::atoi(std::string(head.substr(space + 1, 3)).c_str());
+  if (result.status < 100) return Status::IoError("malformed status line");
+  result.body = raw.substr(header_end);
+  return result;
 }
 
 }  // namespace tsc::server

@@ -5,6 +5,8 @@
 #include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "util/status.h"
 
@@ -67,6 +69,25 @@ const char* HttpStatusText(int code);
 /// headers. `content_type` may be empty for bodyless responses.
 std::string SerializeResponse(int status, std::string_view content_type,
                               std::string_view body, bool keep_alive);
+
+/// Extra response headers ({name, value} in emission order), e.g. the
+/// X-Trace-Id every API response carries.
+using HeaderList = std::vector<std::pair<std::string, std::string>>;
+std::string SerializeResponse(int status, std::string_view content_type,
+                              std::string_view body, bool keep_alive,
+                              const HeaderList& extra_headers);
+
+/// One blocking HTTP/1.1 GET against a local server (the `tsctool
+/// slowlog` / `tsctool stats --port` client). Connects, sends the
+/// request, reads a Content-Length-framed response. IoError on any
+/// socket or framing failure; HTTP error statuses are returned, not
+/// errors.
+struct HttpGetResult {
+  int status = 0;
+  std::string body;
+};
+StatusOr<HttpGetResult> HttpGet(const std::string& host, int port,
+                                const std::string& target);
 
 }  // namespace tsc::server
 

@@ -14,7 +14,9 @@
 #include <cstring>
 #include <sstream>
 
+#include "linalg/kernels.h"
 #include "obs/metrics.h"
+#include "obs/prometheus.h"
 #include "obs/snapshot.h"
 #include "util/json_writer.h"
 #include "util/thread_pool.h"
@@ -54,6 +56,53 @@ obs::Histogram& EndpointLatency(const std::string& endpoint) {
                                                      endpoint);
 }
 
+double MicrosSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(Clock::now() - start)
+      .count();
+}
+
+/// The SLO/slowlog endpoint tag for a request path.
+std::string EndpointTag(const std::string& path) {
+  if (path == "/api/v1/data") return "data";
+  if (path == "/api/v1/query") return "query";
+  if (path == "/api/v1/cell") return "cell";
+  return "other";
+}
+
+/// An incoming X-Trace-Id is honored when it looks like a trace id
+/// (short, alphanumeric plus -_), so callers can stitch our spans into
+/// their own traces; anything else gets a fresh id.
+bool SaneTraceId(const std::string& id) {
+  if (id.empty() || id.size() > 64) return false;
+  for (const char c : id) {
+    const bool ok = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'z') ||
+                    (c >= 'A' && c <= 'Z') || c == '-' || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Rebuilds the request line for the slow-query log from the parsed
+/// request (the raw target is not retained past parsing).
+std::string RequestLine(const HttpRequest& request) {
+  std::string line = request.method + " " + request.path;
+  char sep = '?';
+  for (const auto& [key, value] : request.params) {
+    line += sep;
+    line += key;
+    line += '=';
+    line += value;
+    sep = '&';
+  }
+  return line;
+}
+
+/// k=v cost vector plus the process SIMD tier for X-Query-Cost.
+std::string CostHeaderValue(const obs::QueryCostVector& costs) {
+  return costs.ToKvString() + " simd=" +
+         kernels::SimdLevelName(kernels::ActiveSimdLevel());
+}
+
 void SetRecvTimeout(int fd, int millis) {
   timeval tv{};
   tv.tv_sec = millis / 1000;
@@ -77,6 +126,13 @@ QueryServer::QueryServer(const QueryExecutor* executor,
   batcher.max_batch = options_.batch_max;
   batcher.window = std::chrono::microseconds(options_.batch_window_us);
   batcher_ = std::make_unique<CellBatcher>(store, batcher);
+  slowlog_ = std::make_unique<obs::SlowQueryLog>(options_.slowlog_capacity);
+  obs::SloTracker::Options slo;
+  slo.window_seconds = options_.slo_window_s;
+  slo.latency_budget_us = options_.slo_latency_budget_us;
+  slo.objective = options_.slo_objective;
+  slo_ = std::make_unique<obs::SloTracker>(slo);
+  start_time_ = Clock::now();
 }
 
 QueryServer::~QueryServer() { Stop(); }
@@ -273,36 +329,141 @@ std::string QueryServer::HandleRequest(const HttpRequest& request) {
       obs::MetricRegistry::Default().GetCounter("server.requests");
   static obs::Counter& errors_counter =
       obs::MetricRegistry::Default().GetCounter("server.http_errors");
+  static obs::Counter& traced_counter =
+      obs::MetricRegistry::Default().GetCounter("request.count");
   requests_counter.Increment();
+
+  const auto started = Clock::now();
+  std::string trace_id;
+  if (const auto it = request.headers.find("x-trace-id");
+      it != request.headers.end() && SaneTraceId(it->second)) {
+    trace_id = it->second;
+  } else {
+    trace_id = obs::GenerateTraceId();
+  }
+  HeaderList extra;
+  extra.emplace_back("X-Trace-Id", trace_id);
 
   if (request.method != "GET") {
     errors_counter.Increment();
     return SerializeResponse(405, "application/json",
                              JsonError("only GET is supported"),
-                             request.keep_alive);
+                             request.keep_alive, extra);
   }
 
   // Control-plane endpoints bypass admission: they must answer even
   // (especially) when the query plane is saturated.
   if (request.path == "/healthz") {
-    return SerializeResponse(200, "text/plain", "ok\n", request.keep_alive);
+    if (request.Param("verbose", "") == "1") {
+      return SerializeResponse(200, "application/json",
+                               HealthzVerboseJson(), request.keep_alive,
+                               extra);
+    }
+    return SerializeResponse(200, "text/plain", "ok\n", request.keep_alive,
+                             extra);
   }
   if (request.path == "/metrics") {
-    const auto started = Clock::now();
-    const std::string body = obs::TakeSnapshot().ToJson();
-    EndpointLatency("metrics").Record(
-        std::chrono::duration<double, std::micro>(Clock::now() - started)
-            .count());
-    return SerializeResponse(200, "application/json", body,
-                             request.keep_alive);
+    const auto scrape_started = Clock::now();
+    // Fold the live SLO window into slo.* gauges so every export format
+    // carries it.
+    slo_->PublishTo(obs::MetricRegistry::Default());
+    const std::string& format = request.Param("format", "prometheus");
+    std::string body;
+    std::string content_type;
+    if (format == "json") {
+      body = obs::TakeSnapshot().ToJson();
+      content_type = "application/json";
+    } else if (format == "table") {
+      body = obs::TakeSnapshot().ToTable();
+      content_type = "text/plain";
+    } else {
+      body = obs::ToPrometheusText(obs::TakeSnapshot());
+      content_type = "text/plain; version=0.0.4";
+    }
+    EndpointLatency("metrics").Record(MicrosSince(scrape_started));
+    return SerializeResponse(200, content_type, body, request.keep_alive,
+                             extra);
+  }
+  if (request.path == "/api/v1/debug/slow") {
+    const std::vector<obs::SlowQueryEntry> entries = slowlog_->Snapshot();
+    if (request.Param("format", "json") == "table") {
+      return SerializeResponse(200, "text/plain",
+                               obs::SlowQueryLog::ToTable(entries),
+                               request.keep_alive, extra);
+    }
+    return SerializeResponse(
+        200, "application/json",
+        obs::SlowQueryLog::ToJson(entries, slowlog_->capacity()),
+        request.keep_alive, extra);
   }
 
+  // Query plane: run under a request-scoped context so every storage
+  // layer charges its work to this request, then fold the outcome into
+  // the SLO window and the slow-query log. When instruments are off the
+  // context is not installed and the whole block reduces to RouteApi.
+  const bool instruments = obs::InstrumentsEnabled();
+  obs::QueryContext context(trace_id);
   int status = 200;
-  const std::string body = RouteApi(request, &status);
+  std::string body;
+  {
+    obs::ScopedQueryContext scope(instruments ? &context : nullptr);
+    body = RouteApi(request, &status);
+  }
   if (status >= 400) errors_counter.Increment();
+  if (instruments) {
+    traced_counter.Increment();
+    const double latency_us = MicrosSince(started);
+    const std::string endpoint = EndpointTag(request.path);
+    slo_->Record(endpoint, latency_us, status);
+    obs::SlowQueryEntry entry;
+    entry.trace_id = trace_id;
+    entry.endpoint = endpoint;
+    entry.request_line = RequestLine(request);
+    entry.http_status = status;
+    entry.latency_us = latency_us;
+    entry.costs = context.Costs();
+    slowlog_->Record(std::move(entry));
+    if (request.Param("debug", "") == "1" ||
+        request.headers.find("x-tsc-debug") != request.headers.end()) {
+      extra.emplace_back("X-Query-Cost", CostHeaderValue(context.Costs()));
+    }
+  }
   const bool json = !body.empty() && (body.front() == '{');
   return SerializeResponse(status, json ? "application/json" : "text/plain",
-                           body, request.keep_alive);
+                           body, request.keep_alive, extra);
+}
+
+std::string QueryServer::HealthzVerboseJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.KV("status", "ok");
+  json.KV("uptime_s",
+          std::chrono::duration<double>(Clock::now() - start_time_).count());
+  json.KV("connections_accepted", connections_accepted());
+  json.KV("slowlog_recorded", slowlog_->recorded());
+  json.Key("slo").BeginObject();
+  json.KV("window_s", static_cast<std::uint64_t>(options_.slo_window_s));
+  json.KV("latency_budget_us", options_.slo_latency_budget_us);
+  json.KV("objective", options_.slo_objective);
+  json.Key("endpoints").BeginArray();
+  for (const obs::SloTracker::EndpointStats& stats : slo_->Snapshot()) {
+    json.BeginObject();
+    json.KV("endpoint", stats.endpoint);
+    json.KV("count", stats.count);
+    json.KV("errors", stats.errors);
+    json.KV("shed", stats.shed);
+    json.KV("p50_us", stats.p50_us);
+    json.KV("p99_us", stats.p99_us);
+    json.KV("p999_us", stats.p999_us);
+    json.KV("error_rate", stats.error_rate);
+    json.KV("shed_rate", stats.shed_rate);
+    json.KV("burn_rate", stats.burn_rate);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  json.EndObject();
+  return json.str();
 }
 
 std::string QueryServer::RouteApi(const HttpRequest& request,
@@ -331,8 +492,18 @@ std::string QueryServer::RouteApi(const HttpRequest& request,
   const auto deadline =
       Clock::now() + std::chrono::milliseconds(timeout_ms);
 
+  static obs::Histogram& admission_wait_hist =
+      obs::MetricRegistry::Default().GetHistogram(
+          "request.admission_wait_us");
   AdmissionController::Permit permit;
-  switch (admission_->Acquire(deadline, &permit)) {
+  const auto admission_started = Clock::now();
+  const AdmissionController::Outcome outcome =
+      admission_->Acquire(deadline, &permit);
+  const double admission_wait_us = MicrosSince(admission_started);
+  admission_wait_hist.Record(admission_wait_us);
+  obs::ChargeAdmissionWaitUs(
+      static_cast<std::uint64_t>(admission_wait_us));
+  switch (outcome) {
     case AdmissionController::Outcome::kAdmitted:
       break;
     case AdmissionController::Outcome::kRejected:
@@ -349,8 +520,9 @@ std::string QueryServer::RouteApi(const HttpRequest& request,
   const auto started = Clock::now();
   std::string body;
   if (is_data) {
-    auto resolved = ResolveDataRequest(request.params, executor_->rows(),
-                                       executor_->cols(), options_.data);
+    auto resolved = ResolveDataRequest(
+        request.params, executor_->rows(), executor_->cols(), options_.data,
+        options_.row_keys.empty() ? nullptr : &options_.row_keys);
     if (!resolved.ok()) {
       *status_out = StatusToHttp(resolved.status());
       body = JsonError(resolved.status().message());

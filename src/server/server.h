@@ -2,13 +2,18 @@
 #define TSC_SERVER_SERVER_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <list>
+#include <vector>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
 
+#include "obs/query_context.h"
+#include "obs/slo.h"
+#include "obs/slowlog.h"
 #include "query/executor.h"
 #include "server/admission.h"
 #include "server/batcher.h"
@@ -36,6 +41,15 @@ struct ServerOptions {
   /// Request-shape ceilings.
   HttpLimits http;
   DataApiLimits data;
+  /// Observability: slow-query log depth, SLO window and latency
+  /// budget (burn rate = over-budget rate / (1 - objective)).
+  std::size_t slowlog_capacity = 64;
+  std::uint64_t slo_window_s = 60;
+  double slo_latency_budget_us = 250'000.0;
+  double slo_objective = 0.999;
+  /// Row-key map for `rows=~pattern` dimension filters (one key per
+  /// row; empty disables the pattern form).
+  std::vector<std::string> row_keys;
 };
 
 /// The concurrent query server: a listener thread accepts connections
@@ -47,18 +61,31 @@ struct ServerOptions {
 /// BlockPrefetcher serving the whole client population.
 ///
 /// Endpoints:
-///   GET /healthz            liveness probe ("ok"), never queued
-///   GET /metrics            obs registry snapshot as JSON, never queued
+///   GET /healthz            liveness probe ("ok"), never queued;
+///                           verbose=1 adds JSON uptime/admission/SLO
+///   GET /metrics            Prometheus text exposition (version 0.0.4),
+///                           never queued; format=json keeps the legacy
+///                           snapshot JSON, format=table an aligned table
 ///   GET /api/v1/data        netdata-style window query (see data_api.h);
-///                           format=json (default) | csv
+///                           format=json (default) | csv; rows= accepts
+///                           index ranges or ~key-regex
 ///   GET /api/v1/query       q=<SQL>; format=text matches `tsctool sql`
 ///                           byte for byte, format=json adds stats
 ///   GET /api/v1/cell        row=I&col=J single-cell probe, coalesced
 ///                           across connections by the CellBatcher
+///   GET /api/v1/debug/slow  the K slowest requests with their cost
+///                           vectors, never queued; format=json | table
 ///
 /// Admission outcomes on the wire: queue full => 429, deadline passed
 /// while queued => 504, shutting down => 503. A per-request
 /// timeout_ms parameter (capped at 60s) overrides the default deadline.
+///
+/// Request-scoped observability: every response carries X-Trace-Id
+/// (honoring a sane incoming X-Trace-Id, else generated); API requests
+/// run under a thread-local obs::QueryContext so storage/query layers
+/// attribute cache hits/misses, blocks, io bytes, rows and delta probes
+/// to the request. `debug=1` (or an X-Tsc-Debug header) returns the
+/// cost vector in an X-Query-Cost response header.
 ///
 /// The executor must have been built with num_threads == 1: concurrent
 /// Execute calls are only safe without an internal scan pool, and
@@ -94,6 +121,9 @@ class QueryServer {
   /// Exposed for tests that want the routing logic without sockets.
   std::string HandleRequest(const HttpRequest& request);
 
+  const obs::SlowQueryLog& slowlog() const { return *slowlog_; }
+  const obs::SloTracker& slo() const { return *slo_; }
+
  private:
   struct Connection {
     std::thread thread;
@@ -106,11 +136,15 @@ class QueryServer {
   /// Joins finished connection threads; `all` waits for every one.
   void ReapConnections(bool all);
   std::string RouteApi(const HttpRequest& request, int* status_out);
+  std::string HealthzVerboseJson() const;
 
   const QueryExecutor* executor_;
   ServerOptions options_;
   std::unique_ptr<AdmissionController> admission_;
   std::unique_ptr<CellBatcher> batcher_;
+  std::unique_ptr<obs::SlowQueryLog> slowlog_;
+  std::unique_ptr<obs::SloTracker> slo_;
+  std::chrono::steady_clock::time_point start_time_{};
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

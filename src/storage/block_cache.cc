@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "obs/metrics.h"
+#include "obs/query_context.h"
 #include "util/logging.h"
 
 namespace tsc {
@@ -122,6 +123,7 @@ StatusOr<BlockCache::Handle> BlockCache::Get(std::uint64_t block_id,
       ++shard.hits;
       Metrics().hits.Increment();
       Metrics().shard_hits.Increment();
+      obs::ChargeCacheHit();
       shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
       return it->second->data;
     }
@@ -133,12 +135,14 @@ StatusOr<BlockCache::Handle> BlockCache::Get(std::uint64_t block_id,
       ++shard.hits;
       Metrics().hits.Increment();
       Metrics().shard_hits.Increment();
+      obs::ChargeCacheHit();
     } else {
       flight = std::make_shared<InFlight>();
       shard.in_flight.emplace(block_id, flight);
       owner = true;
       ++shard.misses;
       Metrics().misses.Increment();
+      obs::ChargeCacheMiss();
     }
   }
 

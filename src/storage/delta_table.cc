@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "obs/metrics.h"
+#include "obs/query_context.h"
 #include "util/logging.h"
 
 namespace tsc {
@@ -110,6 +111,7 @@ std::optional<double> DeltaTable::Get(std::uint64_t key) const {
   }
   probe_count_.fetch_add(probes, std::memory_order_relaxed);
   lookups.Increment();
+  obs::ChargeDeltaProbe();
   if (result.has_value()) hits.Increment();
   probe_length.Record(static_cast<double>(probes));
   return result;

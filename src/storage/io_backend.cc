@@ -7,6 +7,7 @@
 #include <mutex>
 
 #include "obs/metrics.h"
+#include "obs/query_context.h"
 
 #if defined(__unix__) || defined(__APPLE__)
 #define TSC_HAS_MMAP 1
@@ -275,6 +276,7 @@ void IoBackend::CountRead(std::uint64_t bytes) {
       obs::MetricRegistry::Default().GetCounter("io.bytes_read");
   reads.Increment();
   bytes_read.Add(bytes);
+  obs::ChargeIoBytes(bytes);
 }
 
 StatusOr<std::unique_ptr<IoBackend>> IoBackend::Open(const std::string& path,

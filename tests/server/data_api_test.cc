@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -66,6 +67,66 @@ TEST(ParseRowsParamTest, RejectsHostileSelections) {
   EXPECT_FALSE(ParseRowsParam("5x", 100, 64).ok());          // trailing junk
   EXPECT_FALSE(ParseRowsParam("-3", 100, 64).ok());          // negative
   EXPECT_FALSE(ParseRowsParam("1,2,3,4,5", 100, 4).ok());    // over the cap
+}
+
+TEST(ResolveRowsPatternTest, MatchesAndCoalescesConsecutiveKeys) {
+  const std::vector<std::string> keys = {"web-a", "web-b", "db-a",
+                                         "web-c", "db-b"};
+  auto ranges = ResolveRowsPattern("^web", keys);
+  ASSERT_TRUE(ranges.ok()) << ranges.status().ToString();
+  // web-a, web-b coalesce into 0:1; web-c stands alone at 3.
+  ASSERT_EQ(ranges->size(), 2u);
+  EXPECT_EQ((*ranges)[0].lo, 0u);
+  EXPECT_EQ((*ranges)[0].hi, 1u);
+  EXPECT_EQ((*ranges)[1].lo, 3u);
+  EXPECT_EQ((*ranges)[1].hi, 3u);
+
+  // Searched anywhere in the key, not anchored.
+  ranges = ResolveRowsPattern("-a$", keys);
+  ASSERT_TRUE(ranges.ok());
+  ASSERT_EQ(ranges->size(), 2u);
+  EXPECT_EQ((*ranges)[0].lo, 0u);
+  EXPECT_EQ((*ranges)[1].lo, 2u);
+
+  // Every key matches: one full range.
+  ranges = ResolveRowsPattern(".", keys);
+  ASSERT_TRUE(ranges.ok());
+  ASSERT_EQ(ranges->size(), 1u);
+  EXPECT_EQ((*ranges)[0].lo, 0u);
+  EXPECT_EQ((*ranges)[0].hi, 4u);
+}
+
+TEST(ResolveRowsPatternTest, RejectsHostilePatterns) {
+  const std::vector<std::string> keys = {"web-a", "web-b"};
+  EXPECT_FALSE(ResolveRowsPattern("zzz", keys).ok());      // no match
+  EXPECT_FALSE(ResolveRowsPattern("[", keys).ok());        // bad regex
+  EXPECT_FALSE(ResolveRowsPattern("(unclosed", keys).ok());
+  EXPECT_FALSE(
+      ResolveRowsPattern(std::string(300, 'a'), keys).ok());  // too long
+}
+
+TEST(ResolveDataRequestTest, RowsPatternNeedsTheKeyMap) {
+  const std::vector<std::string> keys = {"web-a", "web-b", "db-a"};
+  // With a key map the ~pattern form resolves like an index selection.
+  auto request = ResolveDataRequest(Params{{"rows", "~^web"}}, 3, 50,
+                                    DataApiLimits{}, &keys);
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  ASSERT_EQ(request->rows.size(), 1u);
+  EXPECT_EQ(request->rows[0].lo, 0u);
+  EXPECT_EQ(request->rows[0].hi, 1u);
+
+  // Without one (or with a short one) it is a client error.
+  EXPECT_FALSE(
+      ResolveDataRequest(Params{{"rows", "~^web"}}, 3, 50, DataApiLimits{})
+          .ok());
+  EXPECT_FALSE(ResolveDataRequest(Params{{"rows", "~^web"}}, 5, 50,
+                                  DataApiLimits{}, &keys)
+                   .ok());  // 3 keys for 5 rows
+
+  // Index selections never consult the key map.
+  request = ResolveDataRequest(Params{{"rows", "0:1"}}, 3, 50,
+                               DataApiLimits{}, &keys);
+  EXPECT_TRUE(request.ok());
 }
 
 TEST(ResolveDataRequestTest, DefaultsToTheWholeMatrix) {

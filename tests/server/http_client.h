@@ -6,8 +6,11 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <cctype>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace tsc::server::testing {
 
@@ -15,7 +18,25 @@ namespace tsc::server::testing {
 struct ClientResponse {
   int status = 0;
   std::string body;
+  std::vector<std::pair<std::string, std::string>> headers;
   bool ok = false;  ///< transport-level success (response fully read)
+
+  /// First header with `name` (case-insensitive), or "".
+  std::string Header(const std::string& name) const {
+    for (const auto& [key, value] : headers) {
+      if (key.size() != name.size()) continue;
+      bool equal = true;
+      for (std::size_t i = 0; i < key.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(key[i])) !=
+            std::tolower(static_cast<unsigned char>(name[i]))) {
+          equal = false;
+          break;
+        }
+      }
+      if (equal) return value;
+    }
+    return "";
+  }
 };
 
 /// Minimal blocking HTTP/1.1 client for the in-process server tests:
@@ -51,11 +72,16 @@ class TestClient {
     return true;
   }
 
-  /// GETs `target` and reads one complete response.
-  ClientResponse Get(const std::string& target, bool keep_alive = true) {
+  /// GETs `target` and reads one complete response. `extra_headers` are
+  /// raw "Name: value" lines appended to the request head.
+  ClientResponse Get(const std::string& target, bool keep_alive = true,
+                     const std::vector<std::string>& extra_headers = {}) {
     ClientResponse response;
     if (!connected_) return response;
     std::string request = "GET " + target + " HTTP/1.1\r\nHost: t\r\n";
+    for (const std::string& header : extra_headers) {
+      request += header + "\r\n";
+    }
     if (!keep_alive) request += "Connection: close\r\n";
     request += "\r\n";
     if (!SendRaw(request)) return response;
@@ -77,6 +103,25 @@ class TestClient {
     // Status line: HTTP/1.1 NNN reason
     if (buffer.size() < 12) return response;
     response.status = std::atoi(buffer.c_str() + 9);
+    // Header lines between the status line and the blank line.
+    std::size_t line_start = buffer.find("\r\n") + 2;
+    while (line_start < header_end) {
+      std::size_t line_end = buffer.find("\r\n", line_start);
+      if (line_end == std::string::npos || line_end > header_end) {
+        line_end = header_end;
+      }
+      const std::string line = buffer.substr(line_start, line_end - line_start);
+      const std::size_t colon = line.find(':');
+      if (colon != std::string::npos) {
+        std::size_t value_start = colon + 1;
+        while (value_start < line.size() && line[value_start] == ' ') {
+          ++value_start;
+        }
+        response.headers.emplace_back(line.substr(0, colon),
+                                      line.substr(value_start));
+      }
+      line_start = line_end + 2;
+    }
     std::size_t content_length = 0;
     const std::size_t cl = buffer.find("Content-Length: ");
     if (cl != std::string::npos && cl < header_end) {

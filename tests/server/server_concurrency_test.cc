@@ -6,17 +6,20 @@
 // (-L tsan) run it.
 
 #include <atomic>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "core/disk_backed.h"
 #include "data/generators.h"
+#include "obs/metrics.h"
 #include "server/server.h"
 #include "storage/row_source.h"
 #include "tests/server/http_client.h"
@@ -145,6 +148,133 @@ TEST(ServerConcurrencyTest, EightConnectionsShareOneDiskBackedStore) {
 
   EXPECT_EQ(wrong.load(), 0);
   EXPECT_GE(server.connections_accepted(), 8u);
+  std::remove(u_path.c_str());
+  std::remove(sidecar_path.c_str());
+}
+
+/// Extracts `key=<uint64>` from an X-Query-Cost header value.
+std::uint64_t CostField(const std::string& costs, const std::string& key) {
+  const std::size_t pos = costs.find(key + "=");
+  if (pos == std::string::npos) return 0;
+  return std::strtoull(costs.c_str() + pos + key.size() + 1, nullptr, 10);
+}
+
+// The accounting invariant behind X-Query-Cost: each charge helper sits
+// directly beside the process-wide counter it mirrors, so the cost
+// vectors of all concurrent requests must sum EXACTLY to the
+// process-counter deltas — across 8 connections, the executor's scan
+// pool, the shared block cache (including in-flight ride-alongs) and
+// the cell batcher's leader/rider handoff. Prefetching is disabled:
+// readahead I/O runs on prefetcher threads with no request context, so
+// it is process-counted but unattributable by design.
+TEST(ServerConcurrencyTest, CostVectorsSumToProcessCountersUnderHammer) {
+  PhoneDatasetConfig config;
+  config.num_customers = 96;
+  config.num_days = 40;
+  Matrix data = GeneratePhoneDataset(config).values;
+  MatrixRowSource source(&data);
+  SvddBuildOptions build;
+  build.space_percent = 25.0;
+  auto model = BuildSvddModel(&source, build);
+  TSC_CHECK_OK(model.status());
+
+  const std::string dir = ::testing::TempDir();
+  const std::string u_path = dir + "/server_costsum_u";
+  const std::string sidecar_path = dir + "/server_costsum_sidecar";
+  TSC_CHECK_OK(ExportSvddToDisk(*model, u_path, sidecar_path));
+  DiskBackedOptions disk_options;
+  disk_options.cache_blocks = 16;   // small cache: misses and evictions
+  disk_options.prefetch_depth = 0;  // see the invariant note above
+  auto store = DiskBackedStore::Open(u_path, sidecar_path, disk_options);
+  TSC_CHECK_OK(store.status());
+  const DiskBackedStoreView view(&*store);
+  const QueryExecutor executor(&view);
+
+  ServerOptions options;
+  options.max_concurrent = 4;
+  options.max_queue = 64;
+  QueryServer server(&executor, &view, options);
+  ASSERT_TRUE(server.Start().ok());
+
+  // The counter names each QueryCostVector field mirrors.
+  const std::vector<std::pair<std::string, std::string>> kMirrors = {
+      {"cache_hits", "block_cache.hits"},
+      {"cache_misses", "block_cache.misses"},
+      {"blocks_fetched", "storage.disk.accesses"},
+      {"io_bytes", "io.bytes_read"},
+      {"rows_scanned", "query.rows_scanned"},
+      {"delta_probes", "delta.lookups"},
+  };
+  obs::MetricRegistry& registry = obs::MetricRegistry::Default();
+  std::vector<std::uint64_t> before;
+  for (const auto& [field, counter] : kMirrors) {
+    before.push_back(registry.GetCounter(counter).Value());
+  }
+
+  constexpr int kConnections = 8;
+  constexpr int kRounds = 6;
+  std::atomic<int> wrong{0};
+  std::vector<std::atomic<std::uint64_t>> sums(kMirrors.size());
+  std::vector<std::thread> clients;
+  for (int t = 0; t < kConnections; ++t) {
+    clients.emplace_back([&, t] {
+      TestClient client(server.port());
+      if (!client.connected()) {
+        ++wrong;
+        return;
+      }
+      for (int round = 0; round < kRounds; ++round) {
+        const std::string trace =
+            "c" + std::to_string(t) + "r" + std::to_string(round);
+        const std::vector<std::string> headers = {"X-Trace-Id: " + trace};
+        // stddev forces row reconstruction (sum/avg would legally run in
+        // the compressed domain and charge no storage work).
+        std::vector<std::string> targets = {
+            "/api/v1/query?q=SELECT+stddev(value)+WHERE+row+IN+" +
+                std::to_string(t * 8) + ":" + std::to_string(t * 8 + 7) +
+                "&debug=1",
+            "/api/v1/data?after=-16&before=0&points=4&debug=1",
+            "/api/v1/cell?row=" +
+                std::to_string((t * 13 + round * 5) % view.rows()) +
+                "&col=" + std::to_string((t + round * 3) % view.cols()) +
+                "&debug=1",
+        };
+        for (const std::string& target : targets) {
+          const ClientResponse response = client.Get(target, true, headers);
+          if (!response.ok) {
+            ++wrong;
+            continue;
+          }
+          // Propagation: the id we sent must come back on every reply.
+          if (response.Header("X-Trace-Id") != trace) ++wrong;
+          const std::string costs = response.Header("X-Query-Cost");
+          if (costs.empty()) {
+            ++wrong;  // debug=1 must always attach the vector
+            continue;
+          }
+          for (std::size_t f = 0; f < kMirrors.size(); ++f) {
+            sums[f].fetch_add(CostField(costs, kMirrors[f].first),
+                              std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  server.Stop();
+
+  EXPECT_EQ(wrong.load(), 0);
+  for (std::size_t f = 0; f < kMirrors.size(); ++f) {
+    const std::uint64_t process_delta =
+        registry.GetCounter(kMirrors[f].second).Value() - before[f];
+    EXPECT_EQ(sums[f].load(), process_delta)
+        << kMirrors[f].first << " deltas do not sum to "
+        << kMirrors[f].second;
+  }
+#ifndef TSC_OBS_DISABLED
+  // The hammer did real attributable work; the invariant is not 0 == 0.
+  EXPECT_GT(sums[4].load(), 0u);  // rows_scanned
+#endif
   std::remove(u_path.c_str());
   std::remove(sidecar_path.c_str());
 }
