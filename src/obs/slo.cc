@@ -48,9 +48,12 @@ void SloTracker::Record(const std::string& endpoint, double latency_us,
 }
 
 std::vector<SloTracker::EndpointStats> SloTracker::Snapshot() const {
-  const std::uint64_t now = NowSecond();
   std::vector<EndpointStats> out;
   std::lock_guard<std::mutex> lock(mu_);
+  // Clock read under the lock: every visible bucket tag was computed
+  // before its writer's critical section, hence before this read, so
+  // `now - bucket.second` cannot underflow and skip a live bucket.
+  const std::uint64_t now = NowSecond();
   for (const auto& [name, ep] : endpoints_) {
     EndpointStats stats;
     stats.endpoint = name;
@@ -58,8 +61,8 @@ std::vector<SloTracker::EndpointStats> SloTracker::Snapshot() const {
     for (const SecondBucket& bucket : ep.ring) {
       // A slot is live when its tag falls inside the trailing window;
       // stale slots (overwritten lazily on the next write) are skipped.
-      if (bucket.second == ~0ull || now - bucket.second >=
-                                        options_.window_seconds) {
+      if (bucket.second == ~0ull || bucket.second > now ||
+          now - bucket.second >= options_.window_seconds) {
         continue;
       }
       stats.count += bucket.count;

@@ -3,12 +3,12 @@
 #include <algorithm>
 #include <cstdlib>
 #include <limits>
-#include <regex>
 #include <sstream>
 
 #include "core/query.h"
 #include "obs/metrics.h"
 #include "util/json_writer.h"
+#include "util/lite_regex.h"
 
 namespace tsc::server {
 namespace {
@@ -186,7 +186,7 @@ StatusOr<DataRequest> ResolveDataRequest(
       }
       TSC_ASSIGN_OR_RETURN(request.rows,
                            ResolveRowsPattern(it->second.substr(1),
-                                              *row_keys));
+                                              *row_keys, num_rows));
       // The coalesced match ranges are bounded by the row count, not
       // max_ranges: capping them would silently drop matched rows.
     } else {
@@ -199,7 +199,8 @@ StatusOr<DataRequest> ResolveDataRequest(
 }
 
 StatusOr<std::vector<IndexRange>> ResolveRowsPattern(
-    const std::string& pattern, const std::vector<std::string>& row_keys) {
+    const std::string& pattern, const std::vector<std::string>& row_keys,
+    std::size_t num_rows) {
   constexpr std::size_t kMaxPatternBytes = 256;
   static obs::Counter& rows_matched =
       obs::MetricRegistry::Default().GetCounter("query.rows_matched");
@@ -207,17 +208,24 @@ StatusOr<std::vector<IndexRange>> ResolveRowsPattern(
   if (pattern.size() > kMaxPatternBytes) {
     return Status::InvalidArgument("rows pattern too long");
   }
-  std::regex regex;
-  try {
-    regex.assign(pattern, std::regex::ECMAScript | std::regex::optimize);
-  } catch (const std::regex_error&) {
+  // LiteRegex, not std::regex: patterns come off the wire, and a
+  // backtracking engine lets a short catastrophic pattern (`(a+)+$`)
+  // pin a worker thread while it holds an admission permit. LiteRegex
+  // matching is linear in key bytes no matter the pattern.
+  auto compiled = LiteRegex::Compile(pattern);
+  if (!compiled.ok()) {
     return Status::InvalidArgument("malformed rows pattern: '" +
-                                   JsonWriter::Escape(pattern) + "'");
+                                   JsonWriter::Escape(pattern) +
+                                   "': " + compiled.status().message());
   }
+  LiteRegex regex = std::move(*compiled);
+  // Only the first num_rows keys name real rows; surplus keys in an
+  // oversized map must not mint out-of-range indices.
+  const std::size_t limit = std::min(row_keys.size(), num_rows);
   std::vector<IndexRange> ranges;
   std::uint64_t matched = 0;
-  for (std::size_t i = 0; i < row_keys.size(); ++i) {
-    if (!std::regex_search(row_keys[i], regex)) continue;
+  for (std::size_t i = 0; i < limit; ++i) {
+    if (!regex.Search(row_keys[i])) continue;
     ++matched;
     if (!ranges.empty() && ranges.back().hi + 1 == i) {
       ranges.back().hi = i;  // extend the run

@@ -65,12 +65,16 @@ StatusOr<std::vector<IndexRange>> ParseRowsParam(const std::string& text,
                                                  std::size_t max_ranges);
 
 /// Resolves a `rows=~pattern` key regex against the row-key map:
-/// `pattern` (ECMAScript, searched anywhere in the key, capped at 256
-/// bytes) selects every row whose key matches; consecutive matches
-/// coalesce into ranges. Matches count into the `query.rows_matched`
-/// counter. Zero matches and invalid patterns are InvalidArgument.
+/// `pattern` (LiteRegex — a linear-time ECMAScript subset, searched
+/// anywhere in the key, capped at 256 bytes) selects every row whose
+/// key matches; consecutive matches coalesce into ranges. Only the
+/// first `num_rows` keys are consulted, so an oversized key map cannot
+/// produce out-of-range indices. Matches count into the
+/// `query.rows_matched` counter. Zero matches and invalid patterns are
+/// InvalidArgument.
 StatusOr<std::vector<IndexRange>> ResolveRowsPattern(
-    const std::string& pattern, const std::vector<std::string>& row_keys);
+    const std::string& pattern, const std::vector<std::string>& row_keys,
+    std::size_t num_rows);
 
 /// Resolves the wire parameters against the executor's matrix shape.
 /// `row_keys` (one key per row, may be nullptr) enables the

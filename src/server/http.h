@@ -35,6 +35,9 @@ struct HttpRequest {
   bool keep_alive = true;
 
   /// Parameter lookup with a default (missing key => `fallback`).
+  /// Returns a reference into `params` or to `fallback` itself — when
+  /// passing a temporary fallback, consume the result within the same
+  /// full expression or copy it; never bind it to a reference.
   const std::string& Param(const std::string& key,
                            const std::string& fallback) const {
     auto it = params.find(key);

@@ -367,7 +367,9 @@ std::string QueryServer::HandleRequest(const HttpRequest& request) {
     // Fold the live SLO window into slo.* gauges so every export format
     // carries it.
     slo_->PublishTo(obs::MetricRegistry::Default());
-    const std::string& format = request.Param("format", "prometheus");
+    // By value: Param returns a reference to the fallback temporary
+    // when the parameter is absent, which dies at end of statement.
+    const std::string format = request.Param("format", "prometheus");
     std::string body;
     std::string content_type;
     if (format == "json") {
@@ -542,7 +544,8 @@ std::string QueryServer::RouteApi(const HttpRequest& request,
   }
 
   if (is_query) {
-    const std::string& text = request.Param("q", "");
+    // By value: the fallback temporary dies at end of statement.
+    const std::string text = request.Param("q", "");
     if (text.empty()) {
       *status_out = 400;
       return JsonError("q parameter required");

@@ -1,0 +1,360 @@
+#include "util/lite_regex.h"
+
+#include <utility>
+
+namespace tsc {
+namespace {
+
+std::bitset<256> ClassDigit() {
+  std::bitset<256> set;
+  for (int c = '0'; c <= '9'; ++c) set.set(c);
+  return set;
+}
+
+std::bitset<256> ClassWord() {
+  std::bitset<256> set = ClassDigit();
+  for (int c = 'a'; c <= 'z'; ++c) set.set(c);
+  for (int c = 'A'; c <= 'Z'; ++c) set.set(c);
+  set.set('_');
+  return set;
+}
+
+std::bitset<256> ClassSpace() {
+  std::bitset<256> set;
+  for (const char c : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+    set.set(static_cast<unsigned char>(c));
+  }
+  return set;
+}
+
+std::bitset<256> ClassAny() {
+  std::bitset<256> set;
+  set.set();
+  set.reset('\n');  // ECMAScript '.'
+  return set;
+}
+
+}  // namespace
+
+/// Recursive-descent Thompson construction. A fragment is a start
+/// state plus the list of dangling out-slots to patch; every grammar
+/// production appends O(1) states per consumed pattern byte, so state
+/// count is linear in pattern length.
+class LiteRegex::Parser {
+ public:
+  explicit Parser(const std::string& pattern, std::vector<State>* states)
+      : pattern_(pattern), states_(states) {}
+
+  StatusOr<int> Run() {
+    TSC_ASSIGN_OR_RETURN(Fragment frag, ParseAlternation());
+    if (pos_ != pattern_.size()) {
+      // The only way ParseAlternation stops early is an unmatched ')'.
+      return Status::InvalidArgument("unmatched ')' in pattern");
+    }
+    TSC_ASSIGN_OR_RETURN(const int match, NewState(State::kMatch));
+    Patch(frag.dangling, match);
+    return frag.start;
+  }
+
+ private:
+  /// A dangling out-slot: state index plus which of its two outs.
+  struct OutSlot {
+    int state;
+    bool second;
+  };
+  struct Fragment {
+    int start = -1;
+    std::vector<OutSlot> dangling;
+  };
+
+  StatusOr<int> NewState(State::Kind kind) {
+    if (states_->size() >= kMaxStates) {
+      return Status::InvalidArgument("pattern too complex");
+    }
+    State state;
+    state.kind = kind;
+    states_->push_back(std::move(state));
+    return static_cast<int>(states_->size() - 1);
+  }
+
+  void Patch(const std::vector<OutSlot>& slots, int target) {
+    for (const OutSlot& slot : slots) {
+      State& state = (*states_)[slot.state];
+      (slot.second ? state.out2 : state.out1) = target;
+    }
+  }
+
+  static std::vector<OutSlot> Join(std::vector<OutSlot> a,
+                                   std::vector<OutSlot> b) {
+    a.insert(a.end(), b.begin(), b.end());
+    return a;
+  }
+
+  bool AtAtomEnd() const {
+    return pos_ == pattern_.size() || pattern_[pos_] == '|' ||
+           pattern_[pos_] == ')';
+  }
+
+  StatusOr<Fragment> ParseAlternation() {
+    TSC_ASSIGN_OR_RETURN(Fragment frag, ParseConcat());
+    while (pos_ < pattern_.size() && pattern_[pos_] == '|') {
+      ++pos_;
+      TSC_ASSIGN_OR_RETURN(Fragment rhs, ParseConcat());
+      TSC_ASSIGN_OR_RETURN(const int split, NewState(State::kSplit));
+      (*states_)[split].out1 = frag.start;
+      (*states_)[split].out2 = rhs.start;
+      frag.start = split;
+      frag.dangling = Join(std::move(frag.dangling), std::move(rhs.dangling));
+    }
+    return frag;
+  }
+
+  StatusOr<Fragment> ParseConcat() {
+    // An empty branch (as in `a|` or `()`) is a pure-epsilon fragment:
+    // a split whose both outs dangle, collapsing to "accept here".
+    if (AtAtomEnd()) {
+      TSC_ASSIGN_OR_RETURN(const int split, NewState(State::kSplit));
+      Fragment frag;
+      frag.start = split;
+      frag.dangling = {{split, false}, {split, true}};
+      return frag;
+    }
+    TSC_ASSIGN_OR_RETURN(Fragment frag, ParseRepeat());
+    while (!AtAtomEnd()) {
+      TSC_ASSIGN_OR_RETURN(Fragment next, ParseRepeat());
+      Patch(frag.dangling, next.start);
+      frag.dangling = std::move(next.dangling);
+    }
+    return frag;
+  }
+
+  StatusOr<Fragment> ParseRepeat() {
+    TSC_ASSIGN_OR_RETURN(Fragment frag, ParseAtom());
+    if (pos_ == pattern_.size()) return frag;
+    const char op = pattern_[pos_];
+    if (op != '*' && op != '+' && op != '?') {
+      if (op == '{') {
+        return Status::InvalidArgument(
+            "bounded repeats {m,n} are not supported");
+      }
+      return frag;
+    }
+    ++pos_;
+    if (pos_ < pattern_.size() &&
+        (pattern_[pos_] == '*' || pattern_[pos_] == '+' ||
+         pattern_[pos_] == '?')) {
+      return Status::InvalidArgument(
+          "double quantifier (lazy quantifiers are not supported)");
+    }
+    TSC_ASSIGN_OR_RETURN(const int split, NewState(State::kSplit));
+    (*states_)[split].out1 = frag.start;
+    Fragment out;
+    if (op == '*') {
+      Patch(frag.dangling, split);
+      out.start = split;
+      out.dangling = {{split, true}};
+    } else if (op == '+') {
+      Patch(frag.dangling, split);
+      out.start = frag.start;
+      out.dangling = {{split, true}};
+    } else {  // '?'
+      out.start = split;
+      out.dangling = Join(std::move(frag.dangling), {{split, true}});
+    }
+    return out;
+  }
+
+  StatusOr<Fragment> ParseAtom() {
+    const char c = pattern_[pos_];
+    if (c == '*' || c == '+' || c == '?') {
+      return Status::InvalidArgument("quantifier with nothing to repeat");
+    }
+    if (c == '(') {
+      ++pos_;
+      TSC_ASSIGN_OR_RETURN(Fragment frag, ParseAlternation());
+      if (pos_ == pattern_.size() || pattern_[pos_] != ')') {
+        return Status::InvalidArgument("unclosed '(' in pattern");
+      }
+      ++pos_;
+      return frag;
+    }
+    if (c == '^' || c == '$') {
+      ++pos_;
+      TSC_ASSIGN_OR_RETURN(
+          const int state,
+          NewState(c == '^' ? State::kBegin : State::kEnd));
+      Fragment frag;
+      frag.start = state;
+      frag.dangling = {{state, false}};
+      return frag;
+    }
+    std::bitset<256> accept;
+    if (c == '[') {
+      ++pos_;
+      TSC_ASSIGN_OR_RETURN(accept, ParseClass());
+    } else if (c == '.') {
+      ++pos_;
+      accept = ClassAny();
+    } else if (c == '\\') {
+      ++pos_;
+      TSC_ASSIGN_OR_RETURN(accept, ParseEscape());
+    } else {
+      ++pos_;
+      accept.set(static_cast<unsigned char>(c));
+    }
+    TSC_ASSIGN_OR_RETURN(const int state, NewState(State::kChar));
+    (*states_)[state].accept = accept;
+    Fragment frag;
+    frag.start = state;
+    frag.dangling = {{state, false}};
+    return frag;
+  }
+
+  /// One `\x` escape, cursor already past the backslash.
+  StatusOr<std::bitset<256>> ParseEscape() {
+    if (pos_ == pattern_.size()) {
+      return Status::InvalidArgument("trailing backslash");
+    }
+    const char c = pattern_[pos_++];
+    std::bitset<256> set;
+    switch (c) {
+      case 'd': return ClassDigit();
+      case 'D': return ~ClassDigit();
+      case 'w': return ClassWord();
+      case 'W': return ~ClassWord();
+      case 's': return ClassSpace();
+      case 'S': return ~ClassSpace();
+      case 'n': set.set('\n'); return set;
+      case 't': set.set('\t'); return set;
+      case 'r': set.set('\r'); return set;
+      default:
+        if ((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+            (c >= '0' && c <= '9')) {
+          return Status::InvalidArgument(
+              std::string("unsupported escape '\\") + c + "'");
+        }
+        set.set(static_cast<unsigned char>(c));  // escaped punctuation
+        return set;
+    }
+  }
+
+  /// A `[...]` class, cursor already past the '['.
+  StatusOr<std::bitset<256>> ParseClass() {
+    std::bitset<256> set;
+    bool negate = false;
+    if (pos_ < pattern_.size() && pattern_[pos_] == '^') {
+      negate = true;
+      ++pos_;
+    }
+    bool empty = true;
+    while (pos_ < pattern_.size() && pattern_[pos_] != ']') {
+      const char c = pattern_[pos_++];
+      if (c == '\\') {
+        TSC_ASSIGN_OR_RETURN(const std::bitset<256> esc, ParseEscape());
+        set |= esc;
+        empty = false;
+        continue;
+      }
+      // `a-z` range: '-' is literal when first, last, or after a
+      // multi-byte escape class.
+      if (pos_ + 1 < pattern_.size() && pattern_[pos_] == '-' &&
+          pattern_[pos_ + 1] != ']') {
+        ++pos_;  // consume '-'
+        char hi = pattern_[pos_++];
+        if (hi == '\\') {
+          return Status::InvalidArgument(
+              "escape as a class range endpoint is not supported");
+        }
+        if (static_cast<unsigned char>(c) > static_cast<unsigned char>(hi)) {
+          return Status::InvalidArgument("inverted range in class");
+        }
+        for (int b = static_cast<unsigned char>(c);
+             b <= static_cast<unsigned char>(hi); ++b) {
+          set.set(b);
+        }
+      } else {
+        set.set(static_cast<unsigned char>(c));
+      }
+      empty = false;
+    }
+    if (pos_ == pattern_.size()) {
+      return Status::InvalidArgument("unclosed '[' in pattern");
+    }
+    ++pos_;  // consume ']'
+    if (empty) return Status::InvalidArgument("empty character class");
+    return negate ? ~set : set;
+  }
+
+  const std::string& pattern_;
+  std::vector<State>* states_;
+  std::size_t pos_ = 0;
+};
+
+StatusOr<LiteRegex> LiteRegex::Compile(const std::string& pattern) {
+  LiteRegex regex;
+  Parser parser(pattern, &regex.states_);
+  TSC_ASSIGN_OR_RETURN(regex.start_, parser.Run());
+  regex.seen_.assign(regex.states_.size(), 0);
+  return regex;
+}
+
+void LiteRegex::AddThread(std::size_t state, std::size_t pos,
+                          std::size_t len, std::vector<int>* list) {
+  if (seen_[state] == generation_) return;
+  seen_[state] = generation_;
+  const State& s = states_[state];
+  switch (s.kind) {
+    case State::kSplit:
+      AddThread(s.out1, pos, len, list);
+      AddThread(s.out2, pos, len, list);
+      break;
+    case State::kBegin:
+      if (pos == 0) AddThread(s.out1, pos, len, list);
+      break;
+    case State::kEnd:
+      if (pos == len) AddThread(s.out1, pos, len, list);
+      break;
+    case State::kChar:
+    case State::kMatch:
+      list->push_back(static_cast<int>(state));
+      break;
+  }
+}
+
+bool LiteRegex::Search(std::string_view text) {
+  // Breadth-first NFA simulation with a generation-stamped visited set.
+  // `current` holds the deduplicated kChar/kMatch threads active at
+  // `pos`; each step holds at most |states_| threads, so one Search is
+  // O(states x bytes) regardless of the pattern.
+  const std::size_t len = text.size();
+  std::vector<int> current, next;
+  current.reserve(states_.size());
+  next.reserve(states_.size());
+  // On the (theoretical) u32 wrap the stale stamps would alias the new
+  // generation; wipe them instead of matching against them.
+  if (generation_ >= ~0u - (len + 2)) {
+    seen_.assign(seen_.size(), 0);
+    generation_ = 0;
+  }
+  ++generation_;
+  AddThread(start_, 0, len, &current);
+  for (std::size_t pos = 0;; ++pos) {
+    for (const int id : current) {
+      if (states_[id].kind == State::kMatch) return true;
+    }
+    if (pos == len) return false;
+    ++generation_;
+    next.clear();
+    const unsigned char byte = static_cast<unsigned char>(text[pos]);
+    for (const int id : current) {
+      if (states_[id].kind == State::kChar && states_[id].accept[byte]) {
+        AddThread(states_[id].out1, pos + 1, len, &next);
+      }
+    }
+    // Unanchored search: a match may also start at the next position.
+    AddThread(start_, pos + 1, len, &next);
+    current.swap(next);
+  }
+}
+
+}  // namespace tsc

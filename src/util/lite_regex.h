@@ -1,0 +1,75 @@
+#ifndef TSC_UTIL_LITE_REGEX_H_
+#define TSC_UTIL_LITE_REGEX_H_
+
+#include <bitset>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace tsc {
+
+/// Linear-time regular-expression matcher: Thompson NFA construction
+/// plus breadth-first simulation (RE2-style guarantees without the
+/// dependency). One Search costs O(states x text bytes) in the worst
+/// case and never backtracks, so catastrophic patterns like `(a+)+$`
+/// run in the same bound as benign ones — safe to compile from
+/// untrusted client input.
+///
+/// Grammar (a practical ECMAScript subset, byte-oriented):
+///   literals; `.` (any byte but '\n'); escapes `\d \D \w \W \s \S`
+///   and escaped punctuation (`\.` `\\` ...); classes `[a-z0-9_]` /
+///   `[^...]` with ranges and the escapes above; groups `(...)`
+///   (non-capturing — no backreferences); alternation `|`; repetition
+///   `* + ?`; anchors `^` `$`.
+/// Rejected at compile time: bounded repeats `{m,n}`, lazy
+/// quantifiers, lookaround, backreferences, and patterns needing more
+/// than kMaxStates NFA states.
+class LiteRegex {
+ public:
+  /// Compiles `pattern`; the Status message names the offending
+  /// construct on failure.
+  static StatusOr<LiteRegex> Compile(const std::string& pattern);
+
+  /// Unanchored search (std::regex_search semantics): true when any
+  /// substring of `text` matches. Linear in text.size(). Non-const
+  /// because it reuses per-instance scratch lists — share one instance
+  /// per thread, not across threads.
+  bool Search(std::string_view text);
+
+  /// Ceiling on compiled NFA states (each pattern byte contributes
+  /// O(1) states, so the 256-byte wire cap stays well under this).
+  static constexpr std::size_t kMaxStates = 1024;
+
+ private:
+  struct State {
+    enum Kind : std::uint8_t {
+      kChar,   ///< consume one byte accepted by `accept`
+      kSplit,  ///< epsilon fork to out1 and out2
+      kBegin,  ///< epsilon, only at text start (`^`)
+      kEnd,    ///< epsilon, only at text end (`$`)
+      kMatch,  ///< accepting state
+    };
+    Kind kind = kMatch;
+    std::bitset<256> accept;  ///< kChar only
+    int out1 = -1;
+    int out2 = -1;  ///< kSplit only
+  };
+
+  class Parser;
+
+  void AddThread(std::size_t state, std::size_t pos, std::size_t len,
+                 std::vector<int>* list);
+
+  std::vector<State> states_;
+  int start_ = -1;
+  // Scratch for the visited-set generation trick; sized to states_.
+  std::vector<std::uint32_t> seen_;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_UTIL_LITE_REGEX_H_

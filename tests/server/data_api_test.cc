@@ -72,7 +72,7 @@ TEST(ParseRowsParamTest, RejectsHostileSelections) {
 TEST(ResolveRowsPatternTest, MatchesAndCoalescesConsecutiveKeys) {
   const std::vector<std::string> keys = {"web-a", "web-b", "db-a",
                                          "web-c", "db-b"};
-  auto ranges = ResolveRowsPattern("^web", keys);
+  auto ranges = ResolveRowsPattern("^web", keys, keys.size());
   ASSERT_TRUE(ranges.ok()) << ranges.status().ToString();
   // web-a, web-b coalesce into 0:1; web-c stands alone at 3.
   ASSERT_EQ(ranges->size(), 2u);
@@ -82,14 +82,14 @@ TEST(ResolveRowsPatternTest, MatchesAndCoalescesConsecutiveKeys) {
   EXPECT_EQ((*ranges)[1].hi, 3u);
 
   // Searched anywhere in the key, not anchored.
-  ranges = ResolveRowsPattern("-a$", keys);
+  ranges = ResolveRowsPattern("-a$", keys, keys.size());
   ASSERT_TRUE(ranges.ok());
   ASSERT_EQ(ranges->size(), 2u);
   EXPECT_EQ((*ranges)[0].lo, 0u);
   EXPECT_EQ((*ranges)[1].lo, 2u);
 
   // Every key matches: one full range.
-  ranges = ResolveRowsPattern(".", keys);
+  ranges = ResolveRowsPattern(".", keys, keys.size());
   ASSERT_TRUE(ranges.ok());
   ASSERT_EQ(ranges->size(), 1u);
   EXPECT_EQ((*ranges)[0].lo, 0u);
@@ -98,11 +98,39 @@ TEST(ResolveRowsPatternTest, MatchesAndCoalescesConsecutiveKeys) {
 
 TEST(ResolveRowsPatternTest, RejectsHostilePatterns) {
   const std::vector<std::string> keys = {"web-a", "web-b"};
-  EXPECT_FALSE(ResolveRowsPattern("zzz", keys).ok());      // no match
-  EXPECT_FALSE(ResolveRowsPattern("[", keys).ok());        // bad regex
-  EXPECT_FALSE(ResolveRowsPattern("(unclosed", keys).ok());
+  EXPECT_FALSE(ResolveRowsPattern("zzz", keys, 2).ok());  // no match
+  EXPECT_FALSE(ResolveRowsPattern("[", keys, 2).ok());    // bad regex
+  EXPECT_FALSE(ResolveRowsPattern("(unclosed", keys, 2).ok());
   EXPECT_FALSE(
-      ResolveRowsPattern(std::string(300, 'a'), keys).ok());  // too long
+      ResolveRowsPattern(std::string(300, 'a'), keys, 2).ok());  // too long
+}
+
+TEST(ResolveRowsPatternTest, CatastrophicPatternStaysLinear) {
+  // `(a+)+$` against keys of a's ending in 'b' is the classic
+  // exponential-backtracking bomb; the linear-time engine must chew
+  // through it instantly (a backtracking engine would hang the test
+  // for longer than the heat death of the CI machine).
+  std::vector<std::string> keys(64, std::string(128, 'a') + "b");
+  keys.push_back(std::string(128, 'a'));  // one real match at the end
+  auto ranges = ResolveRowsPattern("(a+)+$", keys, keys.size());
+  ASSERT_TRUE(ranges.ok()) << ranges.status().ToString();
+  ASSERT_EQ(ranges->size(), 1u);
+  EXPECT_EQ((*ranges)[0].lo, 64u);
+  EXPECT_EQ((*ranges)[0].hi, 64u);
+}
+
+TEST(ResolveRowsPatternTest, IgnoresSurplusKeysBeyondNumRows) {
+  // An oversized key map must not mint indices >= num_rows: a pattern
+  // matching both a real and a surplus key returns the real rows.
+  const std::vector<std::string> keys = {"web-a", "db-a", "web-surplus"};
+  auto ranges = ResolveRowsPattern("^web", keys, 2);
+  ASSERT_TRUE(ranges.ok()) << ranges.status().ToString();
+  ASSERT_EQ(ranges->size(), 1u);
+  EXPECT_EQ((*ranges)[0].lo, 0u);
+  EXPECT_EQ((*ranges)[0].hi, 0u);
+
+  // A pattern matching only surplus keys selects nothing.
+  EXPECT_FALSE(ResolveRowsPattern("surplus", keys, 2).ok());
 }
 
 TEST(ResolveDataRequestTest, RowsPatternNeedsTheKeyMap) {

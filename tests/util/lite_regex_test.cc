@@ -1,0 +1,122 @@
+// LiteRegex: the linear-time pattern engine behind the data API's
+// rows=~ key filter. Grammar coverage, compile-time rejections, and
+// the no-backtracking guarantee against classic ReDoS bombs.
+
+#include "util/lite_regex.h"
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace tsc {
+namespace {
+
+bool Matches(const std::string& pattern, const std::string& text) {
+  auto regex = LiteRegex::Compile(pattern);
+  EXPECT_TRUE(regex.ok()) << pattern << ": " << regex.status().ToString();
+  if (!regex.ok()) return false;
+  return regex->Search(text);
+}
+
+TEST(LiteRegexTest, LiteralsAndUnanchoredSearch) {
+  EXPECT_TRUE(Matches("web", "web-a"));
+  EXPECT_TRUE(Matches("eb-", "web-a"));   // anywhere in the text
+  EXPECT_FALSE(Matches("web", "wb-a"));
+  EXPECT_TRUE(Matches("", "anything"));   // empty pattern matches all
+  EXPECT_FALSE(Matches("a", ""));
+}
+
+TEST(LiteRegexTest, Anchors) {
+  EXPECT_TRUE(Matches("^web", "web-a"));
+  EXPECT_FALSE(Matches("^eb", "web-a"));
+  EXPECT_TRUE(Matches("-a$", "web-a"));
+  EXPECT_FALSE(Matches("web$", "web-a"));
+  EXPECT_TRUE(Matches("^web-a$", "web-a"));
+  EXPECT_FALSE(Matches("^web-a$", "web-ab"));
+}
+
+TEST(LiteRegexTest, Quantifiers) {
+  EXPECT_TRUE(Matches("ab*c", "ac"));
+  EXPECT_TRUE(Matches("ab*c", "abbbc"));
+  EXPECT_FALSE(Matches("ab+c", "ac"));
+  EXPECT_TRUE(Matches("ab+c", "abc"));
+  EXPECT_TRUE(Matches("ab?c", "ac"));
+  EXPECT_TRUE(Matches("ab?c", "abc"));
+  EXPECT_FALSE(Matches("^ab?c$", "abbc"));
+}
+
+TEST(LiteRegexTest, DotClassesAndEscapes) {
+  EXPECT_TRUE(Matches("w.b", "web"));
+  EXPECT_FALSE(Matches("w.b", "w\nb"));  // ECMAScript '.': no newline
+  EXPECT_TRUE(Matches("[a-c]+$", "cab"));
+  EXPECT_FALSE(Matches("^[a-c]+$", "cad"));
+  EXPECT_TRUE(Matches("[^0-9]", "a1"));
+  EXPECT_FALSE(Matches("^[^0-9]+$", "123"));
+  EXPECT_TRUE(Matches("\\d+", "cpu42"));
+  EXPECT_FALSE(Matches("\\d", "cpu"));
+  EXPECT_TRUE(Matches("\\w+", "under_score"));
+  EXPECT_TRUE(Matches("\\s", "a b"));
+  EXPECT_TRUE(Matches("a\\.b", "a.b"));
+  EXPECT_FALSE(Matches("a\\.b", "axb"));  // escaped dot is literal
+  EXPECT_TRUE(Matches("[-x]", "a-b"));    // leading '-' is literal
+}
+
+TEST(LiteRegexTest, AlternationAndGroups) {
+  EXPECT_TRUE(Matches("cat|dog", "hotdog"));
+  EXPECT_FALSE(Matches("^(cat|dog)$", "cow"));
+  EXPECT_TRUE(Matches("^(ab)+$", "ababab"));
+  EXPECT_FALSE(Matches("^(ab)+$", "ababa"));
+  EXPECT_TRUE(Matches("x(a|)y", "xy"));  // empty branch
+}
+
+TEST(LiteRegexTest, CompileRejections) {
+  EXPECT_FALSE(LiteRegex::Compile("[").ok());
+  EXPECT_FALSE(LiteRegex::Compile("(unclosed").ok());
+  EXPECT_FALSE(LiteRegex::Compile("closed)").ok());
+  EXPECT_FALSE(LiteRegex::Compile("*leading").ok());
+  EXPECT_FALSE(LiteRegex::Compile("a{2,3}").ok());  // bounded repeat
+  EXPECT_FALSE(LiteRegex::Compile("a+?").ok());     // lazy quantifier
+  EXPECT_FALSE(LiteRegex::Compile("a**").ok());
+  EXPECT_FALSE(LiteRegex::Compile("(?=x)").ok());   // lookahead
+  EXPECT_FALSE(LiteRegex::Compile("\\").ok());      // trailing backslash
+  EXPECT_FALSE(LiteRegex::Compile("\\b").ok());     // unsupported escape
+  EXPECT_FALSE(LiteRegex::Compile("[]").ok());      // empty class
+  EXPECT_FALSE(LiteRegex::Compile("[z-a]").ok());   // inverted range
+}
+
+TEST(LiteRegexTest, RedosBombsRunInLinearTime) {
+  // Each of these drives a backtracking engine exponential; the NFA
+  // simulation is O(states x bytes) and finishes in microseconds.
+  const std::string almost = std::string(256, 'a') + "b";
+  auto nested = LiteRegex::Compile("(a+)+$");
+  ASSERT_TRUE(nested.ok());
+  EXPECT_FALSE(nested->Search(almost));
+  EXPECT_TRUE(nested->Search(std::string(256, 'a')));
+
+  auto overlapping = LiteRegex::Compile("(a|a)+$");
+  ASSERT_TRUE(overlapping.ok());
+  EXPECT_FALSE(overlapping->Search(almost));
+
+  // Deeply ambiguous concatenation of optionals: (a?){N}a{N} shape,
+  // spelled out since bounded repeats are rejected.
+  std::string pattern = "^";
+  for (int i = 0; i < 24; ++i) pattern += "a?";
+  for (int i = 0; i < 24; ++i) pattern += "a";
+  pattern += "$";
+  auto optionals = LiteRegex::Compile(pattern);
+  ASSERT_TRUE(optionals.ok());
+  EXPECT_TRUE(optionals->Search(std::string(24, 'a')));
+  EXPECT_TRUE(optionals->Search(std::string(48, 'a')));
+  EXPECT_FALSE(optionals->Search(std::string(23, 'a')));
+}
+
+TEST(LiteRegexTest, StateCapBoundsPatternComplexity) {
+  // The 256-byte wire cap keeps real patterns far below kMaxStates,
+  // but Compile itself must also refuse unbounded blowup.
+  std::string huge;
+  for (int i = 0; i < 2000; ++i) huge += "a?";
+  EXPECT_FALSE(LiteRegex::Compile(huge).ok());
+}
+
+}  // namespace
+}  // namespace tsc
