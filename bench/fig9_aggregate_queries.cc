@@ -10,17 +10,19 @@
 // sum-type queries over skewed data.
 //
 // Flags: --space=1,2,5,10,15,20  --phone_rows=2000  --queries=50
-//        --cell_fraction=0.1
+//        --cell_fraction=0.1  --json=BENCH_fig9_aggregate_queries.json
 
 #include <cstdio>
 #include <vector>
 
 #include "baselines/sampling.h"
 #include "common/bench_datasets.h"
+#include "common/json_reporter.h"
 #include "core/metrics.h"
 #include "core/query.h"
 #include "util/ascii_plot.h"
 #include "util/flags.h"
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
@@ -33,6 +35,7 @@ int main(int argc, char** argv) {
       static_cast<std::size_t>(flags.GetInt("phone_rows", 2000));
   const int num_queries = static_cast<int>(flags.GetInt("queries", 50));
   const double cell_fraction = flags.GetDouble("cell_fraction", 0.1);
+  const std::string json_path = flags.GetString("json", "");
 
   std::printf("=== Figure 9: aggregate-query error vs space (SVDD) ===\n\n");
   const tsc::Dataset dataset = tsc::bench::MakePhoneDataset(phone_rows);
@@ -55,6 +58,13 @@ int main(int argc, char** argv) {
 
   tsc::TablePrinter table(
       {"s%", "avg Qerr%", "max Qerr%", "cell RMSPE%", "sampling Qerr%"});
+  tsc::bench::JsonReporter report(
+      "fig9_aggregate_queries",
+      {"space_pct", "avg_qerr_pct", "max_qerr_pct", "cell_rmspe_pct",
+       "sampling_qerr_pct"});
+  report.AddScalar("phone_rows", static_cast<double>(phone_rows));
+  report.AddScalar("queries", static_cast<double>(num_queries));
+  report.AddScalar("cell_fraction", cell_fraction);
   tsc::Series agg_series{.name = "svdd aggregate", .marker = '+', .x = {}, .y = {}};
   tsc::Series cell_series{.name = "svdd single-cell", .marker = 'o', .x = {}, .y = {}};
 
@@ -88,6 +98,13 @@ int main(int argc, char** argv) {
                   sample_err.count() > 0
                       ? tsc::TablePrinter::Percent(100.0 * sample_err.mean())
                       : std::string("-")});
+    report.AddRow({tsc::TablePrinter::Num(s),
+                   tsc::TablePrinter::Num(100.0 * qerr.mean()),
+                   tsc::TablePrinter::Num(100.0 * qerr.max()),
+                   tsc::TablePrinter::Num(100.0 * rmspe),
+                   sample_err.count() > 0
+                       ? tsc::TablePrinter::Num(100.0 * sample_err.mean())
+                       : std::string("-")});
     agg_series.x.push_back(s);
     agg_series.y.push_back(100.0 * qerr.mean());
     cell_series.x.push_back(s);
@@ -103,5 +120,9 @@ int main(int argc, char** argv) {
   options.log_y = true;
   std::printf("%s",
               tsc::RenderPlot({agg_series, cell_series}, options).c_str());
+  if (!json_path.empty()) {
+    TSC_CHECK_OK(report.WriteFile(json_path));
+    std::printf("json report written to %s\n", json_path.c_str());
+  }
   return 0;
 }

@@ -17,8 +17,8 @@ OUT_DIR="${2:-.}"
 SNAPSHOT_N="${3:-${BENCH_SNAPSHOT:-}}"
 BENCH_DIR="${BUILD_DIR}/bench"
 
-BENCHES=(query_throughput build_scaling micro_reconstruction io_scan
-  server_load)
+BENCHES=(query_throughput fig9_aggregate_queries build_scaling
+  micro_reconstruction io_scan server_load)
 
 for bin in "${BENCHES[@]}"; do
   if [[ ! -x "${BENCH_DIR}/${bin}" ]]; then
@@ -33,6 +33,11 @@ mkdir -p "${OUT_DIR}"
 echo "== query_throughput =="
 "${BENCH_DIR}/query_throughput" --rows=2000 --cells=200 --aggregates=10 \
   --json="${OUT_DIR}/BENCH_query_throughput.json"
+
+echo
+echo "== fig9_aggregate_queries =="
+"${BENCH_DIR}/fig9_aggregate_queries" --space=2,5,10 --phone_rows=1000 \
+  --queries=25 --json="${OUT_DIR}/BENCH_fig9_aggregate_queries.json"
 
 echo
 echo "== build_scaling =="

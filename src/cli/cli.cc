@@ -49,7 +49,10 @@ commands:
   query      --model=MODEL (--q="avg rows=0:9 cols=1,3:5" | --cell=i,j)
              [--threads=N]
   sql        --model=MODEL --query="SELECT sum(value) WHERE row IN 0:99"
-             [--explain] [--analyze] [--threads=N]
+             [--explain] [--analyze] [--threads=N] [--no-rollup]
+                          (--no-rollup disables the aggregate hierarchy;
+                           sum/avg/count fall back to the flat
+                           compressed-domain identity)
   topk       --model=MODEL --count=10 [--cols=a:b] (largest column-range sums)
   similar    --model=MODEL --row=I --count=5 (nearest sequences in SVD space)
   evaluate   --model=MODEL --input=FILE
@@ -63,7 +66,7 @@ commands:
              [--timeout-ms=MS] [--batch-window-us=US] [--duration-s=S]
              [--cache-blocks=N] [--io-backend=...] [--prefetch-depth=N]
              [--keys=FILE] [--slowlog=K] [--slo-budget-ms=MS]
-             [--slo-window-s=S]
+             [--slo-window-s=S] [--no-rollup]
                           (HTTP query server on 127.0.0.1; endpoints
                            /api/v1/data, /api/v1/query, /api/v1/cell,
                            /api/v1/debug/slow, /metrics, /healthz —
@@ -341,8 +344,11 @@ int CmdSql(const FlagParser& flags, std::ostream& out, std::ostream& err) {
           : nullptr;
   const std::size_t threads =
       static_cast<std::size_t>(flags.GetInt("threads", 1));
+  // --no-rollup falls back to the flat compressed-domain identity (the
+  // pre-hierarchy strategy); TSC_NO_ROLLUP=1 does the same per-process.
+  const bool enable_rollup = !flags.GetBool("no-rollup", false);
   const QueryExecutor executor =
-      svdd != nullptr ? QueryExecutor(svdd, threads)
+      svdd != nullptr ? QueryExecutor(svdd, threads, enable_rollup)
                       : QueryExecutor(loaded->store.get(), threads);
   if (flags.GetBool("explain", false)) {
     auto plan = executor.Explain(text);
@@ -743,7 +749,9 @@ int CmdServe(const FlagParser& flags, std::ostream& out, std::ostream& err) {
     out << "serving from disk layout (" << disk_store->io_backend_name()
         << " backend, " << cache_blocks << "-block cache)\n";
   } else if (svdd != nullptr) {
-    executor.emplace(svdd, 1);
+    // --no-rollup serves sum/avg via the flat compressed-domain path
+    // instead of the aggregate hierarchy (see docs/server.md).
+    executor.emplace(svdd, 1, !flags.GetBool("no-rollup", false));
   } else {
     executor.emplace(store, 1);
   }

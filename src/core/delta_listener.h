@@ -1,0 +1,90 @@
+#ifndef TSC_CORE_DELTA_LISTENER_H_
+#define TSC_CORE_DELTA_LISTENER_H_
+
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace tsc {
+
+/// Observer of SvddModel delta-table mutations. Derived acceleration
+/// structures (the cube-layer aggregate hierarchy) register one of these
+/// so each PatchCell keeps their O(log) rollup nodes fresh instead of
+/// forcing a rebuild.
+class DeltaUpdateListener {
+ public:
+  virtual ~DeltaUpdateListener() = default;
+
+  /// Cell (row, col) changed its stored delta from `old_delta` (0.0 and
+  /// had_old == false when the cell was not an outlier before) to
+  /// `new_delta`. Called after the delta table itself was updated, on
+  /// the mutating thread; implementations do their own locking against
+  /// concurrent readers.
+  virtual void OnDeltaUpdate(std::size_t row, std::size_t col,
+                             double old_delta, bool had_old,
+                             double new_delta) = 0;
+};
+
+/// Listener set attached to one SvddModel instance. Registration is a
+/// statistics/acceleration concern, not logical model state (the same
+/// stance the DeltaTable takes for its probe counter), so attaching is
+/// const; listeners are held weakly so a dropped hierarchy never
+/// dangles. Copies and moves of the owning model deliberately start
+/// with an empty set: listeners are bound to the address of the
+/// instance they indexed.
+class DeltaListenerRegistry {
+ public:
+  DeltaListenerRegistry() = default;
+  DeltaListenerRegistry(const DeltaListenerRegistry&) {}
+  DeltaListenerRegistry& operator=(const DeltaListenerRegistry&) {
+    return *this;
+  }
+  DeltaListenerRegistry(DeltaListenerRegistry&&) noexcept {}
+  DeltaListenerRegistry& operator=(DeltaListenerRegistry&&) noexcept {
+    return *this;
+  }
+
+  void Attach(std::weak_ptr<DeltaUpdateListener> listener) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    // Prune expired slots while we hold the lock anyway.
+    std::erase_if(listeners_,
+                  [](const std::weak_ptr<DeltaUpdateListener>& w) {
+                    return w.expired();
+                  });
+    listeners_.push_back(std::move(listener));
+  }
+
+  void Notify(std::size_t row, std::size_t col, double old_delta,
+              bool had_old, double new_delta) const {
+    std::vector<std::shared_ptr<DeltaUpdateListener>> alive;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      alive.reserve(listeners_.size());
+      for (const auto& weak : listeners_) {
+        if (auto strong = weak.lock()) alive.push_back(std::move(strong));
+      }
+    }
+    // Dispatch outside the registry lock: listeners take their own
+    // (reader/writer) locks and must not nest under this one.
+    for (const auto& listener : alive) {
+      listener->OnDeltaUpdate(row, col, old_delta, had_old, new_delta);
+    }
+  }
+
+  bool empty() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& weak : listeners_) {
+      if (!weak.expired()) return false;
+    }
+    return true;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  mutable std::vector<std::weak_ptr<DeltaUpdateListener>> listeners_;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_DELTA_LISTENER_H_

@@ -211,9 +211,13 @@ Status SvddModel::PatchCell(std::size_t row, std::size_t col,
     return Status::OutOfRange("cell out of range");
   }
   const std::uint64_t key = DeltaTable::CellKey(row, col, cols());
-  deltas_.Put(key, exact_value - svd_.ReconstructCell(row, col));
+  const std::optional<double> old_delta = deltas_.Get(key);
+  const double new_delta = exact_value - svd_.ReconstructCell(row, col);
+  deltas_.Put(key, new_delta);
   // The Bloom filter must admit the new key or lookups would skip it.
   if (bloom_.has_value()) bloom_->Add(key);
+  delta_listeners_.Notify(row, col, old_delta.value_or(0.0),
+                          old_delta.has_value(), new_delta);
   return Status::Ok();
 }
 

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/compressed_store.h"
+#include "core/delta_listener.h"
 #include "core/space_budget.h"
 #include "core/svd_compressor.h"
 #include "storage/bloom_filter.h"
@@ -68,6 +69,15 @@ class SvddModel : public CompressedStore {
   /// costs one delta-table entry of space.
   Status PatchCell(std::size_t row, std::size_t col, double exact_value);
 
+  /// Registers a delta-update observer (weakly held): every PatchCell
+  /// then reports the (row, col, old, new) change so derived rollup
+  /// structures stay fresh in O(log) instead of rebuilding. Const for
+  /// the same reason the probe counter is mutable — registration is an
+  /// acceleration concern, not logical model state.
+  void AttachDeltaListener(std::weak_ptr<DeltaUpdateListener> listener) const {
+    delta_listeners_.Attach(std::move(listener));
+  }
+
   Status Serialize(BinaryWriter* writer) const;
   static StatusOr<SvddModel> Deserialize(BinaryReader* reader);
   Status SaveToFile(const std::string& path) const;
@@ -77,6 +87,9 @@ class SvddModel : public CompressedStore {
   SvdModel svd_;
   DeltaTable deltas_;
   std::optional<BloomFilter> bloom_;
+  /// Weakly-held observers of PatchCell; reset on copy/move (see
+  /// DeltaListenerRegistry).
+  DeltaListenerRegistry delta_listeners_;
 };
 
 /// Options for the 3-pass SVDD build.

@@ -1,0 +1,280 @@
+#include "cube/rollup.h"
+
+#include <algorithm>
+#include <bit>
+#include <mutex>
+
+#include "linalg/kernels.h"
+
+namespace tsc {
+
+namespace {
+
+/// Smallest power of two >= n (>= 1 so the root always exists).
+std::size_t LeafBase(std::size_t n) {
+  return std::bit_ceil(std::max<std::size_t>(n, 1));
+}
+
+/// Membership test against sorted disjoint runs.
+bool InRanges(std::span<const IdRange> ranges, std::size_t id) {
+  auto it = std::upper_bound(
+      ranges.begin(), ranges.end(), id,
+      [](std::size_t v, const IdRange& r) { return v < r.lo; });
+  if (it == ranges.begin()) return false;
+  return id <= std::prev(it)->hi;
+}
+
+/// True when the runs tile [0, n) completely — the full-width fast path
+/// where deltas resolve from tree nodes alone.
+bool CoversAll(std::span<const IdRange> ranges, std::size_t n) {
+  std::size_t next = 0;
+  for (const IdRange& r : ranges) {
+    if (r.lo > next) return false;
+    next = std::max(next, r.hi + 1);
+    if (next >= n) return true;
+  }
+  return next >= n;
+}
+
+}  // namespace
+
+std::vector<IdRange> CoalesceIds(std::span<const std::size_t> ids) {
+  std::vector<IdRange> runs;
+  for (const std::size_t id : ids) {
+    if (!runs.empty() && id <= runs.back().hi) continue;
+    if (!runs.empty() && id == runs.back().hi + 1) {
+      runs.back().hi = id;
+    } else {
+      runs.push_back({id, id});
+    }
+  }
+  return runs;
+}
+
+std::shared_ptr<AggregateHierarchy> AggregateHierarchy::Build(
+    const SvddModel& model) {
+  std::shared_ptr<AggregateHierarchy> h(new AggregateHierarchy());
+  h->rows_ = model.rows();
+  h->cols_ = model.cols();
+  h->k_ = model.k();
+  h->row_leaf_base_ = LeafBase(h->rows_);
+  h->col_leaf_base_ = LeafBase(h->cols_);
+  h->row_tree_ = Tensor({2 * h->row_leaf_base_, h->k_});
+  h->col_tree_ = Tensor({2 * h->col_leaf_base_, h->k_});
+  h->delta_tree_ = Tensor({2 * h->row_leaf_base_, 2});
+  h->row_deltas_.resize(h->rows_);
+
+  // Factor sides: leaves are the (possibly quantization-snapped) U rows
+  // and the Lambda-weighted V rows; internal nodes sum their children.
+  const Matrix& u = model.svd().u();
+  const Matrix& wv = model.svd().weighted_v();
+  const auto fill = [k = h->k_](Tensor& tree, std::size_t leaf_base,
+                                const Matrix& leaves, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) {
+      std::span<double> node = tree.Slice(leaf_base + i);
+      std::span<const double> row = leaves.Row(i);
+      std::copy(row.begin(), row.end(), node.begin());
+    }
+    for (std::size_t node = leaf_base; node-- > 1;) {
+      std::span<double> out = tree.Slice(node);
+      kernels::Axpy(1.0, tree.Slice(2 * node).data(), out.data(), k);
+      kernels::Axpy(1.0, tree.Slice(2 * node + 1).data(), out.data(), k);
+    }
+  };
+  fill(h->row_tree_, h->row_leaf_base_, u, h->rows_);
+  fill(h->col_tree_, h->col_leaf_base_, wv, h->cols_);
+
+  // Delta side: bucket every stored delta by row, sort each row's list
+  // by column, then one upward pass for the (sum, count) tree.
+  if (h->cols_ > 0) {
+    model.deltas().ForEach([&](std::uint64_t key, double delta) {
+      const std::size_t row = static_cast<std::size_t>(key / h->cols_);
+      const std::size_t col = static_cast<std::size_t>(key % h->cols_);
+      if (row < h->rows_) h->row_deltas_[row].push_back({col, delta});
+    });
+  }
+  for (std::size_t row = 0; row < h->rows_; ++row) {
+    auto& list = h->row_deltas_[row];
+    std::sort(list.begin(), list.end());
+    std::span<double> leaf = h->delta_tree_.Slice(h->row_leaf_base_ + row);
+    for (const auto& [col, delta] : list) leaf[0] += delta;
+    leaf[1] = static_cast<double>(list.size());
+  }
+  for (std::size_t node = h->row_leaf_base_; node-- > 1;) {
+    std::span<double> out = h->delta_tree_.Slice(node);
+    std::span<const double> lhs = h->delta_tree_.Slice(2 * node);
+    std::span<const double> rhs = h->delta_tree_.Slice(2 * node + 1);
+    out[0] = lhs[0] + rhs[0];
+    out[1] = lhs[1] + rhs[1];
+  }
+
+  model.AttachDeltaListener(h);
+  return h;
+}
+
+std::uint64_t AggregateHierarchy::MemoryBytes() const {
+  std::uint64_t bytes =
+      (row_tree_.size() + col_tree_.size() + delta_tree_.size()) *
+      sizeof(double);
+  const std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  for (const auto& list : row_deltas_) {
+    bytes += list.capacity() * sizeof(std::pair<std::size_t, double>);
+  }
+  return bytes;
+}
+
+void AggregateHierarchy::AccumulateMass(const Tensor& tree,
+                                        std::size_t leaf_base,
+                                        std::span<const IdRange> ranges,
+                                        std::span<double> out,
+                                        RollupStats* stats) const {
+  for (const IdRange& r : ranges) {
+    std::size_t lo = leaf_base + r.lo;
+    std::size_t hi = leaf_base + r.hi + 1;  // exclusive
+    while (lo < hi) {
+      if (lo & 1) {
+        kernels::Axpy(1.0, tree.Slice(lo++).data(), out.data(), k_);
+        if (stats != nullptr) ++stats->nodes_read;
+      }
+      if (hi & 1) {
+        kernels::Axpy(1.0, tree.Slice(--hi).data(), out.data(), k_);
+        if (stats != nullptr) ++stats->nodes_read;
+      }
+      lo >>= 1;
+      hi >>= 1;
+    }
+  }
+}
+
+void AggregateHierarchy::AccumulateRowMass(std::span<const IdRange> row_ranges,
+                                           std::span<double> out,
+                                           RollupStats* stats) const {
+  AccumulateMass(row_tree_, row_leaf_base_, row_ranges, out, stats);
+}
+
+void AggregateHierarchy::AccumulateColMass(std::span<const IdRange> col_ranges,
+                                           std::span<double> out,
+                                           RollupStats* stats) const {
+  AccumulateMass(col_tree_, col_leaf_base_, col_ranges, out, stats);
+}
+
+double AggregateHierarchy::DeltaSum(std::span<const IdRange> row_ranges,
+                                    std::span<const IdRange> col_ranges,
+                                    RollupStats* stats) const {
+  const std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  if (CoversAll(col_ranges, cols_)) {
+    // Full-width: the canonical decomposition over the (sum, count) tree
+    // answers without touching a single per-row list.
+    double sum = 0.0;
+    for (const IdRange& r : row_ranges) {
+      std::size_t lo = row_leaf_base_ + r.lo;
+      std::size_t hi = row_leaf_base_ + r.hi + 1;
+      while (lo < hi) {
+        if (lo & 1) {
+          sum += delta_tree_.Slice(lo++)[0];
+          if (stats != nullptr) ++stats->nodes_read;
+        }
+        if (hi & 1) {
+          sum += delta_tree_.Slice(--hi)[0];
+          if (stats != nullptr) ++stats->nodes_read;
+        }
+        lo >>= 1;
+        hi >>= 1;
+      }
+    }
+    return sum;
+  }
+  double sum = 0.0;
+  VisitRegionDeltasLocked(row_ranges, col_ranges, stats,
+                          [&](std::size_t, std::size_t, double delta) {
+                            sum += delta;
+                          });
+  return sum;
+}
+
+void AggregateHierarchy::VisitRegionDeltas(
+    std::span<const IdRange> row_ranges, std::span<const IdRange> col_ranges,
+    RollupStats* stats,
+    const std::function<void(std::size_t, std::size_t, double)>& fn) const {
+  const std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  VisitRegionDeltasLocked(row_ranges, col_ranges, stats, fn);
+}
+
+void AggregateHierarchy::VisitRegionDeltasLocked(
+    std::span<const IdRange> row_ranges, std::span<const IdRange> col_ranges,
+    RollupStats* stats,
+    const std::function<void(std::size_t, std::size_t, double)>& fn) const {
+  for (const IdRange& rr : row_ranges) {
+    // Count-pruned descent: a node whose subtree holds zero deltas is
+    // skipped whole, so sparse regions cost O(log N), not O(rows).
+    const auto descend = [&](const auto& self, std::size_t node,
+                             std::size_t lo, std::size_t hi) -> void {
+      if (hi < rr.lo || lo > rr.hi) return;
+      if (stats != nullptr) ++stats->nodes_read;
+      if (delta_tree_.Slice(node)[1] == 0.0) return;
+      if (node >= row_leaf_base_) {
+        const std::size_t row = node - row_leaf_base_;
+        for (const auto& [col, delta] : row_deltas_[row]) {
+          if (InRanges(col_ranges, col)) {
+            if (stats != nullptr) ++stats->deltas_folded;
+            fn(row, col, delta);
+          }
+        }
+        return;
+      }
+      const std::size_t mid = lo + (hi - lo) / 2;
+      self(self, 2 * node, lo, mid);
+      self(self, 2 * node + 1, mid + 1, hi);
+    };
+    descend(descend, 1, 0, row_leaf_base_ - 1);
+  }
+}
+
+double AggregateHierarchy::RegionSum(std::span<const IdRange> row_ranges,
+                                     std::span<const IdRange> col_ranges,
+                                     RollupStats* stats) const {
+  std::vector<double> row_mass(k_, 0.0);
+  std::vector<double> col_mass(k_, 0.0);
+  AccumulateRowMass(row_ranges, row_mass, stats);
+  AccumulateColMass(col_ranges, col_mass, stats);
+  return kernels::Dot(row_mass.data(), col_mass.data(), k_) +
+         DeltaSum(row_ranges, col_ranges, stats);
+}
+
+void AggregateHierarchy::OnDeltaUpdate(std::size_t row, std::size_t col,
+                                       double old_delta, bool had_old,
+                                       double new_delta) {
+  // Rows folded in after the build (FoldInRows) are beyond the tree's
+  // leaf span; the hierarchy is documented as rebuild-required then.
+  if (row >= rows_) return;
+  (void)old_delta;
+  (void)had_old;
+  const std::unique_lock<std::shared_mutex> lock(delta_mutex_);
+  auto& list = row_deltas_[row];
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), col,
+      [](const std::pair<std::size_t, double>& p, std::size_t c) {
+        return p.first < c;
+      });
+  // Trust our own list for the previous value: it is exactly what the
+  // tree currently has folded in, even if a notification was ever missed.
+  double applied_old = 0.0;
+  bool existed = false;
+  if (it != list.end() && it->first == col) {
+    applied_old = it->second;
+    existed = true;
+    it->second = new_delta;
+  } else {
+    list.insert(it, {col, new_delta});
+  }
+  const double sum_diff = new_delta - applied_old;
+  const double count_diff = existed ? 0.0 : 1.0;
+  for (std::size_t node = row_leaf_base_ + row;; node >>= 1) {
+    std::span<double> payload = delta_tree_.Slice(node);
+    payload[0] += sum_diff;
+    payload[1] += count_diff;
+    if (node == 1) break;
+  }
+}
+
+}  // namespace tsc

@@ -37,6 +37,20 @@ class Tensor {
   /// Inverse of FlatIndex.
   std::vector<std::size_t> MultiIndex(std::size_t flat) const;
 
+  /// Contiguous view of the subtensor at index `i` along axis 0 (the
+  /// row-major layout makes it one span of size / dim(0) values). This
+  /// is how tree-structured consumers (the aggregate rollup hierarchy)
+  /// address per-node payload vectors stored in a {nodes, payload}
+  /// tensor without going through multi-index arithmetic per element.
+  std::span<double> Slice(std::size_t i) {
+    const std::size_t stride = data_.size() / dims_[0];
+    return std::span<double>(data_.data() + i * stride, stride);
+  }
+  std::span<const double> Slice(std::size_t i) const {
+    const std::size_t stride = data_.size() / dims_[0];
+    return std::span<const double>(data_.data() + i * stride, stride);
+  }
+
   const std::vector<double>& data() const { return data_; }
   std::vector<double>& data() { return data_; }
 

@@ -35,6 +35,9 @@ struct QueryCostVector {
   std::uint64_t rows_scanned = 0;       ///< query.rows_scanned delta
   std::uint64_t delta_probes = 0;       ///< delta.lookups delta
   std::uint64_t batch_fill = 0;         ///< CellBatcher wave size, if any
+  std::uint64_t rollup_hits = 0;        ///< agg.rollup_hits delta
+  std::uint64_t scan_fallbacks = 0;     ///< agg.scan_fallbacks delta
+  std::uint64_t agg_nodes_read = 0;     ///< agg.nodes_read delta
 
   /// Compact `k=v k=v` form for the X-Query-Cost response header and
   /// the slow-query log's text rendering.
@@ -64,6 +67,9 @@ class QueryContext {
   std::atomic<std::uint64_t> rows_scanned{0};
   std::atomic<std::uint64_t> delta_probes{0};
   std::atomic<std::uint64_t> batch_fill{0};
+  std::atomic<std::uint64_t> rollup_hits{0};
+  std::atomic<std::uint64_t> scan_fallbacks{0};
+  std::atomic<std::uint64_t> agg_nodes_read{0};
 
   /// Consistent-enough copy of the costs (relaxed loads; exact once the
   /// request's work has quiesced, which is when responses are built).
@@ -157,6 +163,17 @@ inline void ChargeDeltaProbe() {
 }
 inline void ChargeAdmissionWaitUs(std::uint64_t wait_us) {
   detail::Charge(&QueryContext::admission_wait_us, wait_us);
+}
+/// Aggregate-hierarchy accounting: one rollup hit per aggregate the
+/// planner resolved from the hierarchy, one scan fallback per linear
+/// aggregate that had to scan or sweep instead, and the segment-tree
+/// nodes consumed answering this request.
+inline void ChargeRollupHit() { detail::Charge(&QueryContext::rollup_hits, 1); }
+inline void ChargeScanFallback() {
+  detail::Charge(&QueryContext::scan_fallbacks, 1);
+}
+inline void ChargeAggNodesRead(std::uint64_t nodes) {
+  detail::Charge(&QueryContext::agg_nodes_read, nodes);
 }
 /// Wave size of the CellBatcher batch that served this request (set, not
 /// accumulated: one cell probe rides exactly one wave).

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
+#include "cube/rollup.h"
 #include "linalg/kernels.h"
 #include "obs/metrics.h"
 #include "obs/query_context.h"
@@ -85,13 +87,22 @@ std::vector<std::size_t> GroupKeysFor(const QueryPlan& plan) {
   return {};
 }
 
+bool IsLinearAggregate(AggregateFn fn) {
+  return fn == AggregateFn::kSum || fn == AggregateFn::kAvg ||
+         fn == AggregateFn::kCount;
+}
+
 /// Per-group sums of the selected region, straight from the factors:
 /// no grouping -> one total; by row -> dot(u_i, w) per row; by col ->
 /// s_j = sum_m (sum_{i in R} u_im) * lambda_m * v_jm per column.
-/// Deltas inside the region are folded into their group.
+/// Deltas inside the region are folded into their group: through the
+/// hierarchy's range index when one exists (only in-region deltas are
+/// ever touched), by a full delta-table sweep only in the degenerate
+/// no-hierarchy mode.
 std::vector<double> CompressedDomainSums(
     const SvddModel& model, const std::vector<std::size_t>& row_ids,
-    const std::vector<std::size_t>& col_ids, GroupBy group_by) {
+    const std::vector<std::size_t>& col_ids, GroupBy group_by,
+    const AggregateHierarchy* hierarchy, RollupStats* stats) {
   const SvdModel& svd = model.svd();
   const std::size_t k = svd.k();
 
@@ -125,7 +136,38 @@ std::vector<double> CompressedDomainSums(
     }
   }
 
-  // Fold in the deltas that fall inside the region.
+  // Fold in the deltas that fall inside the region. With a hierarchy the
+  // range-indexed visit enumerates exactly the in-region deltas (count-
+  // pruned descent), so the per-query cost tracks the region, not the
+  // table; ids are sorted, so the group index is a binary search away.
+  if (hierarchy != nullptr) {
+    const std::vector<IdRange> row_runs =
+        CoalesceIds(std::span<const std::size_t>(row_ids));
+    const std::vector<IdRange> col_runs =
+        CoalesceIds(std::span<const std::size_t>(col_ids));
+    hierarchy->VisitRegionDeltas(
+        row_runs, col_runs, stats,
+        [&](std::size_t i, std::size_t j, double delta) {
+          switch (group_by) {
+            case GroupBy::kRow: {
+              const auto it =
+                  std::lower_bound(row_ids.begin(), row_ids.end(), i);
+              sums[static_cast<std::size_t>(it - row_ids.begin())] += delta;
+              break;
+            }
+            case GroupBy::kCol: {
+              const auto it =
+                  std::lower_bound(col_ids.begin(), col_ids.end(), j);
+              sums[static_cast<std::size_t>(it - col_ids.begin())] += delta;
+              break;
+            }
+            case GroupBy::kNone:
+              sums[0] += delta;
+              break;
+          }
+        });
+    return sums;
+  }
   std::vector<std::size_t> row_group(model.rows(), SIZE_MAX);
   for (std::size_t g = 0; g < row_ids.size(); ++g) row_group[row_ids[g]] = g;
   std::vector<std::size_t> col_group(model.cols(), SIZE_MAX);
@@ -153,8 +195,10 @@ std::vector<double> CompressedDomainSums(
 /// the row-reconstruction strategy, compressed-domain sums for the rest.
 class ResultBuilder {
  public:
-  ResultBuilder(const QueryPlan& plan, const SvddModel* svdd)
-      : plan_(plan), svdd_(svdd) {}
+  ResultBuilder(const QueryPlan& plan, const SvddModel* svdd,
+                const AggregateHierarchy* rollup = nullptr,
+                RollupStats* stats = nullptr)
+      : plan_(plan), svdd_(svdd), rollup_(rollup), stats_(stats) {}
 
   /// Per-group cell count (for count/avg in the compressed domain).
   std::size_t GroupCells() const {
@@ -182,15 +226,38 @@ class ResultBuilder {
     std::vector<double> sums;  // lazily computed compressed-domain sums
     for (std::size_t a = 0; a < plan_.aggregates.size(); ++a) {
       const AggregateFn fn = plan_.aggregates[a];
-      if (plan_.strategies[a] == ExecutionStrategy::kCompressedDomain) {
+      const ExecutionStrategy strategy = plan_.strategies[a];
+      if (!result.strategy_summary.empty()) result.strategy_summary += " ";
+      result.strategy_summary += AggregateFnName(fn);
+      result.strategy_summary += "=";
+      result.strategy_summary += ExecutionStrategyName(strategy);
+      if (strategy == ExecutionStrategy::kCompressedDomain ||
+          strategy == ExecutionStrategy::kRollup) {
         if (svdd_ == nullptr) {
           return Status::Internal(
               "compressed-domain plan without SVDD model");
         }
+        if (strategy == ExecutionStrategy::kRollup) {
+          if (rollup_ == nullptr) {
+            return Status::Internal("rollup plan without hierarchy");
+          }
+          ++result.rollup_aggregates;
+        }
         ++result.compressed_domain_aggregates;
         if (sums.empty() && fn != AggregateFn::kCount) {
-          sums = CompressedDomainSums(*svdd_, plan_.row_ids, plan_.col_ids,
-                                      plan_.group_by);
+          // Ungrouped totals resolve purely from hierarchy nodes; grouped
+          // sums need the per-group factor math either way and use the
+          // hierarchy only for the range-indexed delta fold.
+          if (rollup_ != nullptr && plan_.group_by == GroupBy::kNone) {
+            const std::vector<IdRange> row_runs =
+                CoalesceIds(std::span<const std::size_t>(plan_.row_ids));
+            const std::vector<IdRange> col_runs =
+                CoalesceIds(std::span<const std::size_t>(plan_.col_ids));
+            sums = {rollup_->RegionSum(row_runs, col_runs, stats_)};
+          } else {
+            sums = CompressedDomainSums(*svdd_, plan_.row_ids, plan_.col_ids,
+                                        plan_.group_by, rollup_, stats_);
+          }
         }
         for (std::size_t g = 0; g < groups; ++g) {
           double value = 0.0;
@@ -223,6 +290,8 @@ class ResultBuilder {
  private:
   const QueryPlan& plan_;
   const SvddModel* svdd_;
+  const AggregateHierarchy* rollup_;
+  RollupStats* stats_;
 };
 
 /// Batched, sharded scan for the row-reconstruction strategy. Selected
@@ -355,6 +424,18 @@ std::string QueryResult::AnalyzeFooter() const {
                 group_count(), aggregate_count,
                 static_cast<unsigned long long>(compressed_domain_aggregates));
   out += line;
+  if (!strategy_summary.empty()) {
+    std::snprintf(line, sizeof(line), "-- strategies: %s\n",
+                  strategy_summary.c_str());
+    out += line;
+  }
+  if (rollup_aggregates > 0) {
+    std::snprintf(line, sizeof(line),
+                  "-- rollup: %llu aggregates, %llu nodes read\n",
+                  static_cast<unsigned long long>(rollup_aggregates),
+                  static_cast<unsigned long long>(rollup_nodes_read));
+    out += line;
+  }
   std::snprintf(line, sizeof(line), "-- rows reconstructed: %llu\n",
                 static_cast<unsigned long long>(rows_reconstructed));
   out += line;
@@ -372,16 +453,24 @@ QueryExecutor::QueryExecutor(const CompressedStore* store,
   if (num_threads > 1) pool_ = std::make_shared<ThreadPool>(num_threads);
 }
 
-QueryExecutor::QueryExecutor(const SvddModel* model, std::size_t num_threads)
+QueryExecutor::QueryExecutor(const SvddModel* model, std::size_t num_threads,
+                             bool enable_rollup)
     : store_(model), svdd_(model) {
   TSC_CHECK(model != nullptr);
   if (num_threads > 1) pool_ = std::make_shared<ThreadPool>(num_threads);
+  // TSC_NO_ROLLUP is the operational kill switch (same spirit as the
+  // --no-rollup CLI flag): drop back to the pre-hierarchy strategies
+  // without a rebuild or redeploy.
+  if (enable_rollup && model->k() > 0 &&
+      std::getenv("TSC_NO_ROLLUP") == nullptr) {
+    rollup_ = AggregateHierarchy::Build(*model);
+  }
 }
 
 StatusOr<QueryPlan> QueryExecutor::Plan(const std::string& query_text) const {
   TSC_ASSIGN_OR_RETURN(const QueryAst ast, ParseQuery(query_text));
   const std::size_t model_k = svdd_ != nullptr ? svdd_->k() : 0;
-  return PlanQuery(ast, rows(), cols(), model_k);
+  return PlanQuery(ast, rows(), cols(), model_k, rollup_ != nullptr);
 }
 
 StatusOr<std::string> QueryExecutor::Explain(
@@ -404,7 +493,8 @@ StatusOr<QueryResult> QueryExecutor::Execute(
   const auto plan_start = std::chrono::steady_clock::now();
   const std::size_t model_k = svdd_ != nullptr ? svdd_->k() : 0;
   TSC_ASSIGN_OR_RETURN(const QueryPlan plan,
-                       PlanQuery(ast, rows(), cols(), model_k));
+                       PlanQuery(ast, rows(), cols(), model_k,
+                                 rollup_ != nullptr));
   const double plan_us = MicrosSince(plan_start);
 
   TSC_ASSIGN_OR_RETURN(QueryResult result, ExecutePlan(plan));
@@ -422,6 +512,12 @@ StatusOr<QueryResult> QueryExecutor::ExecutePlan(const QueryPlan& plan) const {
       obs::MetricRegistry::Default().GetCounter("query.count");
   static obs::Counter& scanned_counter =
       obs::MetricRegistry::Default().GetCounter("query.rows_scanned");
+  static obs::Counter& rollup_hits_counter =
+      obs::MetricRegistry::Default().GetCounter("agg.rollup_hits");
+  static obs::Counter& scan_fallbacks_counter =
+      obs::MetricRegistry::Default().GetCounter("agg.scan_fallbacks");
+  static obs::Counter& agg_nodes_counter =
+      obs::MetricRegistry::Default().GetCounter("agg.nodes_read");
 
   obs::TraceSpan span("query.execute");
   const auto exec_start = std::chrono::steady_clock::now();
@@ -436,14 +532,30 @@ StatusOr<QueryResult> QueryExecutor::ExecutePlan(const QueryPlan& plan) const {
     group_stats =
         ScanGroupsBatched(plan, *store_, pool_.get(), &rows_scanned);
   }
-  const ResultBuilder builder(plan, svdd_);
+  RollupStats rollup_stats;
+  const ResultBuilder builder(plan, svdd_, rollup_.get(), &rollup_stats);
   TSC_ASSIGN_OR_RETURN(QueryResult result,
                        builder.Build(group_stats, rows_scanned));
+  result.rollup_nodes_read = rollup_stats.nodes_read;
   result.exec_us = MicrosSince(exec_start);
   exec_hist.Record(result.exec_us);
   query_count.Increment();
   scanned_counter.Add(rows_scanned);
   obs::ChargeRowsScanned(rows_scanned);
+  // Per-aggregate strategy accounting: a linear aggregate either hit the
+  // hierarchy or fell back to a scanning strategy; non-linear aggregates
+  // are out of scope for either counter.
+  for (std::size_t a = 0; a < plan.strategies.size(); ++a) {
+    if (plan.strategies[a] == ExecutionStrategy::kRollup) {
+      rollup_hits_counter.Increment();
+      obs::ChargeRollupHit();
+    } else if (IsLinearAggregate(plan.aggregates[a])) {
+      scan_fallbacks_counter.Increment();
+      obs::ChargeScanFallback();
+    }
+  }
+  agg_nodes_counter.Add(rollup_stats.nodes_read);
+  obs::ChargeAggNodesRead(rollup_stats.nodes_read);
   return result;
 }
 

@@ -15,6 +15,7 @@
 
 namespace tsc {
 
+class AggregateHierarchy;
 class ThreadPool;
 
 /// One executed query's results plus execution statistics. Without
@@ -27,8 +28,17 @@ struct QueryResult {
   std::vector<std::size_t> group_keys;
   std::size_t aggregate_count = 0;
   std::uint64_t rows_reconstructed = 0;
+  /// Aggregates answered without row reconstruction (the rollup ones
+  /// included — the hierarchy IS compressed-domain evaluation).
   std::uint64_t compressed_domain_aggregates = 0;
+  /// Of those, aggregates answered from the rollup hierarchy, and the
+  /// segment-tree nodes consumed doing so.
+  std::uint64_t rollup_aggregates = 0;
+  std::uint64_t rollup_nodes_read = 0;
   std::string plan_text;
+  /// Per-aggregate strategy actually used, e.g. "sum=rollup
+  /// max=row-reconstruction" (the --analyze footer's strategy line).
+  std::string strategy_summary;
 
   /// Stage latencies, microseconds. parse_us and plan_us are only filled
   /// by Execute() (ExecutePlan never saw the text); exec_us always is.
@@ -64,10 +74,19 @@ class QueryExecutor {
   explicit QueryExecutor(const CompressedStore* store,
                          std::size_t num_threads = 1);
   /// SVDD model: linear aggregates can run in the compressed domain.
-  explicit QueryExecutor(const SvddModel* model, std::size_t num_threads = 1);
+  /// By default an aggregate rollup hierarchy (cube/rollup.h) is built
+  /// over the model and becomes the planner's preferred strategy for
+  /// sum/avg/count; `enable_rollup = false` (or the TSC_NO_ROLLUP
+  /// environment kill switch) restores the pre-hierarchy behavior.
+  explicit QueryExecutor(const SvddModel* model, std::size_t num_threads = 1,
+                         bool enable_rollup = true);
 
   std::size_t rows() const { return store_->rows(); }
   std::size_t cols() const { return store_->cols(); }
+
+  /// The aggregate hierarchy, or nullptr (generic store / disabled).
+  /// Shared with the server data API's bucket reductions.
+  const AggregateHierarchy* rollup() const { return rollup_.get(); }
 
   /// Parse + plan + execute in one call.
   StatusOr<QueryResult> Execute(const std::string& query_text) const;
@@ -84,6 +103,9 @@ class QueryExecutor {
   const CompressedStore* store_;
   const SvddModel* svdd_ = nullptr;  ///< non-null enables the fast path
   std::shared_ptr<ThreadPool> pool_;  ///< null = scan on the calling thread
+  /// Owned rollup hierarchy; registered (weakly) as the model's delta
+  /// listener so PatchCell keeps it fresh. Null when disabled.
+  std::shared_ptr<AggregateHierarchy> rollup_;
 };
 
 /// Exact reference executor over the raw matrix (tests, accuracy

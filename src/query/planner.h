@@ -20,6 +20,11 @@ enum class ExecutionStrategy {
   /// the delta table): O(|cols|*k) setup + O(k) per selected row.
   /// Available for sum/avg/count, which are linear in the cells.
   kCompressedDomain,
+  /// Answer from the multi-resolution aggregate hierarchy (cube/rollup.h):
+  /// O(k log N + k log M) segment-tree node reads, no per-row work at
+  /// all. Preferred for linear aggregates whenever the executor has a
+  /// hierarchy built; kCompressedDomain remains the fallback.
+  kRollup,
 };
 
 const char* ExecutionStrategyName(ExecutionStrategy strategy);
@@ -54,12 +59,15 @@ struct QueryPlan {
 /// matrix (intersecting repeated constraints, clipping is an error) and
 /// picks a strategy per aggregate.
 ///
-/// Strategy choice: linear aggregates over wide selections (many columns
-/// per selected row) run in the compressed domain, where the per-row cost
-/// is O(k) instead of O(k*M); narrow or non-linear aggregates use row
-/// reconstruction.
+/// Strategy choice: linear aggregates resolve from the aggregate rollup
+/// hierarchy when the executor has one (`rollup_available`) — O(k log)
+/// node reads regardless of selection size; otherwise linear aggregates
+/// over wide selections (many columns per selected row) run in the
+/// compressed domain, where the per-row cost is O(k) instead of O(k*M);
+/// narrow or non-linear aggregates use row reconstruction.
 StatusOr<QueryPlan> PlanQuery(const QueryAst& ast, std::size_t num_rows,
-                              std::size_t num_cols, std::size_t model_k);
+                              std::size_t num_cols, std::size_t model_k,
+                              bool rollup_available = false);
 
 }  // namespace tsc
 

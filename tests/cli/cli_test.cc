@@ -159,7 +159,22 @@ TEST_F(CliPipelineTest, SqlQueryAndExplain) {
       RunTool({"sql", "--model=" + *model_path_, "--explain",
                "--query=SELECT sum(value) WHERE row IN 0:9"});
   ASSERT_EQ(explain.exit_code, 0) << explain.err;
-  EXPECT_NE(explain.out.find("compressed-domain"), std::string::npos);
+  EXPECT_NE(explain.out.find("rollup"), std::string::npos);
+
+  // --no-rollup: the planner falls back to the flat compressed-domain
+  // strategy, and the answer itself is unchanged.
+  const CliResult no_rollup_explain =
+      RunTool({"sql", "--model=" + *model_path_, "--explain", "--no-rollup",
+               "--query=SELECT sum(value) WHERE row IN 0:9"});
+  ASSERT_EQ(no_rollup_explain.exit_code, 0) << no_rollup_explain.err;
+  EXPECT_EQ(no_rollup_explain.out.find("rollup"), std::string::npos);
+  EXPECT_NE(no_rollup_explain.out.find("compressed-domain"),
+            std::string::npos);
+  const CliResult no_rollup_count =
+      RunTool({"sql", "--model=" + *model_path_, "--no-rollup",
+               "--query=SELECT count(*) WHERE row IN 0:9 AND col IN 0:3"});
+  ASSERT_EQ(no_rollup_count.exit_code, 0) << no_rollup_count.err;
+  EXPECT_NEAR(std::stod(no_rollup_count.out), 40.0, 1e-9);
 
   EXPECT_EQ(RunTool({"sql", "--model=" + *model_path_,
                      "--query=SELEKT sum(value)"})

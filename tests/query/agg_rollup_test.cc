@@ -1,0 +1,309 @@
+// Property tests for the multi-resolution aggregate hierarchy: every
+// rollup answer must equal the scan answer — exactly for count, to fp
+// reassociation tolerance for sum/avg (documented in DESIGN.md §14) —
+// across random regions, delta-patched cells and every quant scheme.
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/svdd_compressor.h"
+#include "cube/rollup.h"
+#include "data/generators.h"
+#include "query/executor.h"
+#include "storage/row_source.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+// Both paths evaluate the same in-memory model (quantized schemes snap U
+// before serving), so the only admissible difference is summation order.
+constexpr double kRelTol = 1e-7;
+constexpr double kAbsTol = 1e-8;
+
+Matrix TestData() {
+  PhoneDatasetConfig config;
+  config.num_customers = 120;
+  config.num_days = 36;
+  config.spike_probability = 0.04;  // plenty of outliers -> deltas
+  return GeneratePhoneDataset(config).values;
+}
+
+SvddModel BuildModel(const Matrix& data, QuantScheme quant) {
+  MatrixRowSource source(&data);
+  SvddBuildOptions options;
+  options.space_percent = 25.0;
+  options.quant = quant;
+  auto model = BuildSvddModel(&source, options);
+  TSC_CHECK_OK(model.status());
+  return std::move(*model);
+}
+
+/// Random sorted disjoint multi-range selection over [0, extent), as the
+/// query-language fragment "a:b,c:d".
+std::string RandomRanges(Rng& rng, std::size_t extent) {
+  const std::size_t pieces = 1 + rng.UniformUint64(2);
+  std::vector<std::size_t> cuts;
+  for (std::size_t i = 0; i < pieces * 2; ++i) {
+    cuts.push_back(rng.UniformUint64(extent));
+  }
+  std::sort(cuts.begin(), cuts.end());
+  std::ostringstream out;
+  bool first = true;
+  for (std::size_t i = 0; i + 1 < cuts.size(); i += 2) {
+    // Leave a gap so consecutive ranges stay disjoint and non-adjacent.
+    const std::size_t lo = cuts[i];
+    const std::size_t hi = std::max(cuts[i + 1], lo);
+    if (!first && lo == 0) continue;
+    if (!first) out << ",";
+    out << lo << ":" << hi;
+    first = false;
+    if (hi + 2 >= extent) break;
+  }
+  return out.str();
+}
+
+void ExpectSameAnswers(const QueryResult& rollup, const QueryResult& scan,
+                       const std::string& context) {
+  ASSERT_EQ(rollup.values.size(), scan.values.size()) << context;
+  ASSERT_EQ(rollup.aggregate_count, scan.aggregate_count) << context;
+  for (std::size_t g = 0; g < rollup.group_count(); ++g) {
+    for (std::size_t a = 0; a < rollup.aggregate_count; ++a) {
+      EXPECT_NEAR(rollup.ValueAt(g, a), scan.ValueAt(g, a),
+                  kRelTol * std::abs(scan.ValueAt(g, a)) + kAbsTol)
+          << context << " group " << g << " aggregate " << a;
+    }
+  }
+}
+
+TEST(CoalesceIdsTest, ProducesMaximalRuns) {
+  const std::vector<std::size_t> ids = {0, 1, 2, 5, 7, 8, 20};
+  const std::vector<IdRange> runs = CoalesceIds(ids);
+  ASSERT_EQ(runs.size(), 4u);
+  EXPECT_EQ(runs[0], (IdRange{0, 2}));
+  EXPECT_EQ(runs[1], (IdRange{5, 5}));
+  EXPECT_EQ(runs[2], (IdRange{7, 8}));
+  EXPECT_EQ(runs[3], (IdRange{20, 20}));
+  EXPECT_TRUE(CoalesceIds(std::vector<std::size_t>{}).empty());
+}
+
+TEST(AggregateHierarchyTest, RegionSumMatchesBruteForceReconstruction) {
+  const Matrix data = TestData();
+  const SvddModel model = BuildModel(data, QuantScheme::kF64);
+  const auto hierarchy = AggregateHierarchy::Build(model);
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t r_lo = rng.UniformUint64(model.rows());
+    const std::size_t r_hi =
+        r_lo + rng.UniformUint64(model.rows() - r_lo);
+    const std::size_t c_lo = rng.UniformUint64(model.cols());
+    const std::size_t c_hi =
+        c_lo + rng.UniformUint64(model.cols() - c_lo);
+    double expected = 0.0;
+    for (std::size_t i = r_lo; i <= r_hi; ++i) {
+      for (std::size_t j = c_lo; j <= c_hi; ++j) {
+        expected += model.ReconstructCell(i, j);
+      }
+    }
+    const IdRange row_run{r_lo, r_hi};
+    const IdRange col_run{c_lo, c_hi};
+    RollupStats stats;
+    const double got =
+        hierarchy->RegionSum({&row_run, 1}, {&col_run, 1}, &stats);
+    EXPECT_NEAR(got, expected, kRelTol * std::abs(expected) + kAbsTol)
+        << "region rows " << r_lo << ":" << r_hi << " cols " << c_lo << ":"
+        << c_hi;
+    EXPECT_GT(stats.nodes_read, 0u);
+  }
+}
+
+TEST(AggregateHierarchyTest, PartialColumnRangesFoldOnlyInRegionDeltas) {
+  const Matrix data = TestData();
+  const SvddModel model = BuildModel(data, QuantScheme::kF64);
+  ASSERT_GT(model.delta_count(), 0u);
+  const auto hierarchy = AggregateHierarchy::Build(model);
+  // Visit everything, then a partial column window: the partial visit
+  // must return exactly the subset whose column falls in the window.
+  const IdRange all_rows{0, model.rows() - 1};
+  const IdRange all_cols{0, model.cols() - 1};
+  const IdRange half_cols{0, model.cols() / 2};
+  std::size_t in_window = 0;
+  hierarchy->VisitRegionDeltas(
+      {&all_rows, 1}, {&all_cols, 1}, nullptr,
+      [&](std::size_t, std::size_t col, double) {
+        if (col <= half_cols.hi) ++in_window;
+      });
+  std::size_t visited = 0;
+  hierarchy->VisitRegionDeltas(
+      {&all_rows, 1}, {&half_cols, 1}, nullptr,
+      [&](std::size_t, std::size_t col, double) {
+        EXPECT_LE(col, half_cols.hi);
+        ++visited;
+      });
+  EXPECT_EQ(visited, in_window);
+}
+
+class AggRollupPropertyTest : public ::testing::TestWithParam<QuantScheme> {};
+
+TEST_P(AggRollupPropertyTest, RollupMatchesScanAcrossRandomRegions) {
+  const Matrix data = TestData();
+  const SvddModel model = BuildModel(data, GetParam());
+  QueryExecutor rollup_exec(&model);
+  ASSERT_NE(rollup_exec.rollup(), nullptr);
+  QueryExecutor scan_exec(static_cast<const CompressedStore*>(&model));
+  Rng rng(42 + static_cast<std::uint64_t>(GetParam()));
+  const char* kGroupBys[] = {"", " group by row", " group by col"};
+  for (int trial = 0; trial < 25; ++trial) {
+    std::ostringstream query;
+    query << "select sum(value), avg(value), count(*) where row in "
+          << RandomRanges(rng, model.rows()) << " and col in "
+          << RandomRanges(rng, model.cols())
+          << kGroupBys[rng.UniformUint64(3)];
+    const auto fast = rollup_exec.Execute(query.str());
+    const auto slow = scan_exec.Execute(query.str());
+    ASSERT_TRUE(fast.ok()) << query.str() << ": "
+                           << fast.status().ToString();
+    ASSERT_TRUE(slow.ok()) << query.str() << ": "
+                           << slow.status().ToString();
+    EXPECT_EQ(fast->rows_reconstructed, 0u) << query.str();
+    EXPECT_EQ(fast->compressed_domain_aggregates, 3u) << query.str();
+    EXPECT_EQ(fast->rollup_aggregates, 3u) << query.str();
+    ExpectSameAnswers(*fast, *slow, query.str());
+    // count is exact, not just close: both sides enumerate cells.
+    for (std::size_t g = 0; g < fast->group_count(); ++g) {
+      EXPECT_DOUBLE_EQ(fast->ValueAt(g, 2), slow->ValueAt(g, 2))
+          << query.str();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllQuantSchemes, AggRollupPropertyTest,
+                         ::testing::Values(QuantScheme::kF64,
+                                           QuantScheme::kF32,
+                                           QuantScheme::kI16,
+                                           QuantScheme::kI8),
+                         [](const auto& info) {
+                           return QuantSchemeName(info.param);
+                         });
+
+TEST(AggRollupDeltaTest, IncrementalPatchesKeepHierarchyFresh) {
+  const Matrix data = TestData();
+  SvddModel model = BuildModel(data, QuantScheme::kF64);
+  // Hierarchy built BEFORE the patches: the delta listener must keep it
+  // identical to a hierarchy rebuilt from scratch afterwards.
+  QueryExecutor live(&model);
+  ASSERT_NE(live.rollup(), nullptr);
+  Rng rng(99);
+  for (int i = 0; i < 40; ++i) {
+    const std::size_t row = rng.UniformUint64(model.rows());
+    const std::size_t col = rng.UniformUint64(model.cols());
+    ASSERT_TRUE(model.PatchCell(row, col, rng.UniformDouble() * 100.0).ok());
+    if (i % 8 == 0) {
+      // Re-patch the same cell: the delta replace path (count must not
+      // double-count the entry).
+      ASSERT_TRUE(
+          model.PatchCell(row, col, rng.UniformDouble() * 100.0).ok());
+    }
+  }
+  QueryExecutor rebuilt(&model);
+  QueryExecutor scan(static_cast<const CompressedStore*>(&model));
+  const char* kQueries[] = {
+      "select sum(value), avg(value), count(*)",
+      "select sum(value) where row in 10:80 and col in 5:30",
+      "select sum(value) where row in 0:119 and col in 3:9 group by row",
+      "select sum(value) where row in 20:60 group by col",
+  };
+  for (const char* query : kQueries) {
+    const auto a = live.Execute(query);
+    const auto b = rebuilt.Execute(query);
+    const auto c = scan.Execute(query);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok()) << query;
+    for (std::size_t v = 0; v < a->values.size(); ++v) {
+      // Incremental vs rebuilt: same tree, values differ only by the
+      // incremental +=diff arithmetic.
+      EXPECT_NEAR(a->values[v], b->values[v],
+                  kRelTol * std::abs(b->values[v]) + kAbsTol)
+          << query;
+    }
+    ExpectSameAnswers(*a, *c, query);
+  }
+}
+
+TEST(AggRollupDeltaTest, ListenerOutlivedByModelIsSafe) {
+  const Matrix data = TestData();
+  SvddModel model = BuildModel(data, QuantScheme::kF64);
+  {
+    QueryExecutor ephemeral(&model);
+    ASSERT_NE(ephemeral.rollup(), nullptr);
+  }
+  // The executor (and its hierarchy) are gone; the weakly-held listener
+  // must not dangle when the model keeps patching.
+  EXPECT_TRUE(model.PatchCell(0, 0, 123.0).ok());
+  EXPECT_NEAR(model.ReconstructCell(0, 0), 123.0, 1e-12);
+}
+
+TEST(AggRollupStrategyTest, AnalyzeFooterNamesTheStrategy) {
+  const Matrix data = TestData();
+  const SvddModel model = BuildModel(data, QuantScheme::kF64);
+  QueryExecutor executor(&model);
+  const auto result =
+      executor.Execute("select sum(value), max(value) where row in 0:49");
+  ASSERT_TRUE(result.ok());
+  EXPECT_NE(result->strategy_summary.find("sum=rollup"), std::string::npos)
+      << result->strategy_summary;
+  EXPECT_NE(result->strategy_summary.find("max=row-reconstruction"),
+            std::string::npos)
+      << result->strategy_summary;
+  const std::string footer = result->AnalyzeFooter();
+  EXPECT_NE(footer.find("strategies:"), std::string::npos) << footer;
+  EXPECT_NE(footer.find("rollup:"), std::string::npos) << footer;
+  EXPECT_GT(result->rollup_nodes_read, 0u);
+}
+
+TEST(AggRollupStrategyTest, DisablingRollupRestoresCompressedDomain) {
+  const Matrix data = TestData();
+  const SvddModel model = BuildModel(data, QuantScheme::kF64);
+  QueryExecutor no_rollup(&model, /*num_threads=*/1,
+                          /*enable_rollup=*/false);
+  EXPECT_EQ(no_rollup.rollup(), nullptr);
+  const auto plan =
+      no_rollup.Explain("select sum(value) where row in 0:49");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_NE(plan->find("compressed-domain"), std::string::npos) << *plan;
+  EXPECT_EQ(plan->find("rollup"), std::string::npos) << *plan;
+  // Answers stay the same with and without the hierarchy.
+  QueryExecutor with_rollup(&model);
+  const char* query = "select sum(value) where row in 0:99 and col in 0:19";
+  const auto a = with_rollup.Execute(query);
+  const auto b = no_rollup.Execute(query);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NEAR(a->values[0], b->values[0],
+              kRelTol * std::abs(b->values[0]) + kAbsTol);
+}
+
+TEST(AggRollupStrategyTest, SingleRowSelectionsUseTheRollupToo) {
+  // Pre-hierarchy, single-row selections fell back to row
+  // reconstruction (compressed-domain setup cost dominated); the
+  // hierarchy has no per-query setup, so they plan as rollup now.
+  const Matrix data = TestData();
+  const SvddModel model = BuildModel(data, QuantScheme::kF64);
+  QueryExecutor executor(&model);
+  QueryExecutor scan(static_cast<const CompressedStore*>(&model));
+  const char* query = "select sum(value) where row in 17";
+  const auto fast = executor.Execute(query);
+  const auto slow = scan.Execute(query);
+  ASSERT_TRUE(fast.ok() && slow.ok());
+  EXPECT_EQ(fast->rollup_aggregates, 1u);
+  EXPECT_EQ(fast->rows_reconstructed, 0u);
+  EXPECT_NEAR(fast->values[0], slow->values[0],
+              kRelTol * std::abs(slow->values[0]) + kAbsTol);
+}
+
+}  // namespace
+}  // namespace tsc

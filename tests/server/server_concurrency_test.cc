@@ -204,6 +204,9 @@ TEST(ServerConcurrencyTest, CostVectorsSumToProcessCountersUnderHammer) {
       {"io_bytes", "io.bytes_read"},
       {"rows_scanned", "query.rows_scanned"},
       {"delta_probes", "delta.lookups"},
+      {"rollup_hits", "agg.rollup_hits"},
+      {"scan_fallbacks", "agg.scan_fallbacks"},
+      {"agg_nodes_read", "agg.nodes_read"},
   };
   obs::MetricRegistry& registry = obs::MetricRegistry::Default();
   std::vector<std::uint64_t> before;
