@@ -1,0 +1,100 @@
+#ifndef TSC_BENCH_BENCH_COMMON_H_
+#define TSC_BENCH_BENCH_COMMON_H_
+
+// Shared RAII temp-store fixtures for the bench binaries. Every bench
+// that serves from disk used to hand-roll the same four lines — pick a
+// /tmp name, write the file, open a reader, never delete — and the
+// copies had drifted on all three axes (naming, quant scheme, cache
+// knobs). These wrappers own the lifetime instead: the file name is
+// pid-qualified so two bench runs can share a machine, and the files
+// are removed when the fixture goes out of scope.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include <unistd.h>
+
+#include "core/disk_backed.h"
+#include "core/svdd_compressor.h"
+#include "linalg/matrix.h"
+#include "storage/quant.h"
+#include "storage/row_store.h"
+#include "util/logging.h"
+
+namespace tsc::bench {
+
+/// `/tmp/tsc_bench_<tag>_<pid><ext>` — unique per process so parallel
+/// bench invocations (e.g. run_bench_suite.sh next to a manual run)
+/// cannot clobber each other's files.
+inline std::string TempPath(const std::string& tag, const std::string& ext) {
+  return "/tmp/tsc_bench_" + tag + "_" + std::to_string(::getpid()) + ext;
+}
+
+/// A matrix written to a temp row-store file (optionally quantized),
+/// removed on destruction. Open it with RowStoreReader::Open(path()).
+class TempMatrixFile {
+ public:
+  TempMatrixFile(const Matrix& data, const std::string& tag,
+                 QuantScheme scheme = QuantScheme::kF64)
+      : path_(TempPath(tag, ".mat")) {
+    TSC_CHECK_OK(WriteMatrixFile(path_, data, scheme));
+  }
+  ~TempMatrixFile() { std::remove(path_.c_str()); }
+
+  TempMatrixFile(const TempMatrixFile&) = delete;
+  TempMatrixFile& operator=(const TempMatrixFile&) = delete;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
+
+/// An SVDD model exported to the paper's two-file disk layout (U row
+/// store + sidecar) and opened as a DiskBackedStore. Reopen() drops the
+/// current store and opens the same files with different serving knobs
+/// (cache size, I/O backend, prefetch) — the probe-then-cached pattern
+/// the quantized-serving sections use. Files are removed on
+/// destruction.
+class TempSvddStore {
+ public:
+  TempSvddStore(const SvddModel& model, const std::string& tag,
+                const DiskBackedOptions& options = {})
+      : u_path_(TempPath(tag + "_u", ".mat")),
+        side_path_(TempPath(tag + "_side", ".bin")) {
+    TSC_CHECK_OK(ExportSvddToDisk(model, u_path_, side_path_));
+    Reopen(options);
+  }
+  ~TempSvddStore() {
+    store_.reset();
+    std::remove(u_path_.c_str());
+    std::remove(side_path_.c_str());
+  }
+
+  TempSvddStore(const TempSvddStore&) = delete;
+  TempSvddStore& operator=(const TempSvddStore&) = delete;
+
+  /// Re-opens the exported files with new serving options (the old
+  /// store, and with it any block cache, is discarded first).
+  void Reopen(const DiskBackedOptions& options) {
+    store_.reset();
+    auto store = DiskBackedStore::Open(u_path_, side_path_, options);
+    TSC_CHECK_OK(store.status());
+    store_ = std::make_unique<DiskBackedStore>(std::move(*store));
+  }
+
+  DiskBackedStore& store() { return *store_; }
+  const DiskBackedStore& store() const { return *store_; }
+  const std::string& u_path() const { return u_path_; }
+  const std::string& side_path() const { return side_path_; }
+
+ private:
+  std::string u_path_;
+  std::string side_path_;
+  std::unique_ptr<DiskBackedStore> store_;
+};
+
+}  // namespace tsc::bench
+
+#endif  // TSC_BENCH_BENCH_COMMON_H_

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/json_reporter.h"
 #include "data/generators.h"
 #include "storage/cached_row_reader.h"
@@ -168,8 +169,8 @@ int main(int argc, char** argv) {
   config.num_days = cols;
   config.seed = seed;
   const tsc::Dataset dataset = tsc::GeneratePhoneDataset(config);
-  const std::string path = "io_scan_bench.rows";
-  TSC_CHECK(tsc::WriteMatrixFile(path, dataset.values).ok());
+  const tsc::bench::TempMatrixFile data_file(dataset.values, "io_scan");
+  const std::string& path = data_file.path();
   const double payload_bytes =
       static_cast<double>(rows) * static_cast<double>(cols) * sizeof(double);
   std::printf("dataset: %zux%zu (%.1f MB), prefetch depth %zu, cache %zu "
@@ -289,10 +290,9 @@ int main(int argc, char** argv) {
         tsc::QuantScheme::kI16, tsc::QuantScheme::kI8};
     for (const tsc::QuantScheme scheme : schemes) {
       const char* qname = tsc::QuantSchemeName(scheme);
-      const std::string qpath =
-          std::string("io_scan_bench_") + qname + ".rows";
-      TSC_CHECK(tsc::WriteMatrixFile(qpath, dataset.values, scheme).ok());
-      auto reader = tsc::RowStoreReader::Open(qpath, kind);
+      const tsc::bench::TempMatrixFile quant_file(
+          dataset.values, std::string("io_scan_") + qname, scheme);
+      auto reader = tsc::RowStoreReader::Open(quant_file.path(), kind);
       TSC_CHECK(reader.ok());
       reader->io().AdviseSequential();
       std::vector<std::uint8_t> scratch(reader->row_stride_bytes());
@@ -313,7 +313,6 @@ int main(int argc, char** argv) {
           (quant_baseline > 0 ? quant_baseline : 1e-9) / seconds);
       report.AddScalar(std::string("quant_scan_rows_per_s_") + qname,
                        static_cast<double>(rows) / seconds);
-      std::remove(qpath.c_str());
     }
   }
 

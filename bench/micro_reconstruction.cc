@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.h"
 #include "common/bench_datasets.h"
 #include "common/json_reporter.h"
 #include "core/disk_backed.h"
@@ -123,19 +124,16 @@ BENCHMARK(BM_BloomNegativeLookup);
 
 void BM_DiskBackedCellRead(benchmark::State& state) {
   const Built built = BuildFor(2000, 128, 12);
-  const std::string u_path = "/tmp/tsc_bench_u.mat";
-  const std::string sidecar = "/tmp/tsc_bench_sidecar.bin";
-  TSC_CHECK_OK(ExportSvddToDisk(built.model, u_path, sidecar));
-  auto store = DiskBackedStore::Open(u_path, sidecar);
-  TSC_CHECK_OK(store.status());
+  TempSvddStore temp(built.model, "micro_disk");
+  DiskBackedStore& store = temp.store();
   Rng rng(7);
   for (auto _ : state) {
-    const auto value = store->ReconstructCell(rng.UniformUint64(2000),
-                                              rng.UniformUint64(128));
+    const auto value = store.ReconstructCell(rng.UniformUint64(2000),
+                                             rng.UniformUint64(128));
     benchmark::DoNotOptimize(value);
   }
   state.counters["disk_accesses_per_read"] =
-      static_cast<double>(store->disk_accesses()) /
+      static_cast<double>(store.disk_accesses()) /
       static_cast<double>(state.iterations());
 }
 BENCHMARK(BM_DiskBackedCellRead);
@@ -145,9 +143,8 @@ void BM_CachedRowReadSkewed(benchmark::State& state) {
   // the per-read disk cost drops far below 1 access.
   const std::size_t cache_blocks = static_cast<std::size_t>(state.range(0));
   const Built built = BuildFor(4000, 64, 8);
-  const std::string path = "/tmp/tsc_bench_cached_u.mat";
-  TSC_CHECK_OK(WriteMatrixFile(path, built.data));
-  auto raw = RowStoreReader::Open(path);
+  const TempMatrixFile temp(built.data, "micro_cached");
+  auto raw = RowStoreReader::Open(temp.path());
   TSC_CHECK_OK(raw.status());
   CachedRowReader reader(std::move(*raw), cache_blocks);
   std::vector<double> row(64);

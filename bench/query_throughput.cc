@@ -28,10 +28,12 @@
 #include <cstdint>
 #include <cstdio>
 
+#include "bench_common.h"
 #include "common/bench_datasets.h"
 #include "common/json_reporter.h"
 #include "core/disk_backed.h"
 #include "core/query.h"
+#include "core/sharded_store.h"
 #include "core/svdd_compressor.h"
 #include "obs/metrics.h"
 #include "query/executor.h"
@@ -42,6 +44,7 @@
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/table_printer.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -79,6 +82,8 @@ int main(int argc, char** argv) {
   const int probe_iters = static_cast<int>(flags.GetInt("probe_iters", 50));
   const std::size_t threads =
       static_cast<std::size_t>(flags.GetInt("threads", 4));
+  const std::vector<std::int64_t> shard_counts =
+      flags.GetIntList("shards", {1, 2, 4});
   const std::string json_path = flags.GetString("json", "");
 
   std::printf("=== ad hoc serving: raw disk vs SVDD layouts ===\n\n");
@@ -89,13 +94,10 @@ int main(int argc, char** argv) {
               cells, aggregates);
   const Workload workload = MakeWorkload(x, cells, aggregates);
 
-  const std::string raw_path = "/tmp/tsc_throughput_raw.mat";
-  TSC_CHECK_OK(tsc::WriteMatrixFile(raw_path, x));
+  const tsc::bench::TempMatrixFile raw_file(x, "throughput_raw");
   const auto model = tsc::bench::BuildSvddAtSpace(x, space, 16);
   TSC_CHECK_OK(model.status());
-  const std::string u_path = "/tmp/tsc_throughput_u.mat";
-  const std::string side_path = "/tmp/tsc_throughput_side.bin";
-  TSC_CHECK_OK(tsc::ExportSvddToDisk(*model, u_path, side_path));
+  tsc::bench::TempSvddStore disk_store(*model, "throughput");
 
   tsc::TablePrinter table({"serving config", "footprint MB", "disk accesses",
                            "wall ms", "agg err%"});
@@ -109,7 +111,7 @@ int main(int argc, char** argv) {
 
   // --- raw file -----------------------------------------------------------
   {
-    auto reader = tsc::RowStoreReader::Open(raw_path);
+    auto reader = tsc::RowStoreReader::Open(raw_file.path());
     TSC_CHECK_OK(reader.status());
     tsc::Timer timer;
     for (const auto& [i, j] : workload.cells) {
@@ -141,11 +143,10 @@ int main(int argc, char** argv) {
 
   // --- svdd, U on disk ------------------------------------------------------
   {
-    auto store = tsc::DiskBackedStore::Open(u_path, side_path);
-    TSC_CHECK_OK(store.status());
+    tsc::DiskBackedStore& store = disk_store.store();
     tsc::Timer timer;
     for (const auto& [i, j] : workload.cells) {
-      TSC_CHECK_OK(store->ReconstructCell(i, j).status());
+      TSC_CHECK_OK(store.ReconstructCell(i, j).status());
     }
     std::vector<double> row(x.cols());
     tsc::RunningStats err;
@@ -153,21 +154,19 @@ int main(int argc, char** argv) {
       const tsc::RegionQuery& query = workload.aggregates[q];
       tsc::RunningStats agg;
       for (const std::size_t i : query.row_ids) {
-        TSC_CHECK_OK(store->ReconstructRow(i, row));
+        TSC_CHECK_OK(store.ReconstructRow(i, row));
         for (const std::size_t j : query.col_ids) agg.Add(row[j]);
       }
       err.Add(tsc::QueryError(workload.exact_answers[q], agg.mean()));
     }
-    auto u_reader = tsc::RowStoreReader::Open(u_path);
-    const double footprint =
-        (u_reader.ok() ? u_reader->file_bytes() : 0) / 1e6;
+    const double footprint = store.u_file_bytes() / 1e6;
     const double wall_ms = timer.ElapsedMillis();
     table.AddRow({"svdd, U on disk", tsc::TablePrinter::Num(footprint),
-                  std::to_string(store->disk_accesses()),
+                  std::to_string(store.disk_accesses()),
                   tsc::TablePrinter::Num(wall_ms, 4),
                   tsc::TablePrinter::Percent(100.0 * err.mean())});
     report.AddRow({"svdd, U on disk", tsc::TablePrinter::Num(footprint),
-                   std::to_string(store->disk_accesses()),
+                   std::to_string(store.disk_accesses()),
                    tsc::TablePrinter::Num(wall_ms, 4),
                    tsc::TablePrinter::Num(100.0 * err.mean())});
   }
@@ -464,19 +463,15 @@ int main(int argc, char** argv) {
       build.forced_k = f64_k;
       const auto qmodel = tsc::BuildSvddModel(&source, build);
       TSC_CHECK_OK(qmodel.status());
-      const std::string qu_path =
-          std::string("/tmp/tsc_throughput_u_") + name + ".mat";
-      const std::string qside_path =
-          std::string("/tmp/tsc_throughput_side_") + name + ".bin";
-      TSC_CHECK_OK(tsc::ExportSvddToDisk(*qmodel, qu_path, qside_path));
-
+      // Probe open: stream backend, no cache — just to size the shared
+      // budget off the f64 file before the measured open.
       tsc::DiskBackedOptions opts;
       opts.io_backend = tsc::IoBackendKind::kStream;
-      auto probe = tsc::DiskBackedStore::Open(qu_path, qside_path, opts);
-      TSC_CHECK_OK(probe.status());
+      tsc::bench::TempSvddStore qtemp(
+          *qmodel, std::string("throughput_") + name, opts);
       if (scheme == tsc::QuantScheme::kF64) {
         f64_k = qmodel->k();
-        f64_u_bytes = probe->u_file_bytes();
+        f64_u_bytes = qtemp.store().u_file_bytes();
         // Shared budget sized so the int8 U store just fits: the paper's
         // "keep the working set resident" regime, which the narrow
         // encodings reach and the wide ones miss.
@@ -487,22 +482,22 @@ int main(int argc, char** argv) {
             int8_bytes / tsc::DiskAccessCounter::kDefaultBlockSize + 1);
       }
       opts.cache_blocks = cache_blocks;  // equal byte budget for every scheme
-      auto qstore = tsc::DiskBackedStore::Open(qu_path, qside_path, opts);
-      TSC_CHECK_OK(qstore.status());
+      qtemp.Reopen(opts);
+      tsc::DiskBackedStore& qstore = qtemp.store();
 
-      TSC_CHECK_OK(qstore->ReconstructCells(refs, out));  // warm-up
+      TSC_CHECK_OK(qstore.ReconstructCells(refs, out));  // warm-up
       sink += out[0];
-      qstore->ResetCounters();
+      qstore.ResetCounters();
       tsc::Timer timer;
       for (int it = 0; it < probe_iters; ++it) {
-        TSC_CHECK_OK(qstore->ReconstructCells(refs, out));
+        TSC_CHECK_OK(qstore.ReconstructCells(refs, out));
         sink += out[out.size() - 1];
       }
       const double wall_s = timer.ElapsedMillis() / 1000.0;
       const double qps =
           static_cast<double>(refs.size()) * probe_iters / wall_s;
-      const double hits = static_cast<double>(qstore->cache_hits());
-      const double misses = static_cast<double>(qstore->disk_accesses());
+      const double hits = static_cast<double>(qstore.cache_hits());
+      const double misses = static_cast<double>(qstore.disk_accesses());
       const double hit_pct =
           hits + misses > 0 ? 100.0 * hits / (hits + misses) : 0.0;
 
@@ -511,7 +506,7 @@ int main(int argc, char** argv) {
       double max_err = 0.0;
       std::vector<double> recon(x.cols());
       for (std::size_t i = 0; i < x.rows(); ++i) {
-        TSC_CHECK_OK(qstore->ReconstructRow(i, recon));
+        TSC_CHECK_OK(qstore.ReconstructRow(i, recon));
         for (std::size_t j = 0; j < x.cols(); ++j) {
           max_err = std::max(max_err, std::abs(recon[j] - x(i, j)));
         }
@@ -522,8 +517,8 @@ int main(int argc, char** argv) {
       if (scheme == tsc::QuantScheme::kI8) int8_qps = qps;
       worst_err = std::max(worst_err, norm_err);
       quant_table.AddRow(
-          {name, tsc::TablePrinter::Num(qstore->u_file_bytes() / 1024.0, 1),
-           std::to_string(qstore->u_row_stride_bytes()),
+          {name, tsc::TablePrinter::Num(qstore.u_file_bytes() / 1024.0, 1),
+           std::to_string(qstore.u_row_stride_bytes()),
            tsc::TablePrinter::Num(hit_pct, 1),
            tsc::TablePrinter::Num(qps / 1e6, 3),
            tsc::TablePrinter::Num(qps / (f64_qps > 0 ? f64_qps : qps), 2) +
@@ -532,7 +527,7 @@ int main(int argc, char** argv) {
       report.AddScalar(std::string("quant_batched_qps_") + name, qps);
       report.AddScalar(std::string("quant_max_err_") + name, norm_err);
       report.AddScalar(std::string("quant_u_file_bytes_") + name,
-                       static_cast<double>(qstore->u_file_bytes()));
+                       static_cast<double>(qstore.u_file_bytes()));
     }
     std::printf("quantized U serving, stream I/O, shared %zu-block cache "
                 "(%.0f KB, sized to the int8 U store):\n%s\n",
@@ -548,6 +543,115 @@ int main(int argc, char** argv) {
                 "normalized max err %.4f (budget %.2f)\n\n",
                 speedup, worst_err, quant_err_budget);
     TSC_CHECK(worst_err <= quant_err_budget);
+  }
+
+  // --- sharded scatter-gather serving ---------------------------------------
+  // The PR 9 axis: the same batched cell workload served by the single
+  // in-memory model vs a ShardedStore split from it at each --shards
+  // count. The split is exact (U rows copied, V/eigenvalues replicated,
+  // deltas re-keyed) and the scatter-gather merge writes disjoint output
+  // slots in shard order, so the sharded answers must be BIT-identical
+  // to the single store — enforced with TSC_CHECK, not a tolerance.
+  // Speedup ratios only mean something with >= 2 cores
+  // (shard_scaling_measurable, the same guard as build_scaling): on a
+  // 1-core runner the fan-out pool is disabled (min(S, hardware) = 1)
+  // and the honest number is the S=1 ratio, which the single-shard
+  // forward in ShardedStore keeps within noise of the plain store.
+  {
+    const std::size_t hardware = tsc::ThreadPool::HardwareThreads();
+    const bool shard_scaling_measurable = hardware >= 2;
+    std::vector<tsc::CellRef> refs;
+    refs.reserve(workload.cells.size());
+    for (const auto& [i, j] : workload.cells) refs.push_back({i, j});
+    std::vector<double> base_out(refs.size());
+    std::vector<double> out(refs.size());
+
+    // Split the stores up front, then measure all modes in interleaved
+    // rounds. A --probe_iters pass over one batch takes well under a
+    // millisecond here, so each sample runs for a minimum wall budget;
+    // interleaving the modes round-robin and keeping each mode's best
+    // round means slow drift in background load (the realistic noise on
+    // a shared box) hits every mode alike instead of biasing whichever
+    // one happened to run during the quiet spell.
+    const auto measure_once = [&](const auto& body) {
+      std::size_t batches = 0;
+      double elapsed_ms = 0.0;
+      tsc::Timer timer;
+      do {
+        for (int it = 0; it < probe_iters; ++it) body();
+        batches += static_cast<std::size_t>(probe_iters);
+        elapsed_ms = timer.ElapsedMillis();
+      } while (elapsed_ms < 150.0);
+      return static_cast<double>(refs.size()) *
+             static_cast<double>(batches) / (elapsed_ms / 1000.0);
+    };
+
+    std::vector<std::size_t> shard_sizes;
+    std::vector<tsc::ShardedStore> stores;
+    for (const std::int64_t sc : shard_counts) {
+      const std::size_t shards = static_cast<std::size_t>(sc);
+      auto layout = tsc::ShardLayout::Make(tsc::ShardPartition::kRange,
+                                           x.rows(), shards);
+      TSC_CHECK_OK(layout.status());
+      auto store = tsc::SplitSvddModel(*model, *layout);
+      TSC_CHECK_OK(store.status());
+      const std::size_t fan_out = std::min(shards, hardware);
+      store->EnableParallelFanOut(fan_out > 1 ? fan_out : 0);
+      // Warm up, and enforce the determinism contract once per store:
+      // every cell bit-identical to the single store, at any shard
+      // count.
+      model->ReconstructCells(refs, base_out);
+      store->ReconstructCells(refs, out);
+      for (std::size_t i = 0; i < refs.size(); ++i) {
+        TSC_CHECK(out[i] == base_out[i]);
+      }
+      shard_sizes.push_back(shards);
+      stores.push_back(std::move(*store));
+    }
+
+    double single_qps = 0.0;
+    std::vector<double> shard_qps(stores.size(), 0.0);
+    for (int round = 0; round < 3; ++round) {
+      single_qps = std::max(single_qps, measure_once([&] {
+                     model->ReconstructCells(refs, base_out);
+                     sink += base_out[0];
+                   }));
+      for (std::size_t s = 0; s < stores.size(); ++s) {
+        shard_qps[s] = std::max(shard_qps[s], measure_once([&] {
+                         stores[s].ReconstructCells(refs, out);
+                         sink += out[0];
+                       }));
+      }
+    }
+
+    tsc::TablePrinter shard_table(
+        {"serving store", "fan-out", "Mcells/s", "vs single"});
+    shard_table.AddRow({"single svdd", "-",
+                        tsc::TablePrinter::Num(single_qps / 1e6, 3), "1.0x"});
+    report.AddScalar("shard_single_qps", single_qps);
+    report.AddScalar("shard_scaling_measurable",
+                     shard_scaling_measurable ? 1.0 : 0.0);
+    double s1_ratio = 0.0;
+    for (std::size_t s = 0; s < stores.size(); ++s) {
+      const std::size_t shards = shard_sizes[s];
+      const std::size_t fan_out = std::min(shards, hardware);
+      const double ratio = single_qps > 0 ? shard_qps[s] / single_qps : 0.0;
+      if (shards == 1) s1_ratio = ratio;
+      shard_table.AddRow({"sharded S=" + std::to_string(shards),
+                          std::to_string(fan_out) + " thr",
+                          tsc::TablePrinter::Num(shard_qps[s] / 1e6, 3),
+                          tsc::TablePrinter::Num(ratio, 2) + "x"});
+      report.AddScalar("shard_qps_s" + std::to_string(shards), shard_qps[s]);
+      report.AddScalar("shard_qps_ratio_s" + std::to_string(shards), ratio);
+    }
+    report.AddScalar("shard_s1_qps_ratio", s1_ratio);
+    std::printf("sharded batched serving (range partition, answers checked "
+                "bit-identical):\n%s\n",
+                shard_table.ToString().c_str());
+    std::printf("S=1 vs single: %.2fx (budget: within 2%% when the box is "
+                "quiet); fan-out speedups need >= 2 cores "
+                "(shard_scaling_measurable=%d)\n\n",
+                s1_ratio, shard_scaling_measurable ? 1 : 0);
   }
 
   if (sink == 0.12345) std::printf("%f\n", sink);  // defeat dead-code elim

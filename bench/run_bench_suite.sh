@@ -32,6 +32,7 @@ mkdir -p "${OUT_DIR}"
 
 echo "== query_throughput =="
 "${BENCH_DIR}/query_throughput" --rows=2000 --cells=200 --aggregates=10 \
+  --shards=1,2,4 \
   --json="${OUT_DIR}/BENCH_query_throughput.json"
 
 echo
@@ -42,6 +43,7 @@ echo "== fig9_aggregate_queries =="
 echo
 echo "== build_scaling =="
 "${BENCH_DIR}/build_scaling" --rows=4000 --cols=128 --threads=1,2 \
+  --shards=1,2,4 \
   --json="${OUT_DIR}/BENCH_build_scaling.json"
 
 echo

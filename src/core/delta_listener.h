@@ -24,6 +24,12 @@ class DeltaUpdateListener {
   virtual void OnDeltaUpdate(std::size_t row, std::size_t col,
                              double old_delta, bool had_old,
                              double new_delta) = 0;
+
+  /// The model grew to `new_row_count` rows (FoldInRows). Called after
+  /// the fold, on the mutating thread. Default ignores it; structures
+  /// sized to the old row count mark themselves stale and rebuild
+  /// lazily on their next read.
+  virtual void OnRowsAppended(std::size_t new_row_count) { (void)new_row_count; }
 };
 
 /// Listener set attached to one SvddModel instance. Registration is a
@@ -69,6 +75,20 @@ class DeltaListenerRegistry {
     // (reader/writer) locks and must not nest under this one.
     for (const auto& listener : alive) {
       listener->OnDeltaUpdate(row, col, old_delta, had_old, new_delta);
+    }
+  }
+
+  void NotifyRowsAppended(std::size_t new_row_count) const {
+    std::vector<std::shared_ptr<DeltaUpdateListener>> alive;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      alive.reserve(listeners_.size());
+      for (const auto& weak : listeners_) {
+        if (auto strong = weak.lock()) alive.push_back(std::move(strong));
+      }
+    }
+    for (const auto& listener : alive) {
+      listener->OnRowsAppended(new_row_count);
     }
   }
 

@@ -205,6 +205,15 @@ std::uint64_t SvddModel::CompressedBytes() const {
   return svd_.CompressedBytes() + deltas_.PackedBytes();
 }
 
+SvdModel::FoldInStats SvddModel::FoldInRows(const Matrix& new_rows) {
+  SvdModel::FoldInStats stats = svd_.FoldInRows(new_rows);
+  // After the U matrix has grown: listeners sized to the old row span
+  // (the aggregate hierarchy) mark themselves stale and rebuild on
+  // their next read.
+  delta_listeners_.NotifyRowsAppended(svd_.rows());
+  return stats;
+}
+
 Status SvddModel::PatchCell(std::size_t row, std::size_t col,
                             double exact_value) {
   if (row >= rows() || col >= cols()) {

@@ -58,10 +58,10 @@ class SvddModel : public CompressedStore {
 
   /// Batched off-line appends: folds new sequences in via the frozen
   /// subspace (see SvdModel::FoldInRows). New rows get no deltas; patch
-  /// their worst cells with PatchCell if needed.
-  SvdModel::FoldInStats FoldInRows(const Matrix& new_rows) {
-    return svd_.FoldInRows(new_rows);
-  }
+  /// their worst cells with PatchCell if needed. Attached delta
+  /// listeners are told the new row count, so derived rollup structures
+  /// mark themselves stale instead of silently serving the old span.
+  SvdModel::FoldInStats FoldInRows(const Matrix& new_rows);
 
   /// Point update: makes cell (row, col) reconstruct exactly
   /// `exact_value` by storing (or replacing) its delta. This is how rare

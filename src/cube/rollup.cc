@@ -54,22 +54,29 @@ std::vector<IdRange> CoalesceIds(std::span<const std::size_t> ids) {
 std::shared_ptr<AggregateHierarchy> AggregateHierarchy::Build(
     const SvddModel& model) {
   std::shared_ptr<AggregateHierarchy> h(new AggregateHierarchy());
-  h->rows_ = model.rows();
-  h->cols_ = model.cols();
-  h->k_ = model.k();
-  h->row_leaf_base_ = LeafBase(h->rows_);
-  h->col_leaf_base_ = LeafBase(h->cols_);
-  h->row_tree_ = Tensor({2 * h->row_leaf_base_, h->k_});
-  h->col_tree_ = Tensor({2 * h->col_leaf_base_, h->k_});
-  h->delta_tree_ = Tensor({2 * h->row_leaf_base_, 2});
-  h->row_deltas_.resize(h->rows_);
+  h->model_ = &model;
+  h->Populate(model);
+  model.AttachDeltaListener(h);
+  return h;
+}
+
+void AggregateHierarchy::Populate(const SvddModel& model) {
+  rows_ = model.rows();
+  cols_ = model.cols();
+  k_ = model.k();
+  row_leaf_base_ = LeafBase(rows_);
+  col_leaf_base_ = LeafBase(cols_);
+  row_tree_ = Tensor({2 * row_leaf_base_, k_});
+  col_tree_ = Tensor({2 * col_leaf_base_, k_});
+  delta_tree_ = Tensor({2 * row_leaf_base_, 2});
+  row_deltas_.assign(rows_, {});
 
   // Factor sides: leaves are the (possibly quantization-snapped) U rows
   // and the Lambda-weighted V rows; internal nodes sum their children.
   const Matrix& u = model.svd().u();
   const Matrix& wv = model.svd().weighted_v();
-  const auto fill = [k = h->k_](Tensor& tree, std::size_t leaf_base,
-                                const Matrix& leaves, std::size_t n) {
+  const auto fill = [k = k_](Tensor& tree, std::size_t leaf_base,
+                             const Matrix& leaves, std::size_t n) {
     for (std::size_t i = 0; i < n; ++i) {
       std::span<double> node = tree.Slice(leaf_base + i);
       std::span<const double> row = leaves.Row(i);
@@ -81,42 +88,56 @@ std::shared_ptr<AggregateHierarchy> AggregateHierarchy::Build(
       kernels::Axpy(1.0, tree.Slice(2 * node + 1).data(), out.data(), k);
     }
   };
-  fill(h->row_tree_, h->row_leaf_base_, u, h->rows_);
-  fill(h->col_tree_, h->col_leaf_base_, wv, h->cols_);
+  fill(row_tree_, row_leaf_base_, u, rows_);
+  fill(col_tree_, col_leaf_base_, wv, cols_);
 
   // Delta side: bucket every stored delta by row, sort each row's list
   // by column, then one upward pass for the (sum, count) tree.
-  if (h->cols_ > 0) {
+  if (cols_ > 0) {
     model.deltas().ForEach([&](std::uint64_t key, double delta) {
-      const std::size_t row = static_cast<std::size_t>(key / h->cols_);
-      const std::size_t col = static_cast<std::size_t>(key % h->cols_);
-      if (row < h->rows_) h->row_deltas_[row].push_back({col, delta});
+      const std::size_t row = static_cast<std::size_t>(key / cols_);
+      const std::size_t col = static_cast<std::size_t>(key % cols_);
+      if (row < rows_) row_deltas_[row].push_back({col, delta});
     });
   }
-  for (std::size_t row = 0; row < h->rows_; ++row) {
-    auto& list = h->row_deltas_[row];
+  for (std::size_t row = 0; row < rows_; ++row) {
+    auto& list = row_deltas_[row];
     std::sort(list.begin(), list.end());
-    std::span<double> leaf = h->delta_tree_.Slice(h->row_leaf_base_ + row);
+    std::span<double> leaf = delta_tree_.Slice(row_leaf_base_ + row);
     for (const auto& [col, delta] : list) leaf[0] += delta;
     leaf[1] = static_cast<double>(list.size());
   }
-  for (std::size_t node = h->row_leaf_base_; node-- > 1;) {
-    std::span<double> out = h->delta_tree_.Slice(node);
-    std::span<const double> lhs = h->delta_tree_.Slice(2 * node);
-    std::span<const double> rhs = h->delta_tree_.Slice(2 * node + 1);
+  for (std::size_t node = row_leaf_base_; node-- > 1;) {
+    std::span<double> out = delta_tree_.Slice(node);
+    std::span<const double> lhs = delta_tree_.Slice(2 * node);
+    std::span<const double> rhs = delta_tree_.Slice(2 * node + 1);
     out[0] = lhs[0] + rhs[0];
     out[1] = lhs[1] + rhs[1];
   }
+}
 
-  model.AttachDeltaListener(h);
-  return h;
+void AggregateHierarchy::OnRowsAppended(std::size_t new_row_count) {
+  (void)new_row_count;
+  stale_.store(true, std::memory_order_release);
+}
+
+void AggregateHierarchy::EnsureFresh() const {
+  if (!stale_.load(std::memory_order_acquire)) return;
+  // A fold-in outran the tree span: the first reader re-derives the
+  // trees from the grown model under the writer lock; racing readers
+  // queue on the lock and then see the fresh state.
+  auto* self = const_cast<AggregateHierarchy*>(this);
+  const std::unique_lock<std::shared_mutex> lock(delta_mutex_);
+  if (!stale_.load(std::memory_order_relaxed)) return;
+  self->Populate(*model_);
+  stale_.store(false, std::memory_order_release);
 }
 
 std::uint64_t AggregateHierarchy::MemoryBytes() const {
+  const std::shared_lock<std::shared_mutex> lock(delta_mutex_);
   std::uint64_t bytes =
       (row_tree_.size() + col_tree_.size() + delta_tree_.size()) *
       sizeof(double);
-  const std::shared_lock<std::shared_mutex> lock(delta_mutex_);
   for (const auto& list : row_deltas_) {
     bytes += list.capacity() * sizeof(std::pair<std::size_t, double>);
   }
@@ -149,19 +170,33 @@ void AggregateHierarchy::AccumulateMass(const Tensor& tree,
 void AggregateHierarchy::AccumulateRowMass(std::span<const IdRange> row_ranges,
                                            std::span<double> out,
                                            RollupStats* stats) const {
+  EnsureFresh();
+  // The factor trees were lock-free before lazy rebuilds existed; now a
+  // rebuild can replace them, so reads share the same reader lock as
+  // the delta side.
+  const std::shared_lock<std::shared_mutex> lock(delta_mutex_);
   AccumulateMass(row_tree_, row_leaf_base_, row_ranges, out, stats);
 }
 
 void AggregateHierarchy::AccumulateColMass(std::span<const IdRange> col_ranges,
                                            std::span<double> out,
                                            RollupStats* stats) const {
+  EnsureFresh();
+  const std::shared_lock<std::shared_mutex> lock(delta_mutex_);
   AccumulateMass(col_tree_, col_leaf_base_, col_ranges, out, stats);
 }
 
 double AggregateHierarchy::DeltaSum(std::span<const IdRange> row_ranges,
                                     std::span<const IdRange> col_ranges,
                                     RollupStats* stats) const {
+  EnsureFresh();
   const std::shared_lock<std::shared_mutex> lock(delta_mutex_);
+  return DeltaSumLocked(row_ranges, col_ranges, stats);
+}
+
+double AggregateHierarchy::DeltaSumLocked(std::span<const IdRange> row_ranges,
+                                          std::span<const IdRange> col_ranges,
+                                          RollupStats* stats) const {
   if (CoversAll(col_ranges, cols_)) {
     // Full-width: the canonical decomposition over the (sum, count) tree
     // answers without touching a single per-row list.
@@ -196,6 +231,7 @@ void AggregateHierarchy::VisitRegionDeltas(
     std::span<const IdRange> row_ranges, std::span<const IdRange> col_ranges,
     RollupStats* stats,
     const std::function<void(std::size_t, std::size_t, double)>& fn) const {
+  EnsureFresh();
   const std::shared_lock<std::shared_mutex> lock(delta_mutex_);
   VisitRegionDeltasLocked(row_ranges, col_ranges, stats, fn);
 }
@@ -233,20 +269,29 @@ void AggregateHierarchy::VisitRegionDeltasLocked(
 double AggregateHierarchy::RegionSum(std::span<const IdRange> row_ranges,
                                      std::span<const IdRange> col_ranges,
                                      RollupStats* stats) const {
+  EnsureFresh();
+  // One reader-lock hold for all three tree reads (shared_mutex must
+  // not be re-acquired on the same thread, and k_/the trees may be
+  // replaced by a concurrent rebuild).
+  const std::shared_lock<std::shared_mutex> lock(delta_mutex_);
   std::vector<double> row_mass(k_, 0.0);
   std::vector<double> col_mass(k_, 0.0);
-  AccumulateRowMass(row_ranges, row_mass, stats);
-  AccumulateColMass(col_ranges, col_mass, stats);
+  AccumulateMass(row_tree_, row_leaf_base_, row_ranges, row_mass, stats);
+  AccumulateMass(col_tree_, col_leaf_base_, col_ranges, col_mass, stats);
   return kernels::Dot(row_mass.data(), col_mass.data(), k_) +
-         DeltaSum(row_ranges, col_ranges, stats);
+         DeltaSumLocked(row_ranges, col_ranges, stats);
 }
 
 void AggregateHierarchy::OnDeltaUpdate(std::size_t row, std::size_t col,
                                        double old_delta, bool had_old,
                                        double new_delta) {
-  // Rows folded in after the build (FoldInRows) are beyond the tree's
-  // leaf span; the hierarchy is documented as rebuild-required then.
-  if (row >= rows_) return;
+  // A patch beyond the tree's leaf span means rows were folded in since
+  // the last (re)build: the delta already sits in the model's table, so
+  // marking stale makes the next read's rebuild pick it up.
+  if (row >= rows_) {
+    stale_.store(true, std::memory_order_release);
+    return;
+  }
   (void)old_delta;
   (void)had_old;
   const std::unique_lock<std::shared_mutex> lock(delta_mutex_);

@@ -103,19 +103,51 @@ class AggregateHierarchy : public DeltaUpdateListener {
   void OnDeltaUpdate(std::size_t row, std::size_t col, double old_delta,
                      bool had_old, double new_delta) override;
 
+  /// DeltaUpdateListener: FoldInRows grew the model past the tree span.
+  /// Marks the hierarchy stale; the next aggregate rebuilds it from the
+  /// model (lazily, under the writer lock) before answering, so rollup
+  /// answers never silently exclude appended rows.
+  void OnRowsAppended(std::size_t new_row_count) override;
+
+  /// Whether a fold-in is pending a rebuild (test/diagnostic hook).
+  bool stale() const { return stale_.load(std::memory_order_acquire); }
+
  private:
   AggregateHierarchy() = default;
+
+  /// (Re)derives every tree from the model's current factors and delta
+  /// table. Called at Build, and from EnsureFresh under the writer lock
+  /// after a fold-in. The caller synchronizes.
+  void Populate(const SvddModel& model);
+
+  /// Lazy rebuild gate, called at the top of every read: cheap acquire
+  /// load when fresh; after a fold-in, the first reader re-Populates
+  /// under the writer lock while later readers queue on it.
+  /// Concurrent PatchCell against the SAME model during the rebuild is
+  /// outside the contract (fold-ins are offline batch operations), but
+  /// rebuild-vs-reader is fully synchronized.
+  void EnsureFresh() const;
 
   /// Shared canonical-decomposition walk over a {2P, k} factor tree.
   void AccumulateMass(const Tensor& tree, std::size_t leaf_base,
                       std::span<const IdRange> ranges, std::span<double> out,
                       RollupStats* stats) const;
 
+  /// DeltaSum's body; caller holds delta_mutex_ (either side).
+  double DeltaSumLocked(std::span<const IdRange> row_ranges,
+                        std::span<const IdRange> col_ranges,
+                        RollupStats* stats) const;
+
   /// Count-pruned descent; caller holds delta_mutex_ (either side).
   void VisitRegionDeltasLocked(
       std::span<const IdRange> row_ranges,
       std::span<const IdRange> col_ranges, RollupStats* stats,
       const std::function<void(std::size_t, std::size_t, double)>& fn) const;
+
+  /// The indexed model; outlives the hierarchy (Build's contract).
+  /// Read again on stale rebuilds.
+  const SvddModel* model_ = nullptr;
+  mutable std::atomic<bool> stale_{false};
 
   std::size_t rows_ = 0;
   std::size_t cols_ = 0;
@@ -128,7 +160,9 @@ class AggregateHierarchy : public DeltaUpdateListener {
   Tensor delta_tree_;                ///< {2P_rows, 2} = (sum, count)
 
   /// Per-row (col, delta) lists sorted by column, for partial-width
-  /// delta folds. Guarded, with delta_tree_, by delta_mutex_.
+  /// delta folds. Guarded, with delta_tree_, by delta_mutex_. Since
+  /// lazy rebuilds can replace the factor trees too, every tree read —
+  /// factor or delta side — now takes the reader lock.
   std::vector<std::vector<std::pair<std::size_t, double>>> row_deltas_;
   mutable std::shared_mutex delta_mutex_;
 };

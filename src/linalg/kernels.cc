@@ -255,7 +255,23 @@ __attribute__((target("avx2,fma"))) void GemmNT(
     }
   }
   if (i < m) {
-    DotBatch(b, ldb, n, a + i * lda, k, c + i * ldc);
+    // The odd remainder row runs through the exact same per-cell
+    // accumulation as the paired rows (duplicate-row tiles, scratch
+    // second outputs): a row's bytes must not depend on its position in
+    // the call, or row-partitioned scatter-gather could never merge
+    // bit-identically with the unsharded product.
+    const double* a0 = a + i * lda;
+    double* c0 = c + i * ldc;
+    double scratch0;
+    double scratch1;
+    std::size_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      Gemm2x2(a0, a0, b + j * ldb, b + (j + 1) * ldb, k, c0 + j, c0 + j + 1,
+              &scratch0, &scratch1);
+    }
+    if (j < n) {
+      Dot2(a0, a0, b + j * ldb, k, c0 + j, &scratch0);
+    }
   }
 }
 

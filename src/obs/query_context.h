@@ -38,6 +38,8 @@ struct QueryCostVector {
   std::uint64_t rollup_hits = 0;        ///< agg.rollup_hits delta
   std::uint64_t scan_fallbacks = 0;     ///< agg.scan_fallbacks delta
   std::uint64_t agg_nodes_read = 0;     ///< agg.nodes_read delta
+  std::uint64_t shard_queries = 0;      ///< shard.queries delta
+  std::uint64_t shard_fanout = 0;       ///< shard.fanout delta
 
   /// Compact `k=v k=v` form for the X-Query-Cost response header and
   /// the slow-query log's text rendering.
@@ -70,6 +72,8 @@ class QueryContext {
   std::atomic<std::uint64_t> rollup_hits{0};
   std::atomic<std::uint64_t> scan_fallbacks{0};
   std::atomic<std::uint64_t> agg_nodes_read{0};
+  std::atomic<std::uint64_t> shard_queries{0};
+  std::atomic<std::uint64_t> shard_fanout{0};
 
   /// Consistent-enough copy of the costs (relaxed loads; exact once the
   /// request's work has quiesced, which is when responses are built).
@@ -174,6 +178,15 @@ inline void ChargeScanFallback() {
 }
 inline void ChargeAggNodesRead(std::uint64_t nodes) {
   detail::Charge(&QueryContext::agg_nodes_read, nodes);
+}
+/// Sharded scatter-gather accounting: one shard query per batched
+/// operation routed through a ShardedStore/ShardRouter, and the number
+/// of shards that operation actually fanned out to.
+inline void ChargeShardQuery() {
+  detail::Charge(&QueryContext::shard_queries, 1);
+}
+inline void ChargeShardFanout(std::uint64_t shards) {
+  detail::Charge(&QueryContext::shard_fanout, shards);
 }
 /// Wave size of the CellBatcher batch that served this request (set, not
 /// accumulated: one cell probe rides exactly one wave).

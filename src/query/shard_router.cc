@@ -1,0 +1,289 @@
+#include "query/shard_router.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdlib>
+
+#include "linalg/kernels.h"
+#include "obs/metrics.h"
+#include "obs/query_context.h"
+#include "util/thread_pool.h"
+
+namespace tsc {
+namespace {
+
+/// Mirrors the ShardedStore's scatter accounting so aggregate fan-outs
+/// and reconstruction fan-outs land in the same counters.
+void ChargeRouterScatter(std::size_t active_shards) {
+  static obs::Counter& queries =
+      obs::MetricRegistry::Default().GetCounter("shard.queries");
+  static obs::Counter& fanout =
+      obs::MetricRegistry::Default().GetCounter("shard.fanout");
+  queries.Add(1);
+  fanout.Add(active_shards);
+  obs::ChargeShardQuery();
+  obs::ChargeShardFanout(active_shards);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(const ShardedStore* store, bool enable_rollup)
+    : store_(store) {
+  // Same gates as the unsharded executor ctor: every shard must have a
+  // usable factor tree, and TSC_NO_ROLLUP wins over the flag.
+  bool all_k_positive = true;
+  for (std::size_t s = 0; s < store_->shard_count(); ++s) {
+    if (store_->shard_model(s).k() == 0) all_k_positive = false;
+  }
+  if (enable_rollup && all_k_positive &&
+      std::getenv("TSC_NO_ROLLUP") == nullptr) {
+    hierarchies_.reserve(store_->shard_count());
+    for (std::size_t s = 0; s < store_->shard_count(); ++s) {
+      hierarchies_.push_back(
+          AggregateHierarchy::Build(store_->shard_model(s)));
+    }
+  }
+}
+
+std::size_t ShardRouter::model_k() const {
+  std::size_t k = 0;
+  for (std::size_t s = 0; s < store_->shard_count(); ++s) {
+    k = std::max(k, store_->shard_model(s).k());
+  }
+  return k;
+}
+
+void ShardRouter::EnableParallelFanOut(std::size_t num_threads) {
+  fan_out_pool_ = num_threads > 1
+                      ? std::make_shared<ThreadPool>(num_threads)
+                      : nullptr;
+}
+
+void ShardRouter::ForEachShard(
+    const std::function<void(std::size_t)>& fn) const {
+  const std::size_t shards = store_->shard_count();
+  if (fan_out_pool_ != nullptr && shards > 1) {
+    // ParallelFor is not reentrant; when an outer fan-out (or the
+    // executor's own scan shards) already holds the pool, fall back to
+    // the serial loop — partials land in the same slots either way.
+    std::unique_lock<std::mutex> lock(*fan_out_mutex_, std::try_to_lock);
+    if (lock.owns_lock()) {
+      obs::QueryContext* parent = obs::CurrentQueryContext();
+      ParallelFor(fan_out_pool_.get(), shards, [&](std::size_t s) {
+        obs::ScopedQueryContext scope(parent);
+        fn(s);
+      });
+      return;
+    }
+  }
+  for (std::size_t s = 0; s < shards; ++s) fn(s);
+}
+
+std::vector<std::vector<IdRange>> ShardRouter::PartitionRowRuns(
+    std::span<const IdRange> row_runs) const {
+  const ShardLayout& layout = store_->layout();
+  std::vector<std::vector<IdRange>> per_shard(layout.shard_count);
+  for (const IdRange& run : row_runs) {
+    if (layout.partition == ShardPartition::kRange) {
+      // Split the run at shard boundaries; each piece is contiguous in
+      // that shard's local space.
+      std::size_t g = run.lo;
+      while (g <= run.hi) {
+        const auto [shard, local] = layout.Locate(g);
+        const std::size_t shard_last =
+            layout.range_begin[shard + 1] - 1;  // global id of last row
+        const std::size_t hi = std::min(run.hi, shard_last);
+        per_shard[shard].push_back({local, local + (hi - g)});
+        if (hi == run.hi) break;
+        g = hi + 1;
+      }
+    } else {
+      // Hash (mod S): the globals congruent to s inside [lo, hi] are an
+      // arithmetic progression with step S, so their locals g / S form
+      // one contiguous run.
+      const std::size_t s_count = layout.shard_count;
+      for (std::size_t s = 0; s < s_count; ++s) {
+        std::size_t first = s;
+        if (run.lo > s) {
+          first = s + ((run.lo - s + s_count - 1) / s_count) * s_count;
+        }
+        if (first > run.hi) continue;
+        const std::size_t last = s + ((run.hi - s) / s_count) * s_count;
+        per_shard[s].push_back({first / s_count, last / s_count});
+      }
+    }
+  }
+  return per_shard;
+}
+
+double ShardRouter::RegionSum(std::span<const IdRange> row_runs,
+                              std::span<const IdRange> col_runs,
+                              RollupStats* stats) const {
+  const std::vector<std::vector<IdRange>> local_runs =
+      PartitionRowRuns(row_runs);
+  const std::size_t shards = store_->shard_count();
+
+  std::size_t active = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (!local_runs[s].empty()) ++active;
+  }
+  ChargeRouterScatter(active);
+
+  // Per-shard partial slots; merged in fixed shard order below so the
+  // reduction grouping — and every low-order bit — is independent of
+  // how the shards were scheduled.
+  std::vector<double> partials(shards, 0.0);
+  std::vector<RollupStats> shard_stats(shards);
+  ForEachShard([&](std::size_t s) {
+    if (local_runs[s].empty()) return;
+    partials[s] = hierarchies_[s]->RegionSum(local_runs[s], col_runs,
+                                             &shard_stats[s]);
+  });
+
+  double total = 0.0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    total += partials[s];
+    if (stats != nullptr) {
+      stats->nodes_read += shard_stats[s].nodes_read;
+      stats->deltas_folded += shard_stats[s].deltas_folded;
+    }
+  }
+  return total;
+}
+
+std::vector<double> ShardRouter::GroupedSums(
+    const std::vector<std::size_t>& row_ids,
+    const std::vector<std::size_t>& col_ids, GroupBy group_by,
+    RollupStats* stats) const {
+  const ShardLayout& layout = store_->layout();
+  const std::size_t shards = store_->shard_count();
+
+  // Scatter the sorted global row selection: per-shard local ids plus,
+  // for the kRow direction, each local row's slot in the global result.
+  std::vector<std::vector<std::size_t>> local_rows(shards);
+  std::vector<std::vector<std::size_t>> out_index(shards);
+  for (std::size_t g = 0; g < row_ids.size(); ++g) {
+    const auto [shard, local] = layout.Locate(row_ids[g]);
+    local_rows[shard].push_back(local);
+    out_index[shard].push_back(g);
+  }
+
+  std::size_t active = 0;
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (!local_rows[s].empty()) ++active;
+  }
+  ChargeRouterScatter(active);
+
+  const std::size_t groups = group_by == GroupBy::kRow ? row_ids.size()
+                             : group_by == GroupBy::kCol ? col_ids.size()
+                                                         : 1;
+  std::vector<double> sums(groups, 0.0);
+
+  // kRow writes are disjoint across shards (each global row lives in
+  // exactly one shard), so shards fill `sums` directly; kNone and kCol
+  // partials are per-shard vectors merged in shard order afterwards.
+  const bool direct = group_by == GroupBy::kRow;
+  std::vector<std::vector<double>> partials(
+      direct ? 0 : shards, std::vector<double>(groups, 0.0));
+  std::vector<RollupStats> shard_stats(shards);
+
+  ForEachShard([&](std::size_t s) {
+    if (local_rows[s].empty()) return;
+    const SvdModel& svd = store_->shard_model(s).svd();
+    const std::size_t k = svd.k();
+    std::vector<double>& out = direct ? sums : partials[s];
+
+    if (group_by == GroupBy::kCol) {
+      // Column direction: this shard's U mass over its local rows, then
+      // one dot per selected column against its Lambda-weighted V.
+      std::vector<double> u_mass(k, 0.0);
+      for (const std::size_t i : local_rows[s]) {
+        kernels::Axpy(1.0, svd.u().Row(i).data(), u_mass.data(), k);
+      }
+      for (std::size_t g = 0; g < col_ids.size(); ++g) {
+        out[g] = kernels::Dot(u_mass.data(),
+                              svd.weighted_v().Row(col_ids[g]).data(), k);
+      }
+    } else {
+      // Row direction / total: this shard's column weights, then one
+      // dot per local U row into its global slot (kRow) or the shard
+      // partial (kNone).
+      std::vector<double> weights(k, 0.0);
+      for (const std::size_t j : col_ids) {
+        kernels::Axpy(1.0, svd.weighted_v().Row(j).data(), weights.data(),
+                      k);
+      }
+      for (std::size_t r = 0; r < local_rows[s].size(); ++r) {
+        const double dot = kernels::Dot(svd.u().Row(local_rows[s][r]).data(),
+                                        weights.data(), k);
+        out[group_by == GroupBy::kRow ? out_index[s][r] : 0] += dot;
+      }
+    }
+
+    // Fold this shard's in-region deltas into the same slots. Local ids
+    // are already sorted (scatter of a sorted global list is monotone
+    // per shard), so the runs coalesce directly; global group slots
+    // come from the scatter's out_index.
+    const std::vector<IdRange> local_runs = CoalesceIds(
+        std::span<const std::size_t>(local_rows[s]));
+    const std::vector<IdRange> col_runs =
+        CoalesceIds(std::span<const std::size_t>(col_ids));
+    const auto fold = [&](std::size_t local_i, std::size_t j, double delta) {
+      switch (group_by) {
+        case GroupBy::kRow: {
+          const auto it = std::lower_bound(local_rows[s].begin(),
+                                           local_rows[s].end(), local_i);
+          out[out_index[s][static_cast<std::size_t>(
+              it - local_rows[s].begin())]] += delta;
+          break;
+        }
+        case GroupBy::kCol: {
+          const auto it =
+              std::lower_bound(col_ids.begin(), col_ids.end(), j);
+          out[static_cast<std::size_t>(it - col_ids.begin())] += delta;
+          break;
+        }
+        case GroupBy::kNone:
+          out[0] += delta;
+          break;
+      }
+    };
+    if (!hierarchies_.empty()) {
+      hierarchies_[s]->VisitRegionDeltas(local_runs, col_runs,
+                                         &shard_stats[s], fold);
+    } else {
+      // Degenerate no-hierarchy mode: sweep this shard's delta table.
+      const SvddModel& model = store_->shard_model(s);
+      std::vector<std::size_t> row_slot(model.rows(), SIZE_MAX);
+      for (std::size_t r = 0; r < local_rows[s].size(); ++r) {
+        row_slot[local_rows[s][r]] = r;
+      }
+      std::vector<char> col_in(model.cols(), 0);
+      for (const std::size_t j : col_ids) col_in[j] = 1;
+      model.deltas().ForEach([&](std::uint64_t key, double delta) {
+        const std::size_t i = static_cast<std::size_t>(key / model.cols());
+        const std::size_t j = static_cast<std::size_t>(key % model.cols());
+        if (i >= row_slot.size() || row_slot[i] == SIZE_MAX || !col_in[j]) {
+          return;
+        }
+        fold(i, j, delta);
+      });
+    }
+  });
+
+  if (!direct) {
+    for (std::size_t s = 0; s < shards; ++s) {
+      if (local_rows[s].empty()) continue;
+      for (std::size_t g = 0; g < groups; ++g) sums[g] += partials[s][g];
+    }
+  }
+  for (std::size_t s = 0; s < shards; ++s) {
+    if (stats != nullptr) {
+      stats->nodes_read += shard_stats[s].nodes_read;
+      stats->deltas_folded += shard_stats[s].deltas_folded;
+    }
+  }
+  return sums;
+}
+
+}  // namespace tsc

@@ -27,6 +27,11 @@ namespace tsc::server {
 /// CLI exposes the interesting ones.
 struct ServerOptions {
   int port = 0;  ///< 0 binds an ephemeral port (read it back via port())
+  /// Listen address. The loopback default keeps the server private to
+  /// the machine; binding anything else (e.g. "0.0.0.0") exposes an
+  /// UNAUTHENTICATED query API to the network — see docs/server.md
+  /// before doing that.
+  std::string bind_address = "127.0.0.1";
   /// Admission: concurrent executions (0 = hardware threads), bounded
   /// queue, default per-request deadline.
   std::size_t max_concurrent = 0;

@@ -305,5 +305,45 @@ TEST(AggRollupStrategyTest, SingleRowSelectionsUseTheRollupToo) {
               kRelTol * std::abs(slow->values[0]) + kAbsTol);
 }
 
+TEST(AggRollupStrategyTest, FoldInRowsMarksStaleAndLazilyRebuilds) {
+  const Matrix data = TestData();
+  SvddModel model = BuildModel(data, QuantScheme::kF64);
+  QueryExecutor executor(&model);
+  ASSERT_NE(executor.rollup(), nullptr);
+  // Warm the hierarchy, then grow the model past its tree span.
+  ASSERT_TRUE(executor.Execute("select sum(value)").ok());
+  EXPECT_FALSE(executor.rollup()->stale());
+
+  Matrix appended(6, model.cols());
+  for (std::size_t r = 0; r < appended.rows(); ++r) {
+    for (std::size_t c = 0; c < appended.cols(); ++c) {
+      appended(r, c) = 3.0 + static_cast<double>(r + c % 5);
+    }
+  }
+  model.FoldInRows(appended);
+  EXPECT_TRUE(executor.rollup()->stale());
+
+  // The next aggregate rebuilds and covers the appended rows.
+  QueryExecutor scan(static_cast<const CompressedStore*>(&model));
+  const char* query = "select sum(value), count(value)";
+  const auto fast = executor.Execute(query);
+  const auto slow = scan.Execute(query);
+  ASSERT_TRUE(fast.ok() && slow.ok());
+  EXPECT_FALSE(executor.rollup()->stale());
+  EXPECT_EQ(fast->values[1], static_cast<double>(model.rows() * model.cols()));
+  EXPECT_NEAR(fast->values[0], slow->values[0],
+              kRelTol * std::abs(slow->values[0]) + kAbsTol);
+
+  // The rebuilt tree is live again: patches to an appended row land.
+  const std::size_t patched_row = model.rows() - 1;
+  TSC_CHECK_OK(model.PatchCell(patched_row, 0, 5000.0));
+  const auto patched_fast = executor.Execute(query);
+  const auto patched_slow = scan.Execute(query);
+  ASSERT_TRUE(patched_fast.ok() && patched_slow.ok());
+  EXPECT_NEAR(patched_fast->values[0], patched_slow->values[0],
+              kRelTol * std::abs(patched_slow->values[0]) + kAbsTol);
+  EXPECT_GT(patched_fast->values[0], fast->values[0] + 1000.0);
+}
+
 }  // namespace
 }  // namespace tsc

@@ -1,0 +1,207 @@
+// ThreadSanitizer hammer for the sharded scatter-gather paths: the
+// router fans aggregate queries across per-shard hierarchies while a
+// writer patches cells through ShardedStore::PatchCell (routed to the
+// owning shard's model, whose delta listener updates that shard's
+// hierarchy under its unique lock). As in the unsharded hammer, the
+// delta tables are single-writer, so the readers stay on
+// hierarchy-only paths (sum/avg/count — never row reconstruction).
+//
+// The fan-out pool gets its own hammer: overlapping batched
+// reconstructions race for the pool's try_lock and the losers run the
+// serial fallback — both paths must be clean and return identical
+// bytes.
+#include <atomic>
+#include <cmath>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/sharded_store.h"
+#include "core/svdd_compressor.h"
+#include "data/generators.h"
+#include "query/executor.h"
+#include "query/shard_router.h"
+#include "storage/row_source.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace tsc {
+namespace {
+
+Matrix TestData() {
+  PhoneDatasetConfig config;
+  config.num_customers = 96;
+  config.num_days = 32;
+  config.spike_probability = 0.03;
+  return GeneratePhoneDataset(config).values;
+}
+
+ShardedStore BuildStore(const Matrix& data, std::size_t shards) {
+  MatrixRowSource source(&data);
+  SvddBuildOptions options;
+  options.space_percent = 25.0;
+  auto model = BuildSvddModel(&source, options);
+  TSC_CHECK_OK(model.status());
+  auto layout = ShardLayout::Make(ShardPartition::kRange, model->rows(),
+                                  shards);
+  TSC_CHECK_OK(layout.status());
+  auto store = SplitSvddModel(*model, *layout);
+  TSC_CHECK_OK(store.status());
+  return std::move(*store);
+}
+
+TEST(ShardConcurrencyTest, ConcurrentPatchesVersusRouterAggregates) {
+  const Matrix data = TestData();
+  ShardedStore store = BuildStore(data, 4);
+  store.EnableParallelFanOut(2);
+  ShardRouter router(&store);
+  ASSERT_TRUE(router.rollup_enabled());
+  router.EnableParallelFanOut(2);
+  const QueryExecutor executor(&router);
+
+  constexpr int kReaders = 4;
+  constexpr int kPatches = 300;
+  constexpr int kQueriesPerReader = 150;
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+
+  std::thread writer([&] {
+    while (!go.load(std::memory_order_acquire)) {
+    }
+    Rng rng(1);
+    for (int i = 0; i < kPatches; ++i) {
+      const std::size_t row = rng.UniformUint64(store.rows());
+      const std::size_t col = rng.UniformUint64(store.cols());
+      if (!store.PatchCell(row, col, rng.UniformDouble() * 50.0).ok()) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      Rng rng(100 + t);
+      for (int i = 0; i < kQueriesPerReader; ++i) {
+        const std::size_t lo = rng.UniformUint64(store.rows());
+        const std::size_t hi =
+            lo + rng.UniformUint64(store.rows() - lo);
+        const std::string q = "select sum(value), avg(value), count(value)"
+                              " where row in " +
+                              std::to_string(lo) + ":" + std::to_string(hi);
+        auto result = executor.Execute(q);
+        if (!result.ok() || result->values.size() != 3 ||
+            !std::isfinite(result->values[0])) {
+          failures.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+
+  go.store(true, std::memory_order_release);
+  writer.join();
+  for (std::thread& reader : readers) reader.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ShardConcurrencyTest, FoldInStalenessConvergesUnderConcurrentReaders) {
+  const Matrix data = TestData();
+  ShardedStore store = BuildStore(data, 4);
+  ShardRouter router(&store);
+  ASSERT_TRUE(router.rollup_enabled());
+  const QueryExecutor executor(&router);
+
+  // Fold rows in BEFORE the hammer: every shard hierarchy goes stale,
+  // then N concurrent readers race to trigger the lazy rebuilds.
+  Matrix appended(8, store.cols());
+  Rng rng(9);
+  for (std::size_t r = 0; r < appended.rows(); ++r) {
+    for (std::size_t c = 0; c < appended.cols(); ++c) {
+      appended(r, c) = 5.0 + rng.UniformDouble() * 20.0;
+    }
+  }
+  store.FoldInRows(appended);
+
+  constexpr int kReaders = 6;
+  const std::string query = "select sum(value), count(value)";
+  std::atomic<bool> go{false};
+  std::vector<double> sums(kReaders, 0.0);
+  std::vector<double> counts(kReaders, 0.0);
+  std::atomic<int> failures{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      auto result = executor.Execute(query);
+      if (!result.ok() || result->values.size() != 2) {
+        failures.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      sums[t] = result->values[0];
+      counts[t] = result->values[1];
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& reader : readers) reader.join();
+  ASSERT_EQ(failures.load(), 0);
+
+  // Every racer saw the same (fresh) answer, covering all rows
+  // including the folded-in ones.
+  const double expected_count =
+      static_cast<double>(store.rows() * store.cols());
+  for (int t = 0; t < kReaders; ++t) {
+    EXPECT_EQ(sums[t], sums[0]) << "reader " << t;
+    EXPECT_EQ(counts[t], expected_count) << "reader " << t;
+  }
+  auto after = executor.Execute(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->values[0], sums[0]);
+}
+
+TEST(ShardConcurrencyTest, OverlappingFanOutReconstructionsAreClean) {
+  const Matrix data = TestData();
+  ShardedStore store = BuildStore(data, 4);
+
+  // Serial ground truth before enabling the pool.
+  std::vector<std::size_t> row_ids, col_ids;
+  for (std::size_t r = 0; r < store.rows(); r += 2) row_ids.push_back(r);
+  for (std::size_t c = 0; c < store.cols(); ++c) col_ids.push_back(c);
+  Matrix want;
+  store.ReconstructRegion(row_ids, col_ids, &want);
+
+  store.EnableParallelFanOut(3);
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 25;
+  std::atomic<bool> go{false};
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      while (!go.load(std::memory_order_acquire)) {
+      }
+      Matrix got;
+      for (int round = 0; round < kRounds; ++round) {
+        store.ReconstructRegion(row_ids, col_ids, &got);
+        for (std::size_t i = 0; i < row_ids.size(); ++i) {
+          for (std::size_t j = 0; j < col_ids.size(); ++j) {
+            if (got(i, j) != want(i, j)) {
+              failures.fetch_add(1, std::memory_order_relaxed);
+              return;
+            }
+          }
+        }
+      }
+    });
+  }
+  go.store(true, std::memory_order_release);
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+}  // namespace
+}  // namespace tsc
