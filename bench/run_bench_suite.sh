@@ -42,8 +42,13 @@ echo "== fig9_aggregate_queries =="
 
 echo
 echo "== build_scaling =="
+# The randomized-vs-exact engine section runs at its own, much larger
+# scale (200k x 366 is where the sketch's O(N*M*l) pass-1 pulls ahead of
+# the exact O(N*M^2) accumulation; rand_build_speedup is gated >= 2x
+# there).
 "${BENCH_DIR}/build_scaling" --rows=4000 --cols=128 --threads=1,2 \
   --shards=1,2,4 \
+  --rand_rows=200000 --rand_cols=366 \
   --json="${OUT_DIR}/BENCH_build_scaling.json"
 
 echo

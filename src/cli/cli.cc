@@ -27,6 +27,7 @@
 #include "storage/io_backend.h"
 #include "storage/quant.h"
 #include "storage/row_source.h"
+#include "storage/row_store.h"
 #include "util/flags.h"
 #include "util/rng.h"
 #include "util/table_printer.h"
@@ -46,10 +47,15 @@ commands:
              [--b=8|4] [--quant=f64|f32|int16|int8] [--no-bloom]
              [--max-candidates=K] [--threads=N] [--shards=S]
              [--prefetch-depth=N]  (overlap build-pass reads with compute)
+             [--build=exact|randomized] [--seed=S] [--oversample=P]
+             [--power-iters=Q]
              (--quant defaults to $TSC_QUANT; quantizes the U row store.
               --shards=S runs S independent per-shard builds in parallel
               and writes a TSCSHARD1 manifest; --quant then accepts a
-              comma list, one scheme per shard — hot f32 / cold int8)
+              comma list, one scheme per shard — hot f32 / cold int8.
+              --build=randomized swaps pass 1 for the streaming sketch
+              PCA — O(M*(k+p)) memory at any N, deterministic per --seed;
+              binary inputs stream off disk without loading the matrix)
   reshard    --model=SVDD --out=MANIFEST --shards=S [--partition=range|hash]
              (split one svdd model into S shard models that reconstruct
               bit-identically, plus a TSCSHARD1 manifest)
@@ -225,9 +231,6 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
     return Fail(err,
                 Status::InvalidArgument("--input and --out are required"));
   }
-  auto dataset = LoadDataset(input);
-  if (!dataset.ok()) return Fail(err, dataset.status());
-
   const double space = flags.GetDouble("space", 10.0);
   const std::string method = flags.GetString("method", "svdd");
   const std::size_t b = static_cast<std::size_t>(flags.GetInt("b", 8));
@@ -263,7 +266,47 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
                          std::to_string(quant_list.size()) + " schemes for " +
                          std::to_string(shards) + " shards"));
   }
-  MatrixRowSource source(&dataset->values);
+  const std::string build_name = flags.GetString("build", "exact");
+  if (build_name != "exact" && build_name != "randomized") {
+    return Fail(err, Status::InvalidArgument(
+                         "--build must be exact or randomized, got " +
+                         build_name));
+  }
+  const bool randomized = build_name == "randomized";
+  if (randomized && method != "svdd") {
+    return Fail(err, Status::InvalidArgument(
+                         "--build=randomized needs --method=svdd"));
+  }
+  const std::uint64_t sketch_seed =
+      static_cast<std::uint64_t>(flags.GetInt("seed", 42));
+  const std::size_t oversample =
+      static_cast<std::size_t>(flags.GetInt("oversample", 8));
+  const std::size_t power_iters =
+      static_cast<std::size_t>(flags.GetInt("power-iters", 0));
+
+  // Single-store svdd builds stream binary row stores straight off the
+  // file: the build passes ARE the out-of-core algorithm, so compress
+  // never needs an N x M resident matrix (the whole point of the
+  // randomized engine at 10M rows). CSV inputs and the sharded/svd
+  // paths still load the dataset up front.
+  std::optional<Dataset> dataset;
+  std::optional<FileRowSource> file_source;
+  std::optional<MatrixRowSource> matrix_source;
+  RowSource* source = nullptr;
+  const bool stream_input =
+      method == "svdd" && shards == 1 && !EndsWith(input, ".csv");
+  if (stream_input) {
+    auto reader = RowStoreReader::Open(input);
+    if (!reader.ok()) return Fail(err, reader.status());
+    file_source.emplace(std::move(*reader));
+    source = &*file_source;
+  } else {
+    auto loaded = LoadDataset(input);
+    if (!loaded.ok()) return Fail(err, loaded.status());
+    dataset.emplace(std::move(*loaded));
+    matrix_source.emplace(&dataset->values);
+    source = &*matrix_source;
+  }
   Timer timer;
 
   if (method == "svdd" && shards > 1) {
@@ -275,6 +318,11 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
     options.base.build_bloom_filter = !flags.GetBool("no-bloom", false);
     options.base.max_candidates =
         static_cast<std::size_t>(flags.GetInt("max-candidates", 0));
+    options.base.engine = randomized ? SvddBuildEngine::kRandomized
+                                     : SvddBuildEngine::kExact;
+    options.base.sketch_seed = sketch_seed;
+    options.base.sketch_oversample = oversample;
+    options.base.power_iterations = power_iters;
     options.shard_count = shards;
     options.num_threads = threads;
     if (quant_list.size() > 1) options.per_shard_quant = quant_list;
@@ -315,16 +363,24 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
         static_cast<std::size_t>(flags.GetInt("max-candidates", 0));
     options.num_threads = threads;
     options.prefetch_depth = prefetch_depth;
+    options.engine = randomized ? SvddBuildEngine::kRandomized
+                                : SvddBuildEngine::kExact;
+    options.sketch_seed = sketch_seed;
+    options.sketch_oversample = oversample;
+    options.power_iterations = power_iters;
     SvddBuildDiagnostics diag;
-    auto model = BuildSvddModel(&source, options, &diag);
+    auto model = BuildSvddModel(source, options, &diag);
     if (!model.ok()) return Fail(err, model.status());
     const Status save = model->SaveToFile(model_path);
     if (!save.ok()) return Fail(err, save);
-    out << "svdd model: k_opt=" << diag.k_opt << " (k_max=" << diag.k_max
-        << "), deltas=" << model->delta_count() << ", quant="
-        << QuantSchemeName(quant) << ", "
+    const std::uint64_t passes =
+        source->rows() > 0 ? diag.rows_streamed / source->rows() : 0;
+    out << "svdd model (" << diag.engine << "): k_opt=" << diag.k_opt
+        << " (k_max=" << diag.k_max << "), deltas=" << model->delta_count()
+        << ", quant=" << QuantSchemeName(quant) << ", "
         << TablePrinter::Percent(model->SpacePercent(b)) << " of original, "
-        << TablePrinter::Num(timer.ElapsedSeconds(), 3) << "s, 3 passes\n";
+        << TablePrinter::Num(timer.ElapsedSeconds(), 3) << "s, " << passes
+        << " passes\n";
   } else if (method == "svd") {
     SpaceBudget budget = SpaceBudget::FromPercent(
         dataset->rows(), dataset->cols(), space, b);
@@ -337,7 +393,7 @@ int CmdCompress(const FlagParser& flags, std::ostream& out,
     if (options.k == 0) {
       return Fail(err, Status::ResourceExhausted("budget below 1 component"));
     }
-    auto model = BuildSvdModel(&source, options);
+    auto model = BuildSvdModel(source, options);
     if (!model.ok()) return Fail(err, model.status());
     // Plain SVD has no delta table to absorb the quantization error, but
     // the snapped model still reports it honestly through evaluate.

@@ -1,0 +1,188 @@
+#include "core/randomized_build.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <vector>
+
+#include "core/parallel_build.h"
+#include "linalg/kernels.h"
+#include "linalg/qr.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace tsc {
+namespace {
+
+std::uint64_t SplitMix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+// Reduces the per-shard partial matrices into partial[0] in fixed shard
+// order (the arithmetic every thread schedule must reproduce).
+Matrix ReduceShardPartials(std::vector<Matrix>* partials) {
+  Matrix acc = std::move((*partials)[0]);
+  for (std::size_t s = 1; s < partials->size(); ++s) {
+    acc.Add((*partials)[s]);
+  }
+  return acc;
+}
+
+// Computes the sketch coefficients w = Q x for one data row: w[p] =
+// dot(q_row_p, x). Q is stored transposed (r x m, rows contiguous), so
+// this is a strided Gemv accumulate.
+void ProjectRow(const Matrix& qt, std::span<const double> x,
+                std::span<double> w) {
+  std::fill(w.begin(), w.end(), 0.0);
+  kernels::Gemv(qt.Row(0).data(), qt.rows(), qt.cols(), qt.cols(), x.data(),
+                w.data());
+}
+
+}  // namespace
+
+double RandomizedSvdBuilder::CounterGaussian(std::uint64_t seed,
+                                             std::uint64_t row,
+                                             std::uint64_t column) {
+  // Two independent 64-bit streams from the (seed, row, column) counter.
+  std::uint64_t h = SplitMix64(seed ^ (row * 0x9e3779b97f4a7c15ULL));
+  h = SplitMix64(h ^ (column * 0xbf58476d1ce4e5b9ULL));
+  const std::uint64_t a = SplitMix64(h);
+  const std::uint64_t b = SplitMix64(h ^ 0x94d049bb133111ebULL);
+  // u1 in (0, 1] so the log is finite; u2 in [0, 1).
+  const double u1 = static_cast<double>((a >> 11) + 1) * 0x1.0p-53;
+  const double u2 = static_cast<double>(b >> 11) * 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+StatusOr<SketchedEigenBasis> RandomizedSvdBuilder::EstimateSubspace(
+    RowSource* source, ThreadPool* pool) const {
+  const std::size_t n = source->rows();
+  const std::size_t m = source->cols();
+  if (n == 0 || m == 0) {
+    return Status::InvalidArgument("empty source");
+  }
+  const std::size_t target =
+      std::max<std::size_t>(1, std::min(options_.target_rank, m));
+  const std::size_t l = std::min(m, target + options_.oversample);
+
+  SketchedEigenBasis out;
+  out.sketch_cols = l;
+  out.power_iterations = options_.power_iterations;
+
+  // --- Pass 1: sketch Y^T = Omega^T X, stored l x m so every update is a
+  // contiguous axpy of one data row. Per-shard partials keep the reduction
+  // order fixed; resident state is kBuildShards * l * m doubles.
+  Matrix qt(l, m);
+  {
+    obs::TraceSpan span("randomized.sketch");
+    std::vector<Matrix> partials(kBuildShards, Matrix(l, m));
+    std::vector<std::vector<double>> omega(kBuildShards,
+                                           std::vector<double>(l));
+    TSC_RETURN_IF_ERROR(ForEachRowChunk(
+        source, [&](std::size_t base, std::size_t count, const Matrix& rows) {
+          ParallelFor(pool, kBuildShards, [&](std::size_t shard) {
+            Matrix& yt = partials[shard];
+            std::vector<double>& w = omega[shard];
+            for (std::size_t r = FirstShardRow(shard, base); r < count;
+                 r += kBuildShards) {
+              const std::uint64_t i = base + r;
+              for (std::size_t p = 0; p < l; ++p) {
+                w[p] = CounterGaussian(options_.seed, i, p);
+              }
+              AddScaledOuter(w, rows.Row(r), &yt);
+            }
+          });
+          return Status::Ok();
+        }));
+    qt = ReduceShardPartials(&partials);
+  }
+
+  TSC_ASSIGN_OR_RETURN(std::size_t rank, OrthonormalizeRows(&qt));
+  if (rank == 0) {
+    return Status::InvalidArgument(
+        "randomized build: data matrix is numerically zero");
+  }
+  if (rank < qt.rows()) {
+    qt = qt.TopRows(rank);
+  }
+
+  // --- Optional power iterations: S^T = (C Q)^T = Q^T X^T X accumulated
+  // as sum_i (Q x_i) x_i^T, one streaming pass each, then re-orthonormalize.
+  // Each pass multiplies the sketch's spectrum by the data spectrum, which
+  // sharpens the subspace when singular values decay slowly.
+  for (std::size_t iter = 0; iter < options_.power_iterations; ++iter) {
+    obs::TraceSpan span("randomized.power");
+    std::vector<Matrix> partials(kBuildShards, Matrix(rank, m));
+    std::vector<std::vector<double>> scratch(kBuildShards,
+                                             std::vector<double>(rank));
+    TSC_RETURN_IF_ERROR(ForEachRowChunk(
+        source, [&](std::size_t base, std::size_t count, const Matrix& rows) {
+          ParallelFor(pool, kBuildShards, [&](std::size_t shard) {
+            Matrix& st = partials[shard];
+            std::vector<double>& w = scratch[shard];
+            for (std::size_t r = FirstShardRow(shard, base); r < count;
+                 r += kBuildShards) {
+              ProjectRow(qt, rows.Row(r), w);
+              AddScaledOuter(w, rows.Row(r), &st);
+            }
+          });
+          return Status::Ok();
+        }));
+    qt = ReduceShardPartials(&partials);
+    TSC_ASSIGN_OR_RETURN(rank, OrthonormalizeRows(&qt));
+    if (rank == 0) {
+      return Status::Internal("randomized build: basis collapsed");
+    }
+    if (rank < qt.rows()) {
+      qt = qt.TopRows(rank);
+    }
+  }
+
+  // --- Final pass: Rayleigh quotient T = Q^T C Q = sum_i w_i w_i^T with
+  // w_i = Q x_i. Only r x r resident state; O(m*r + r^2) work per row.
+  Matrix t(rank, rank);
+  {
+    obs::TraceSpan span("randomized.project");
+    std::vector<Matrix> partials(kBuildShards, Matrix(rank, rank));
+    std::vector<std::vector<double>> scratch(kBuildShards,
+                                             std::vector<double>(rank));
+    TSC_RETURN_IF_ERROR(ForEachRowChunk(
+        source, [&](std::size_t base, std::size_t count, const Matrix& rows) {
+          ParallelFor(pool, kBuildShards, [&](std::size_t shard) {
+            Matrix& tt = partials[shard];
+            std::vector<double>& w = scratch[shard];
+            for (std::size_t r = FirstShardRow(shard, base); r < count;
+                 r += kBuildShards) {
+              ProjectRow(qt, rows.Row(r), w);
+              AddScaledOuter(w, w, &tt);
+            }
+          });
+          return Status::Ok();
+        }));
+    t = ReduceShardPartials(&partials);
+  }
+
+  // Small dense eigenproblem (r <= k+p), then rotate the basis: the
+  // eigenvector estimate for theta_j is Q^T W(:, j).
+  TSC_ASSIGN_OR_RETURN(EigenDecomposition eigen,
+                       SymmetricEigen(t, options_.solver));
+  out.eigenvalues.resize(rank);
+  for (std::size_t j = 0; j < rank; ++j) {
+    out.eigenvalues[j] = std::max(0.0, eigen.eigenvalues[j]);
+  }
+  Matrix vt(rank, m);
+  for (std::size_t j = 0; j < rank; ++j) {
+    double* dst = vt.Row(j).data();
+    for (std::size_t s = 0; s < rank; ++s) {
+      kernels::Axpy(eigen.eigenvectors(s, j), qt.Row(s).data(), dst, m);
+    }
+  }
+  out.eigenvectors = vt.Transposed();
+  return out;
+}
+
+}  // namespace tsc

@@ -1,0 +1,89 @@
+#ifndef TSC_CORE_RANDOMIZED_BUILD_H_
+#define TSC_CORE_RANDOMIZED_BUILD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/matrix.h"
+#include "linalg/symmetric_eigen.h"
+#include "storage/row_source.h"
+#include "util/status.h"
+
+namespace tsc {
+
+class ThreadPool;
+
+/// Knobs for the randomized range-finder subspace estimate.
+struct RandomizedSketchOptions {
+  /// Rank the caller wants usable principal components for (k_max). The
+  /// sketch carries `oversample` extra columns beyond this.
+  std::size_t target_rank = 1;
+  /// Oversampling p of Halko et al.: extra Gaussian columns that buy the
+  /// probabilistic accuracy guarantee. 5-10 is the standard range.
+  std::size_t oversample = 8;
+  /// Extra power-iteration passes (each is one more stream over the
+  /// rows). Sharpens the basis when the spectrum decays slowly; 0 keeps
+  /// the build at two total passes.
+  std::size_t power_iterations = 0;
+  /// Seed of the counter-based Gaussian test matrix. Same seed => same
+  /// model, bit for bit, at any thread count.
+  std::uint64_t seed = 42;
+  /// Solver for the small (k+p) x (k+p) Rayleigh-Ritz eigenproblem.
+  EigenSolverKind solver = EigenSolverKind::kHouseholderQl;
+};
+
+/// Output of the sketch stage, shaped as a drop-in replacement for the
+/// exact pass-1 eigensystem (SymmetricEigen of X^T X): descending
+/// eigenvalue estimates and the matching orthonormal column directions.
+struct SketchedEigenBasis {
+  /// Rayleigh-Ritz eigenvalue estimates of X^T X, descending, clamped
+  /// at zero. Size r <= sketch_cols (the subspace's numerical rank).
+  std::vector<double> eigenvalues;
+  /// m x r matrix whose column j is the estimated eigenvector of
+  /// eigenvalues[j]; columns are orthonormal.
+  Matrix eigenvectors;
+  /// l = min(m, target_rank + oversample), the sketch width actually used.
+  std::size_t sketch_cols = 0;
+  /// Power iterations actually run.
+  std::size_t power_iterations = 0;
+};
+
+/// Streaming randomized PCA (Halko-Martinsson-Shkolnisky-Tygert): one
+/// pass accumulates the sketch Y^T = Omega^T X with a seeded Gaussian
+/// Omega (never materialized — each row's l coefficients are recomputed
+/// from a counter-based hash), the sketch is orthonormalized by blocked
+/// Gram-Schmidt QR (linalg/qr.h), optional power iterations re-multiply
+/// the basis through C = X^T X one pass each, and a final cheap pass
+/// accumulates the (k+p) x (k+p) Rayleigh quotient T = Q^T C Q whose
+/// eigensystem yields the principal directions. Resident state is
+/// O(M * (k+p)) per build shard — independent of N — so 10M-row stores
+/// build in bounded memory.
+///
+/// Determinism contract: rows are dealt to kBuildShards fixed shards,
+/// each shard accumulates in stream order, shards reduce in index order,
+/// and Gaussians are pure functions of (seed, row, column). The result
+/// is bit-identical at any thread count and chunk size.
+class RandomizedSvdBuilder {
+ public:
+  explicit RandomizedSvdBuilder(RandomizedSketchOptions options)
+      : options_(options) {}
+
+  /// Runs 2 + power_iterations streaming passes over `source` and
+  /// returns the estimated leading eigensystem of X^T X. `pool` may be
+  /// null (serial).
+  StatusOr<SketchedEigenBasis> EstimateSubspace(RowSource* source,
+                                                ThreadPool* pool) const;
+
+  /// Standard normal deviate as a pure function of (seed, row, column):
+  /// SplitMix64 counter hashing feeding Box-Muller. Exposed for tests.
+  static double CounterGaussian(std::uint64_t seed, std::uint64_t row,
+                                std::uint64_t column);
+
+ private:
+  RandomizedSketchOptions options_;
+};
+
+}  // namespace tsc
+
+#endif  // TSC_CORE_RANDOMIZED_BUILD_H_

@@ -1,6 +1,7 @@
 #include "core/sharded_store.h"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <chrono>
 #include <cstdio>
@@ -379,6 +380,173 @@ void ShardedStore::ForEachShard(
   for (std::size_t shard : active) fn(shard);
 }
 
+namespace {
+
+/// Reusable scatter-gather state for the serial (pool-less) path. All
+/// arrays are flat and grouped by shard with a counting sort; capacity
+/// reaches steady state after the first few batches, so the hot path
+/// allocates nothing. thread_local because executor scan shards may
+/// call ReconstructRegion concurrently on distinct threads.
+struct SerialScatterScratch {
+  std::vector<std::uint32_t> shard_of;   // per input item
+  std::vector<std::size_t> offsets;      // per shard: group begin; +1 = end
+  std::vector<std::size_t> cursor;       // per shard: next write slot
+  std::vector<CellRef> local_cells;      // localized, input order
+  std::vector<CellRef> grouped_cells;    // localized, grouped by shard
+  std::vector<std::size_t> local_rows;   // localized rows, input order
+  std::vector<std::size_t> grouped_rows; // localized rows, grouped
+  std::vector<std::size_t> grouped_out;  // original positions, grouped
+  std::vector<double> values;            // one shard's gathered cells
+  Matrix region;                         // one shard's gathered region
+};
+
+SerialScatterScratch& SerialScratch() {
+  thread_local SerialScatterScratch scratch;
+  return scratch;
+}
+
+/// Below this many output cells a batch cannot amortize the fan-out
+/// pool's wake-up (microseconds) plus the parallel path's per-call
+/// scatter allocations: a few hundred cells reconstruct in ~2-3us,
+/// so dispatching them to workers made S=2 serve at ~0.7x the single
+/// store. Small batches take the allocation-free serial path instead
+/// (identical results — shard outputs are disjoint either way).
+constexpr std::size_t kMinCellsForFanOut = 8192;
+
+}  // namespace
+
+void ShardedStore::SerialReconstructCells(std::span<const CellRef> cells,
+                                          std::span<double> out) const {
+  const std::size_t shard_count = models_.size();
+  // Serving from the in-memory shard models: the fused multi-model
+  // loops reconstruct in one pass — per-cell model select, no grouping
+  // copies, no per-shard calls — which is what keeps small batches at
+  // single-store speed for S > 1. Large batches stay on the grouped
+  // path below: its per-shard backend calls unlock SvddModel's
+  // whole-table delta fold, which beats per-cell probing once the
+  // batch is a fair fraction of the delta table. (The hit masks give
+  // the exact distinct-shard count for S <= 64 and an aliased lower
+  // bound beyond, which only feeds the fan-out metric.)
+  if (backends_.empty() && cells.size() < kMinCellsForFanOut) {
+    thread_local std::vector<const SvddModel*> model_ptrs;
+    model_ptrs.resize(shard_count);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      model_ptrs[s] = &models_[s];
+    }
+    if (layout_.partition == ShardPartition::kRange) {
+      // Owner selection fuses into the reconstruction itself: nothing
+      // is precomputed per cell.
+      const std::uint64_t hit = SvddModel::ReconstructCellsRange(
+          model_ptrs, layout_.range_begin, cells, out);
+      ChargeShardScatter(static_cast<std::size_t>(std::popcount(hit)));
+      return;
+    }
+    SerialScatterScratch& scratch = SerialScratch();
+    scratch.shard_of.resize(cells.size());
+    scratch.local_cells.resize(cells.size());
+    std::uint64_t hit = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      auto [shard, local] = layout_.Locate(cells[i].row);
+      scratch.shard_of[i] = static_cast<std::uint32_t>(shard);
+      scratch.local_cells[i] = CellRef{local, cells[i].col};
+      hit |= std::uint64_t{1} << (shard & 63);
+    }
+    ChargeShardScatter(static_cast<std::size_t>(std::popcount(hit)));
+    SvddModel::ReconstructCellsMulti(model_ptrs, scratch.shard_of,
+                                     scratch.local_cells, out);
+    return;
+  }
+  SerialScatterScratch& scratch = SerialScratch();
+  scratch.shard_of.resize(cells.size());
+  scratch.local_cells.resize(cells.size());
+  scratch.offsets.assign(shard_count + 1, 0);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    auto [shard, local] = layout_.Locate(cells[i].row);
+    scratch.shard_of[i] = static_cast<std::uint32_t>(shard);
+    scratch.local_cells[i] = CellRef{local, cells[i].col};
+    ++scratch.offsets[scratch.shard_of[i] + 1];
+  }
+  std::size_t active = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (scratch.offsets[s + 1] != 0) ++active;
+    scratch.offsets[s + 1] += scratch.offsets[s];
+  }
+  ChargeShardScatter(active);
+  scratch.cursor.assign(scratch.offsets.begin(),
+                        scratch.offsets.end() - 1);
+  scratch.grouped_cells.resize(cells.size());
+  scratch.grouped_out.resize(cells.size());
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::size_t pos = scratch.cursor[scratch.shard_of[i]]++;
+    scratch.grouped_cells[pos] = scratch.local_cells[i];
+    scratch.grouped_out[pos] = i;
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t begin = scratch.offsets[s];
+    const std::size_t end = scratch.offsets[s + 1];
+    if (begin == end) continue;
+    const std::size_t count = end - begin;
+    if (scratch.values.size() < count) scratch.values.resize(count);
+    backend(s)->ReconstructCells(
+        std::span<const CellRef>(scratch.grouped_cells.data() + begin, count),
+        std::span<double>(scratch.values.data(), count));
+    for (std::size_t i = 0; i < count; ++i) {
+      out[scratch.grouped_out[begin + i]] = scratch.values[i];
+    }
+  }
+}
+
+void ShardedStore::SerialReconstructRegion(
+    std::span<const std::size_t> row_ids,
+    std::span<const std::size_t> col_ids, Matrix* out) const {
+  // Every output row is fully overwritten below, so reuse the caller's
+  // matrix when the shape already matches instead of reallocating.
+  if (out->rows() != row_ids.size() || out->cols() != col_ids.size()) {
+    *out = Matrix(row_ids.size(), col_ids.size());
+  }
+  const std::size_t shard_count = models_.size();
+  SerialScatterScratch& scratch = SerialScratch();
+  scratch.shard_of.resize(row_ids.size());
+  scratch.local_rows.resize(row_ids.size());
+  scratch.offsets.assign(shard_count + 1, 0);
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    auto [shard, local] = layout_.Locate(row_ids[i]);
+    scratch.shard_of[i] = static_cast<std::uint32_t>(shard);
+    scratch.local_rows[i] = local;
+    ++scratch.offsets[shard + 1];
+  }
+  std::size_t active = 0;
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    if (scratch.offsets[s + 1] != 0) ++active;
+    scratch.offsets[s + 1] += scratch.offsets[s];
+  }
+  ChargeShardScatter(active);
+  scratch.cursor.assign(scratch.offsets.begin(),
+                        scratch.offsets.end() - 1);
+  scratch.grouped_rows.resize(row_ids.size());
+  scratch.grouped_out.resize(row_ids.size());
+  for (std::size_t i = 0; i < row_ids.size(); ++i) {
+    const std::size_t pos = scratch.cursor[scratch.shard_of[i]]++;
+    scratch.grouped_rows[pos] = scratch.local_rows[i];
+    scratch.grouped_out[pos] = i;
+  }
+  for (std::size_t s = 0; s < shard_count; ++s) {
+    const std::size_t begin = scratch.offsets[s];
+    const std::size_t end = scratch.offsets[s + 1];
+    if (begin == end) continue;
+    const std::size_t count = end - begin;
+    backend(s)->ReconstructRegion(
+        std::span<const std::size_t>(scratch.grouped_rows.data() + begin,
+                                     count),
+        col_ids, &scratch.region);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::span<const double> src = scratch.region.Row(i);
+      std::span<double> dst = out->Row(scratch.grouped_out[begin + i]);
+      std::copy(src.begin(), src.end(), dst.begin());
+    }
+  }
+}
+
 double ShardedStore::ReconstructCell(std::size_t row, std::size_t col) const {
   auto [shard, local] = layout_.Locate(row);
   return backend(shard)->ReconstructCell(local, col);
@@ -398,6 +566,13 @@ void ShardedStore::ReconstructCells(std::span<const CellRef> cells,
     // single-store speed.
     ChargeShardScatter(1);
     backend(0)->ReconstructCells(cells, out);
+    return;
+  }
+  if (fan_out_pool_ == nullptr || cells.size() < kMinCellsForFanOut) {
+    // No pool means every shard runs on this thread anyway — and a
+    // small batch is faster on this thread too; either way take the
+    // allocation-free path so S>1 serves near single-store speed.
+    SerialReconstructCells(cells, out);
     return;
   }
   // Scatter: deal cells to their shards, remembering output slots.
@@ -433,6 +608,11 @@ void ShardedStore::ReconstructRegion(std::span<const std::size_t> row_ids,
     // Same single-shard forward as ReconstructCells.
     ChargeShardScatter(1);
     backend(0)->ReconstructRegion(row_ids, col_ids, out);
+    return;
+  }
+  if (fan_out_pool_ == nullptr ||
+      row_ids.size() * col_ids.size() < kMinCellsForFanOut) {
+    SerialReconstructRegion(row_ids, col_ids, out);
     return;
   }
   *out = Matrix(row_ids.size(), col_ids.size());

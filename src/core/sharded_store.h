@@ -193,6 +193,18 @@ class ShardedStore : public CompressedStore, public RowPrefetchable {
   void ForEachShard(const std::vector<std::size_t>& active,
                     const std::function<void(std::size_t)>& fn) const;
 
+  /// Allocation-free scatter-gather used when no fan-out pool is
+  /// attached: one thread-local counting-sort scratch groups the batch
+  /// by shard and one value/region buffer is reused across shards.
+  /// Bit-identical to the pooled path (same grouping order, same
+  /// backend calls); exists because per-call vector-of-vector scatter
+  /// state cost ~2x QPS on the single-threaded serving path (BENCH_9).
+  void SerialReconstructCells(std::span<const CellRef> cells,
+                              std::span<double> out) const;
+  void SerialReconstructRegion(std::span<const std::size_t> row_ids,
+                               std::span<const std::size_t> col_ids,
+                               Matrix* out) const;
+
   std::vector<SvddModel> models_;
   ShardLayout layout_;
   std::vector<const CompressedStore*> backends_;

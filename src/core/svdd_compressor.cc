@@ -1,6 +1,7 @@
 #include "core/svdd_compressor.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <cmath>
 #include <limits>
@@ -9,6 +10,8 @@
 #include <unordered_map>
 
 #include "core/parallel_build.h"
+#include "core/randomized_build.h"
+#include "linalg/kernels.h"
 #include "linalg/svd.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -146,6 +149,88 @@ void SvddModel::ReconstructCells(std::span<const CellRef> cells,
       CountBloomFalsePositive();
     }
   }
+}
+
+namespace {
+
+// Flat per-model view: the fused loops below run the single-store
+// probe path verbatim, with the model resolved by one data-dependent
+// load (no branch to mispredict, no virtual call). The view table is
+// a handful of cache lines for realistic shard counts.
+struct FusedModelView {
+  const double* u;           // row-major, rows x k
+  const double* weighted_v;  // row-major, cols x k
+  std::size_t k;
+  std::size_t cols;
+  const BloomFilter* bloom;  // nullptr when the model has none
+  const DeltaTable* deltas;
+};
+
+std::vector<FusedModelView>& FusedViews(
+    std::span<const SvddModel* const> models) {
+  thread_local std::vector<FusedModelView> views;
+  views.resize(models.size());
+  for (std::size_t s = 0; s < models.size(); ++s) {
+    const SvddModel& m = *models[s];
+    views[s] = FusedModelView{m.svd().u().Row(0).data(),
+                              m.svd().weighted_v().Row(0).data(),
+                              m.svd().k(),
+                              m.cols(),
+                              m.has_bloom_filter() ? &m.bloom_filter() : nullptr,
+                              &m.deltas()};
+  }
+  return views;
+}
+
+inline double FusedReconstructCell(const FusedModelView& v, std::size_t row,
+                                   std::size_t col) {
+  double value =
+      kernels::Dot(v.u + row * v.k, v.weighted_v + col * v.k, v.k);
+  const std::uint64_t key = DeltaTable::CellKey(row, col, v.cols);
+  if (v.bloom == nullptr || v.bloom->MightContain(key)) {
+    const std::optional<double> delta = v.deltas->Get(key);
+    if (delta.has_value()) {
+      value += *delta;
+    } else if (v.bloom != nullptr) {
+      CountBloomFalsePositive();
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+void SvddModel::ReconstructCellsMulti(
+    std::span<const SvddModel* const> models,
+    std::span<const std::uint32_t> owner, std::span<const CellRef> cells,
+    std::span<double> out) {
+  const std::vector<FusedModelView>& views = FusedViews(models);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    out[i] = FusedReconstructCell(views[owner[i]], cells[i].row,
+                                  cells[i].col);
+  }
+}
+
+std::uint64_t SvddModel::ReconstructCellsRange(
+    std::span<const SvddModel* const> models,
+    std::span<const std::size_t> range_begin,
+    std::span<const CellRef> cells, std::span<double> out) {
+  const std::vector<FusedModelView>& views = FusedViews(models);
+  const std::size_t* rb = range_begin.data();
+  const std::size_t shard_count = models.size();
+  std::uint64_t hit = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    const std::size_t row = cells[i].row;
+    // Branchless owner scan: random rows mispredict a binary search,
+    // and at a few nanoseconds per cell that is the whole budget.
+    std::size_t s = 0;
+    for (std::size_t t = 1; t < shard_count; ++t) {
+      s += static_cast<std::size_t>(row >= rb[t]);
+    }
+    hit |= std::uint64_t{1} << (s & 63);
+    out[i] = FusedReconstructCell(views[s], row - rb[s], cells[i].col);
+  }
+  return hit;
 }
 
 void SvddModel::ReconstructRegion(std::span<const std::size_t> row_ids,
@@ -306,22 +391,53 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
   // the trace shows the three passes back to back on the build thread,
   // with the per-shard worker spans nested under each.
   std::optional<obs::TraceSpan> phase;
-  phase.emplace("svdd.pass1");
 
   // ---------------------------------------------------------------------
-  // Pass 1: column similarity -> eigensystem -> k_max and gamma_k.
+  // Pass 1: subspace estimate -> k_max and gamma_k. Two engines produce
+  // the same (eigenvalues, eigenvectors) contract: the exact path
+  // accumulates the full M x M column similarity and eigendecomposes it;
+  // the randomized path streams a Gaussian sketch (O(M*(k+p)) resident,
+  // independent of N) and Rayleigh-Ritz-solves the small problem.
+  // Everything downstream — k_opt search, pass-2 outlier queues, pass-3
+  // U emission, quantization, deltas, Bloom — is engine-agnostic.
   // ---------------------------------------------------------------------
-  TSC_ASSIGN_OR_RETURN(Matrix c, AccumulateColumnSimilarity(source, pool.get()));
-  phase.emplace("svdd.eigen");
-  TSC_ASSIGN_OR_RETURN(EigenDecomposition eigen,
-                       SymmetricEigen(c, options.solver));
+  const std::size_t passes_before = source->passes_started();
+  std::vector<double> eigenvalues;
+  Matrix eigenvectors;  // m x r, column j pairs with eigenvalues[j]
+  std::size_t sketch_cols = 0;
+  if (options.engine == SvddBuildEngine::kRandomized) {
+    phase.emplace("svdd.sketch");
+    RandomizedSketchOptions sketch;
+    sketch.target_rank = options.forced_k > 0 ? options.forced_k
+                                              : std::min(budget.MaxK(), m);
+    sketch.oversample = options.sketch_oversample;
+    sketch.power_iterations = options.power_iterations;
+    sketch.seed = options.sketch_seed;
+    sketch.solver = options.solver;
+    const RandomizedSvdBuilder builder(sketch);
+    TSC_ASSIGN_OR_RETURN(SketchedEigenBasis basis,
+                         builder.EstimateSubspace(source, pool.get()));
+    eigenvalues = std::move(basis.eigenvalues);
+    eigenvectors = std::move(basis.eigenvectors);
+    sketch_cols = basis.sketch_cols;
+  } else {
+    phase.emplace("svdd.pass1");
+    TSC_ASSIGN_OR_RETURN(Matrix c,
+                         AccumulateColumnSimilarity(source, pool.get()));
+    phase.emplace("svdd.eigen");
+    TSC_ASSIGN_OR_RETURN(EigenDecomposition eigen,
+                         SymmetricEigen(c, options.solver));
+    eigenvalues = std::move(eigen.eigenvalues);
+    eigenvectors = std::move(eigen.eigenvectors);
+  }
 
   const double lambda_max =
-      eigen.eigenvalues.empty() ? 0.0 : std::max(0.0, eigen.eigenvalues[0]);
+      eigenvalues.empty() ? 0.0 : std::max(0.0, eigenvalues[0]);
+  const std::size_t rank_limit = std::min(m, eigenvalues.size());
   std::size_t numerical_rank = 0;
-  for (std::size_t j = 0; j < m; ++j) {
-    if (eigen.eigenvalues[j] > kSvdRelativeTolerance * lambda_max &&
-        eigen.eigenvalues[j] > 0.0) {
+  for (std::size_t j = 0; j < rank_limit; ++j) {
+    if (eigenvalues[j] > kSvdRelativeTolerance * lambda_max &&
+        eigenvalues[j] > 0.0) {
       ++numerical_rank;
     } else {
       break;
@@ -358,27 +474,38 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
   std::vector<double> singular_values(k_max);
   Matrix v(m, k_max);
   for (std::size_t j = 0; j < k_max; ++j) {
-    singular_values[j] = std::sqrt(eigen.eigenvalues[j]);
-    for (std::size_t i = 0; i < m; ++i) v(i, j) = eigen.eigenvectors(i, j);
+    singular_values[j] = std::sqrt(eigenvalues[j]);
+    for (std::size_t i = 0; i < m; ++i) v(i, j) = eigenvectors(i, j);
   }
 
   // ---------------------------------------------------------------------
   // Pass 2: per-candidate bounded queues of the worst cells + epsilon_k.
   //
   // Rows are dealt to kBuildShards shards (row % kBuildShards). Each shard
-  // keeps its own priority queue per candidate k and its own compensated
-  // SSE partial, so no locks are taken on the hot path. A shared atomic
-  // threshold per candidate — the largest "full heap minimum" any shard
-  // has published — lets shards skip cells that provably cannot make the
-  // global top gamma_k, keeping total retained entries near gamma_k
-  // instead of kBuildShards * gamma_k.
+  // keeps its own top-gamma_k selector per candidate k and its own
+  // compensated SSE partial, so no locks are taken on the hot path. A
+  // shared atomic threshold per candidate — the largest top-gamma_k
+  // cutoff any shard has published — lets shards skip cells that
+  // provably cannot make the global top gamma_k, keeping total retained
+  // entries near gamma_k instead of kBuildShards * gamma_k.
   // ---------------------------------------------------------------------
-  using OutlierHeap = BoundedTopHeap<CellErr, double>;  // value = signed err
+  using OutlierHeap = BoundedTopSelector<CellErr, double>;  // value = err
+  // The per-candidate SSE is split over four interleaved Kahan lanes
+  // (cell j feeds lane j % 4, folded in lane order afterwards): a single
+  // compensated accumulator is a 4-add serial dependency chain per cell
+  // and was the throughput floor of the whole pass. Lane assignment
+  // depends only on j, so the sum stays bit-deterministic at any thread
+  // count.
+  constexpr std::size_t kSseLanes = 4;
+  using LaneSum = std::array<KahanSum, kSseLanes>;
   struct Pass2Shard {
     std::vector<OutlierHeap> queues;      // one per candidate k
-    std::vector<KahanSum> sse;            // one per candidate k
+    std::vector<LaneSum> sse;             // one per candidate k
     std::vector<double> projection;       // scratch: x_i . v_p
     std::vector<double> ucoef;            // scratch: quantized-U preview
+    std::vector<double> recon;            // scratch: running recon of a row
+    std::vector<double> err2;             // scratch: squared errors of a row
+    std::vector<std::size_t> publish_at;  // next early-fractile watermark
   };
   std::vector<Pass2Shard> shards(kBuildShards);
   for (Pass2Shard& shard : shards) {
@@ -389,6 +516,15 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
     shard.sse.resize(num_candidates);
     shard.projection.resize(k_max);
     shard.ucoef.resize(k_max);
+    shard.recon.resize(m);
+    shard.err2.resize(m);
+  }
+  // Component-major copy of V so the hot loops below run on contiguous
+  // rows (kernels::Dot / kernels::Axpy) instead of striding column-wise
+  // through the m x k_max layout.
+  Matrix vt(k_max, m);
+  for (std::size_t p = 0; p < k_max; ++p) {
+    for (std::size_t l = 0; l < m; ++l) vt(p, l) = v(l, p);
   }
   // Pruning bounds. A zero-allowance candidate retains nothing, so every
   // offer to it can be skipped outright.
@@ -399,6 +535,42 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
                              : -std::numeric_limits<double>::infinity(),
                          std::memory_order_relaxed);
   }
+  // Collective bound (distributed top-k fractile combining). A shard's
+  // own cutoff is its LOCAL gamma_k-th largest error, which with evenly
+  // dealt rows approximates the global (kBuildShards * gamma_k)-th
+  // largest — a loose bound that lets ~kBuildShards times too many cells
+  // through. Instead each shard also publishes its ceil(gamma_k /
+  // kBuildShards)-th largest retained error: every shard has at least
+  // that many cells at or above its publication, so at least
+  // kBuildShards * ceil(gamma_k / kBuildShards) >= gamma_k cells sit at
+  // or above the MINIMUM publication across shards. That minimum is
+  // therefore a valid lower bound on the global gamma_k-th largest error
+  // (any cell strictly below it is outranked by >= gamma_k cells), and
+  // it tracks the true global cutoff closely. Publications are
+  // per-shard slots (single writer each) and only ever increase, so
+  // stale reads just weaken the bound — pruning stays conservative and
+  // the final exact merge keeps the result timing-independent.
+  std::vector<std::size_t> fractile_rank(num_candidates);
+  for (std::size_t ci = 0; ci < num_candidates; ++ci) {
+    fractile_rank[ci] =
+        static_cast<std::size_t>((gamma[ci] + kBuildShards - 1) /
+                                 kBuildShards);
+  }
+  std::vector<std::array<std::atomic<double>, kBuildShards>> fractile(
+      num_candidates);
+  for (auto& per_shard : fractile) {
+    for (auto& slot : per_shard) {
+      slot.store(-std::numeric_limits<double>::infinity(),
+                 std::memory_order_relaxed);
+    }
+  }
+  // A shard can publish its fractile as soon as it RETAINS
+  // fractile_rank entries — long before its first compaction (which
+  // needs gamma_k + slack offers). Publishing early, at doubling
+  // buffer-size watermarks, activates the collective bound after
+  // roughly gamma_k total offers instead of kBuildShards * gamma_k,
+  // which is where most of the unpruned startup offers went.
+  for (Pass2Shard& shard : shards) shard.publish_at = fractile_rank;
 
   phase.emplace("svdd.pass2");
   TSC_RETURN_IF_ERROR(ForEachRowChunk(
@@ -414,9 +586,8 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
             const std::size_t i = base + r;
             const std::span<const double> row = rows.Row(r);
             for (std::size_t p = 0; p < k_max; ++p) {
-              double dot = 0.0;
-              for (std::size_t l = 0; l < m; ++l) dot += row[l] * v(l, p);
-              shard.projection[p] = dot;
+              shard.projection[p] =
+                  kernels::Dot(row.data(), vt.Row(p).data(), m);
             }
             if (options.quant != QuantScheme::kF64) {
               // Preview the quantized U row this sequence will get
@@ -432,33 +603,67 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
                 shard.projection[p] = shard.ucoef[p] * singular_values[p];
               }
             }
-            for (std::size_t j = 0; j < m; ++j) {
-              // recon_k = sum_{p<k} projection_p * v_jp, accumulated
-              // incrementally so every candidate k reads the sum once.
-              double recon = 0.0;
-              std::size_t ci = 0;
-              for (std::size_t p = 0; p < k_max && ci < num_candidates; ++p) {
-                recon += shard.projection[p] * v(j, p);
-                while (ci < num_candidates && candidate_ks[ci] == p + 1) {
-                  const double err = row[j] - recon;
-                  const double err2 = err * err;
-                  shard.sse[ci].Add(err2);
-                  // Strictly below the published bound means at least
-                  // gamma_k cells already beat this one — skip. (Ties must
-                  // be offered: the tie-break may rank them above the
-                  // bound's owner.)
-                  if (!(err2 <
-                        thresholds[ci].load(std::memory_order_relaxed))) {
-                    OutlierHeap& queue = shard.queues[ci];
-                    if (queue.Offer(
-                            CellErr{err2, DeltaTable::CellKey(i, j, m)},
-                            err) &&
-                        queue.size() == queue.capacity()) {
-                      UpdateMax(thresholds[ci], queue.MinKey().err2);
-                    }
-                  }
-                  ++ci;
+            // recon_k = sum_{p<k} projection_p * v_jp, accumulated one
+            // component slab at a time so each candidate k reads the
+            // whole-row partial sum exactly once, vectorized.
+            std::fill(shard.recon.begin(), shard.recon.end(), 0.0);
+            std::size_t p = 0;
+            for (std::size_t ci = 0; ci < num_candidates; ++ci) {
+              for (; p < candidate_ks[ci]; ++p) {
+                kernels::Axpy(shard.projection[p], vt.Row(p).data(),
+                              shard.recon.data(), m);
+              }
+              // Branch-free squared errors + lane-compensated SSE first
+              // (the compiler vectorizes this whole loop: 4 Kahan lanes
+              // = one AVX register each), then a separate scan applies
+              // the pruning bound — on pruned rows it is a pure compare
+              // sweep over an L1-resident scratch array.
+              LaneSum& sse = shard.sse[ci];
+              for (std::size_t j = 0; j < m; ++j) {
+                const double err = row[j] - shard.recon[j];
+                const double e2 = err * err;
+                shard.err2[j] = e2;
+                sse[j % kSseLanes].Add(e2);
+              }
+              // One threshold read per row: the bound only tightens, so
+              // a slightly stale value just means a few extra appends.
+              const double bound =
+                  thresholds[ci].load(std::memory_order_relaxed);
+              bool tightened = false;
+              for (std::size_t j = 0; j < m; ++j) {
+                // Strictly below the published bound means at least
+                // gamma_k cells already beat this one — skip. (Ties must
+                // be offered: the tie-break may rank them above the
+                // bound's owner.)
+                if (!(shard.err2[j] < bound)) {
+                  tightened |= shard.queues[ci].Offer(
+                      CellErr{shard.err2[j], DeltaTable::CellKey(i, j, m)},
+                      row[j] - shard.recon[j]);
                 }
+              }
+              OutlierHeap& queue = shard.queues[ci];
+              if (tightened) {
+                UpdateMax(thresholds[ci], queue.Cutoff().err2);
+              }
+              if (fractile_rank[ci] > 0 &&
+                  (tightened || queue.size() >= shard.publish_at[ci]) &&
+                  queue.size() >= fractile_rank[ci]) {
+                // Publish this shard's fractile, then fold the collective
+                // minimum back into the shared threshold (a no-op until
+                // every shard has published at least once). Valid at any
+                // buffer size >= the rank: the buffer always holds a
+                // superset of the shard's true top entries, all of them
+                // genuinely seen.
+                fractile[ci][si].store(
+                    queue.NthLargestKey(fractile_rank[ci]).err2,
+                    std::memory_order_relaxed);
+                shard.publish_at[ci] = queue.size() * 2;
+                double collective = std::numeric_limits<double>::infinity();
+                for (const auto& slot : fractile[ci]) {
+                  collective = std::min(
+                      collective, slot.load(std::memory_order_relaxed));
+                }
+                UpdateMax(thresholds[ci], collective);
               }
             }
           }
@@ -474,23 +679,39 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
   std::vector<double> sse(num_candidates, 0.0);
   for (std::size_t ci = 0; ci < num_candidates; ++ci) {
     KahanSum total;
-    for (const Pass2Shard& shard : shards) total.Merge(shard.sse[ci]);
+    for (const Pass2Shard& shard : shards) {
+      for (const KahanSum& lane : shard.sse[ci]) total.Merge(lane);
+    }
     sse[ci] = total.value();
   }
   std::vector<std::vector<OutlierHeap::Entry>> merged(num_candidates);
   ParallelFor(pool.get(), num_candidates, [&](std::size_t ci) {
+    const auto desc = [](const OutlierHeap::Entry& a,
+                         const OutlierHeap::Entry& b) {
+      return b.key < a.key;  // descending under the total order
+    };
     std::vector<OutlierHeap::Entry> all;
+    std::size_t union_size = 0;
+    for (const Pass2Shard& shard : shards) {
+      union_size += shard.queues[ci].entries().size();
+    }
+    all.reserve(union_size);
     for (const Pass2Shard& shard : shards) {
       const auto& entries = shard.queues[ci].entries();
       all.insert(all.end(), entries.begin(), entries.end());
     }
-    std::sort(all.begin(), all.end(),
-              [](const OutlierHeap::Entry& a, const OutlierHeap::Entry& b) {
-                return b.key < a.key;  // descending under the total order
-              });
+    // Select the exact top gamma_k in O(union), then canonically order
+    // just the survivors: the descending sort makes the retained vector
+    // — and hence the compensated credit sum below — a pure function of
+    // the retained SET, which is what keeps the model bit-identical
+    // across thread counts. Sorting the whole union first cost more
+    // than the rest of the merge combined.
     if (all.size() > gamma[ci]) {
+      auto nth = all.begin() + static_cast<std::ptrdiff_t>(gamma[ci]);
+      std::nth_element(all.begin(), nth, all.end(), desc);
       all.resize(static_cast<std::size_t>(gamma[ci]));
     }
+    std::sort(all.begin(), all.end(), desc);
     merged[ci] = std::move(all);
   });
 
@@ -566,10 +787,26 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
 
   phase.reset();
 
+  const bool randomized = options.engine == SvddBuildEngine::kRandomized;
+  // Every pass Reset()s the source exactly once, so streamed rows are
+  // passes * n regardless of engine (exact: 3; randomized: 3 + 1 sketch
+  // + power_iterations).
+  const std::uint64_t rows_streamed =
+      static_cast<std::uint64_t>(source->passes_started() - passes_before) *
+      static_cast<std::uint64_t>(n);
   obs::MetricRegistry::Default().GetGauge("build.k_opt").Set(
       static_cast<double>(k_opt));
   obs::MetricRegistry::Default().GetGauge("build.delta_count").Set(
       static_cast<double>(deltas.size()));
+  obs::MetricRegistry::Default().GetGauge("build.engine").Set(
+      randomized ? 1.0 : 0.0);
+  obs::MetricRegistry::Default().GetGauge("build.sketch_cols").Set(
+      static_cast<double>(sketch_cols));
+  obs::MetricRegistry::Default().GetGauge("build.power_iters").Set(
+      randomized ? static_cast<double>(options.power_iterations) : 0.0);
+  obs::MetricRegistry::Default()
+      .GetCounter("build.rows_streamed")
+      .Add(rows_streamed);
 
   if (diagnostics != nullptr) {
     diagnostics->k_max = k_max;
@@ -579,6 +816,11 @@ StatusOr<SvddModel> BuildSvddModel(RowSource* source,
     diagnostics->candidate_sse = std::move(sse);
     diagnostics->candidate_residual_sse = std::move(residual);
     diagnostics->candidate_delta_counts = std::move(gamma);
+    diagnostics->engine = randomized ? "randomized" : "exact";
+    diagnostics->sketch_cols = sketch_cols;
+    diagnostics->power_iterations =
+        randomized ? options.power_iterations : 0;
+    diagnostics->rows_streamed = rows_streamed;
   }
   return SvddModel(std::move(svd), std::move(deltas), std::move(bloom));
 }

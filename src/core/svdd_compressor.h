@@ -17,6 +17,17 @@
 
 namespace tsc {
 
+/// Pass-1 subspace engine selector (see BuildSvddModel).
+enum class SvddBuildEngine {
+  /// Exact: full M x M column-similarity accumulation + dense
+  /// eigensolve. The paper's algorithm; O(N * M^2) pass 1.
+  kExact,
+  /// Randomized: streaming Gaussian-sketch range finder
+  /// (core/randomized_build.h). O(N * M * (k+p)) pass 1 with resident
+  /// state independent of N; eigenvalues are Rayleigh-Ritz estimates.
+  kRandomized,
+};
+
 /// The SVDD ("SVD with Deltas") representation of Section 4.2: a truncated
 /// SVD plus a hash table of (cell, delta) pairs for the worst-reconstructed
 /// cells, optionally fronted by a main-memory Bloom filter that short-cuts
@@ -51,10 +62,37 @@ class SvddModel : public CompressedStore {
     return bloom_.has_value() ? bloom_->SizeBytes() : 0;
   }
   bool has_bloom_filter() const { return bloom_.has_value(); }
+  /// Precondition: has_bloom_filter().
+  const BloomFilter& bloom_filter() const { return *bloom_; }
 
   const SvdModel& svd() const { return svd_; }
   const DeltaTable& deltas() const { return deltas_; }
   DeltaTable& mutable_deltas() { return deltas_; }
+
+  /// Fused multi-model cell loop for sharded serving: cell i is served
+  /// by models[owner[i]] at the (already shard-local) coordinates
+  /// cells[i], writing out[i]. One pass over the batch — the same
+  /// inlined dot + bloom/delta probe as the single-store path, with the
+  /// model chosen per cell through a flat view table instead of
+  /// grouping the batch per shard; small batches keep single-store
+  /// speed because there are no scatter/gather copies to amortize.
+  /// Every owner value must index models.
+  static void ReconstructCellsMulti(std::span<const SvddModel* const> models,
+                                    std::span<const std::uint32_t> owner,
+                                    std::span<const CellRef> cells,
+                                    std::span<double> out);
+
+  /// Range-partitioned variant of ReconstructCellsMulti: cells carry
+  /// GLOBAL rows, and range_begin holds the models.size() + 1 ascending
+  /// slice boundaries (model s owns rows [range_begin[s],
+  /// range_begin[s+1])). Owner selection, row localization and the
+  /// reconstruction run in one fused pass — the owner is a branchless
+  /// boundary scan, so nothing is precomputed per cell at all. Returns
+  /// a bitmask of the owners hit (owner & 63) for fan-out accounting.
+  static std::uint64_t ReconstructCellsRange(
+      std::span<const SvddModel* const> models,
+      std::span<const std::size_t> range_begin,
+      std::span<const CellRef> cells, std::span<double> out);
 
   /// Batched off-line appends: folds new sequences in via the frozen
   /// subspace (see SvdModel::FoldInRows). New rows get no deltas; patch
@@ -131,6 +169,18 @@ struct SvddBuildOptions {
   /// single-core machines); serial builds read directly.
   /// Order-preserving either way, so the model is unchanged.
   std::size_t prefetch_depth = 0;
+  /// Pass-1 subspace engine. kExact reproduces the paper; kRandomized
+  /// swaps pass 1 for the streaming sketch PCA, leaving passes 2/3, the
+  /// k_opt search, quantized-byte charging, and sharding unchanged.
+  SvddBuildEngine engine = SvddBuildEngine::kExact;
+  /// Randomized engine only: Gaussian sketch seed. Builds are
+  /// bit-identical for a fixed seed at any thread count.
+  std::uint64_t sketch_seed = 42;
+  /// Randomized engine only: oversampling columns p beyond k_max.
+  std::size_t sketch_oversample = 8;
+  /// Randomized engine only: extra power-iteration passes (one more
+  /// stream over the rows each) for slowly decaying spectra.
+  std::size_t power_iterations = 0;
 };
 
 /// Build-time report: the k trade-off the algorithm explored.
@@ -147,6 +197,15 @@ struct SvddBuildDiagnostics {
   std::vector<double> candidate_residual_sse;
   /// Affordable outlier count at each candidate.
   std::vector<std::uint64_t> candidate_delta_counts;
+  /// Engine that produced the subspace: "exact" or "randomized".
+  std::string engine;
+  /// Randomized engine: sketch width l = k_max_target + oversample (0
+  /// for exact builds).
+  std::size_t sketch_cols = 0;
+  /// Randomized engine: power iterations run.
+  std::size_t power_iterations = 0;
+  /// Data rows read across all streaming passes of the build.
+  std::uint64_t rows_streamed = 0;
 };
 
 /// Builds an SVDD model with the paper's 3-pass algorithm (Figure 5):

@@ -1,0 +1,127 @@
+#include "linalg/qr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "linalg/kernels.h"
+
+namespace tsc {
+namespace {
+
+// Panel width for the blocked projection. Small enough that the
+// coefficient block stays in L1, large enough to amortize the GemmNT
+// dispatch over the (potentially long) rows.
+constexpr std::size_t kPanelRows = 8;
+
+// Subtracts from every panel row its projection onto the orthonormal
+// prefix rows [0, prefix): coeff = panel * prefix^T via GemmNT, then
+// panel_row -= sum_j coeff[j] * prefix_row_j.
+void ProjectPanelAgainstPrefix(Matrix* a, std::size_t panel_begin,
+                               std::size_t panel_rows, std::size_t prefix) {
+  if (prefix == 0 || panel_rows == 0) {
+    return;
+  }
+  const std::size_t m = a->cols();
+  std::vector<double> coeff(panel_rows * prefix);
+  kernels::GemmNT(a->Row(panel_begin).data(), panel_rows, m,
+                  a->Row(0).data(), prefix, m, m, coeff.data(), prefix);
+  for (std::size_t r = 0; r < panel_rows; ++r) {
+    double* row = a->Row(panel_begin + r).data();
+    const double* c = coeff.data() + r * prefix;
+    for (std::size_t j = 0; j < prefix; ++j) {
+      kernels::Axpy(-c[j], a->Row(j).data(), row, m);
+    }
+  }
+}
+
+}  // namespace
+
+StatusOr<std::size_t> OrthonormalizeRows(Matrix* a,
+                                         double relative_tolerance) {
+  if (a == nullptr) {
+    return Status::InvalidArgument("OrthonormalizeRows: null matrix");
+  }
+  const std::size_t rows = a->rows();
+  const std::size_t m = a->cols();
+  if (rows == 0 || m == 0) {
+    return std::size_t{0};
+  }
+
+  // Pre-projection norms anchor the rank test: a row is dependent when
+  // projection removes all but a relative_tolerance sliver of it.
+  std::vector<double> origin_norm(rows);
+  double max_origin = 0.0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    const double* row = a->Row(i).data();
+    origin_norm[i] = std::sqrt(kernels::Dot(row, row, m));
+    max_origin = std::max(max_origin, origin_norm[i]);
+  }
+  if (max_origin == 0.0) {
+    return std::size_t{0};
+  }
+
+  std::vector<bool> dropped(rows, false);
+  std::size_t rank = 0;  // Orthonormal rows live in a[0..rank) at all times.
+  for (std::size_t panel_begin = 0; panel_begin < rows;
+       panel_begin += kPanelRows) {
+    const std::size_t panel_rows =
+        std::min(kPanelRows, rows - panel_begin);
+    // Blocked projection against the orthonormal prefix, applied twice.
+    ProjectPanelAgainstPrefix(a, panel_begin, panel_rows, rank);
+    ProjectPanelAgainstPrefix(a, panel_begin, panel_rows, rank);
+    // Modified Gram-Schmidt inside the panel, again with a second sweep.
+    for (std::size_t r = 0; r < panel_rows; ++r) {
+      const std::size_t i = panel_begin + r;
+      double* row = a->Row(i).data();
+      for (int sweep = 0; sweep < 2; ++sweep) {
+        for (std::size_t j = panel_begin; j < i; ++j) {
+          if (dropped[j]) {
+            continue;
+          }
+          const double c = kernels::Dot(row, a->Row(j).data(), m);
+          kernels::Axpy(-c, a->Row(j).data(), row, m);
+        }
+      }
+      const double norm = std::sqrt(kernels::Dot(row, row, m));
+      const double floor =
+          relative_tolerance * std::max(origin_norm[i], max_origin);
+      if (norm <= floor || norm == 0.0) {
+        dropped[i] = true;
+        std::fill(row, row + m, 0.0);
+        continue;
+      }
+      const double inv = 1.0 / norm;
+      for (std::size_t t = 0; t < m; ++t) {
+        row[t] *= inv;
+      }
+    }
+    // Compact the panel's survivors onto the prefix so the next panel's
+    // GemmNT sees a dense orthonormal block at a[0..rank).
+    for (std::size_t r = 0; r < panel_rows; ++r) {
+      const std::size_t i = panel_begin + r;
+      if (dropped[i]) {
+        continue;
+      }
+      if (i != rank) {
+        std::copy_n(a->Row(i).data(), m, a->Row(rank).data());
+        std::fill(a->Row(i).begin(), a->Row(i).end(), 0.0);
+      }
+      ++rank;
+    }
+  }
+  for (std::size_t i = rank; i < rows; ++i) {
+    std::fill(a->Row(i).begin(), a->Row(i).end(), 0.0);
+  }
+  return rank;
+}
+
+void AddScaledOuter(std::span<const double> coeffs, std::span<const double> x,
+                    Matrix* c) {
+  const std::size_t n = x.size();
+  for (std::size_t p = 0; p < coeffs.size(); ++p) {
+    kernels::Axpy(coeffs[p], x.data(), c->Row(p).data(), n);
+  }
+}
+
+}  // namespace tsc

@@ -1,0 +1,43 @@
+#ifndef TSC_LINALG_QR_H_
+#define TSC_LINALG_QR_H_
+
+#include <cstddef>
+#include <span>
+
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace tsc {
+
+/// Orthonormalizes the rows of `a` in place with blocked Gram-Schmidt:
+/// rows are processed in panels, each panel is projected against the
+/// already-orthonormal prefix with one GemmNT (coefficients) plus rank-1
+/// updates, then orthonormalized internally by modified Gram-Schmidt.
+/// Every projection is applied twice ("twice is enough" reorthogonalization),
+/// which keeps the basis orthonormal to machine precision even for the
+/// ill-conditioned sketches a randomized range finder produces.
+///
+/// Rows whose norm collapses below `relative_tolerance` times their
+/// pre-projection norm are numerically dependent on the rows above them;
+/// they are dropped and the surviving rows are compacted to the front of
+/// `a` (trailing rows are zeroed). Returns the numerical rank, i.e. the
+/// number of leading rows of `a` that form an orthonormal basis.
+///
+/// The row-wise orientation is deliberate: the randomized builder stores
+/// its sketch transposed (l x M), so every inner product and update here
+/// runs over contiguous memory and dispatches through the SIMD kernels.
+/// The routine is strictly sequential in row order and therefore
+/// bit-deterministic regardless of caller threading.
+StatusOr<std::size_t> OrthonormalizeRows(Matrix* a,
+                                         double relative_tolerance = 1e-12);
+
+/// Tall-skinny rank-1 accumulate: c->Row(p) += coeffs[p] * x for every p.
+/// `x` must have c->cols() entries and `coeffs` c->rows() entries. This is
+/// the streaming building block for sketch updates (Y^T += omega x^T) and
+/// Rayleigh-quotient accumulation (T += w w^T).
+void AddScaledOuter(std::span<const double> coeffs, std::span<const double> x,
+                    Matrix* c);
+
+}  // namespace tsc
+
+#endif  // TSC_LINALG_QR_H_

@@ -73,7 +73,10 @@ double Histogram::QuantileFromBuckets(
       const double lower = BucketLowerBound(i);
       double upper = BucketUpperBound(i);
       // The top populated bucket cannot exceed the observed maximum.
-      if (observed_max > lower && observed_max < upper) upper = observed_max;
+      // >= matters: when every sample equals the bucket's lower bound
+      // (max == lower, e.g. all-1s batches), interpolation against the
+      // full bucket width used to report p50 = 1.5 > max.
+      if (observed_max >= lower && observed_max < upper) upper = observed_max;
       const double fraction =
           (rank - before) / static_cast<double>(buckets[i]);
       return lower + (upper - lower) * std::clamp(fraction, 0.0, 1.0);

@@ -1,6 +1,9 @@
 #include "storage/delta_table.h"
 
+#include <algorithm>
 #include <bit>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.h"
 #include "obs/query_context.h"
@@ -137,13 +140,23 @@ void DeltaTable::QuantizeValuesToFloat() {
 Status DeltaTable::Serialize(BinaryWriter* writer) const {
   TSC_RETURN_IF_ERROR(writer->WriteU64(entry_bytes_));
   TSC_RETURN_IF_ERROR(writer->WriteU64(size_));
-  Status status = Status::Ok();
+  // Emit entries in key order, not probe order: the hash table's layout
+  // depends on its insertion/growth history, so two tables holding the
+  // same deltas (e.g. freshly built vs reloaded) would otherwise
+  // serialize to different bytes. Sorting makes the on-disk form a pure
+  // function of the contents — save(load(save(x))) == save(x).
+  std::vector<std::pair<std::uint64_t, double>> entries;
+  entries.reserve(size_);
   ForEach([&](std::uint64_t key, double delta) {
-    if (!status.ok()) return;
-    status = writer->WriteU64(key);
-    if (status.ok()) status = writer->WriteDouble(delta);
+    entries.emplace_back(key, delta);
   });
-  return status;
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (const auto& [key, delta] : entries) {
+    TSC_RETURN_IF_ERROR(writer->WriteU64(key));
+    TSC_RETURN_IF_ERROR(writer->WriteDouble(delta));
+  }
+  return Status::Ok();
 }
 
 StatusOr<DeltaTable> DeltaTable::Deserialize(BinaryReader* reader) {

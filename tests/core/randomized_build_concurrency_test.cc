@@ -1,0 +1,95 @@
+// ThreadSanitizer rider for the randomized build engine: the sketch,
+// power, and projection passes fork per-shard work onto a pool and
+// reduce in shard order, and the obs gauges are written from the build
+// thread while other builds run. Two stress shapes: (1) one threaded
+// randomized build must match the serial build byte for byte, repeated
+// to give tsan scheduling room; (2) several whole builds run
+// concurrently against the shared metric registry.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/svdd_compressor.h"
+#include "data/generators.h"
+#include "storage/row_source.h"
+
+namespace tsc {
+namespace {
+
+std::vector<std::uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<std::uint8_t>(std::istreambuf_iterator<char>(in),
+                                   std::istreambuf_iterator<char>());
+}
+
+Matrix MakePhoneMatrix(std::size_t rows) {
+  PhoneDatasetConfig config;
+  config.num_customers = rows;
+  config.num_days = 32;
+  config.seed = 29;
+  return GeneratePhoneDataset(config).values;
+}
+
+SvddBuildOptions RandomizedOptions(std::size_t threads) {
+  SvddBuildOptions options;
+  options.engine = SvddBuildEngine::kRandomized;
+  options.space_percent = 5.0;
+  options.sketch_seed = 77;
+  options.power_iterations = 1;  // exercises the re-projection pass too
+  options.num_threads = threads;
+  return options;
+}
+
+TEST(RandomizedBuildConcurrencyTest, ThreadedBuildMatchesSerialBytes) {
+  const Matrix x = MakePhoneMatrix(1200);
+  const std::string serial_path =
+      ::testing::TempDir() + "/randconc_serial.model";
+  {
+    MatrixRowSource source(&x);
+    const auto model = BuildSvddModel(&source, RandomizedOptions(1));
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    ASSERT_TRUE(model->SaveToFile(serial_path).ok());
+  }
+  const std::vector<std::uint8_t> serial_bytes = ReadFileBytes(serial_path);
+  for (int round = 0; round < 3; ++round) {
+    MatrixRowSource source(&x);
+    const auto model = BuildSvddModel(&source, RandomizedOptions(4));
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    const std::string path = ::testing::TempDir() + "/randconc_t4_" +
+                             std::to_string(round) + ".model";
+    ASSERT_TRUE(model->SaveToFile(path).ok());
+    EXPECT_EQ(ReadFileBytes(path), serial_bytes) << "round " << round;
+  }
+}
+
+TEST(RandomizedBuildConcurrencyTest, ConcurrentBuildsShareTheRegistry) {
+  const Matrix x = MakePhoneMatrix(600);
+  constexpr int kBuilders = 4;
+  std::vector<std::vector<std::uint8_t>> bytes(kBuilders);
+  std::vector<std::thread> builders;
+  builders.reserve(kBuilders);
+  for (int t = 0; t < kBuilders; ++t) {
+    builders.emplace_back([&x, &bytes, t] {
+      MatrixRowSource source(&x);
+      const auto model = BuildSvddModel(&source, RandomizedOptions(2));
+      ASSERT_TRUE(model.ok()) << model.status().ToString();
+      const std::string path = ::testing::TempDir() + "/randconc_par_" +
+                               std::to_string(t) + ".model";
+      ASSERT_TRUE(model->SaveToFile(path).ok());
+      bytes[t] = ReadFileBytes(path);
+    });
+  }
+  for (auto& thread : builders) thread.join();
+  for (int t = 1; t < kBuilders; ++t) {
+    EXPECT_EQ(bytes[t], bytes[0]) << "builder " << t;
+  }
+}
+
+}  // namespace
+}  // namespace tsc

@@ -1,0 +1,145 @@
+// Blocked Gram-Schmidt QR (linalg/qr.h): orthonormality to machine
+// precision, span preservation, rank detection on dependent rows, and
+// the rank-1 accumulate helper the streaming sketch passes are built on.
+
+#include "linalg/qr.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
+
+namespace tsc {
+namespace {
+
+// Deterministic pseudo-random fill (no <random> so the expected values
+// never depend on the standard library's distribution implementations).
+double Hash01(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return static_cast<double>((x ^ (x >> 31)) >> 11) * 0x1.0p-53;
+}
+
+Matrix RandomMatrix(std::size_t rows, std::size_t cols, std::uint64_t seed) {
+  Matrix m(rows, cols);
+  for (std::size_t i = 0; i < rows; ++i) {
+    for (std::size_t j = 0; j < cols; ++j) {
+      m(i, j) = Hash01(seed + i * cols + j) - 0.5;
+    }
+  }
+  return m;
+}
+
+double MaxOrthonormalityError(const Matrix& q, std::size_t rank) {
+  double worst = 0.0;
+  for (std::size_t i = 0; i < rank; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double dot =
+          kernels::Dot(q.Row(i).data(), q.Row(j).data(), q.cols());
+      const double expected = i == j ? 1.0 : 0.0;
+      worst = std::max(worst, std::abs(dot - expected));
+    }
+  }
+  return worst;
+}
+
+TEST(QrTest, OrthonormalizesFullRankRows) {
+  // 20 rows of length 64: spans several panels, full rank almost surely.
+  Matrix a = RandomMatrix(20, 64, 7);
+  const Matrix original = a;
+  const auto rank = OrthonormalizeRows(&a);
+  ASSERT_TRUE(rank.ok()) << rank.status().ToString();
+  EXPECT_EQ(*rank, 20u);
+  EXPECT_LT(MaxOrthonormalityError(a, *rank), 1e-12);
+  // Span preservation: every original row must be expressible in the
+  // basis, i.e. have zero residual after projecting onto it.
+  for (std::size_t i = 0; i < original.rows(); ++i) {
+    std::vector<double> residual(original.Row(i).begin(),
+                                 original.Row(i).end());
+    for (std::size_t j = 0; j < *rank; ++j) {
+      const double c =
+          kernels::Dot(residual.data(), a.Row(j).data(), a.cols());
+      kernels::Axpy(-c, a.Row(j).data(), residual.data(), a.cols());
+    }
+    const double norm = std::sqrt(
+        kernels::Dot(residual.data(), residual.data(), a.cols()));
+    EXPECT_LT(norm, 1e-10) << "row " << i << " left the span";
+  }
+}
+
+TEST(QrTest, DetectsRankDeficiency) {
+  // 10 rows, but rows 3..9 are combinations of rows 0..2.
+  Matrix basis = RandomMatrix(3, 32, 11);
+  Matrix a(10, 32);
+  for (std::size_t i = 0; i < 3; ++i) {
+    std::copy(basis.Row(i).begin(), basis.Row(i).end(), a.Row(i).begin());
+  }
+  for (std::size_t i = 3; i < 10; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      kernels::Axpy(Hash01(100 * i + j) + 0.1, basis.Row(j).data(),
+                    a.Row(i).data(), 32);
+    }
+  }
+  const auto rank = OrthonormalizeRows(&a);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(*rank, 3u);
+  EXPECT_LT(MaxOrthonormalityError(a, *rank), 1e-12);
+  // Rows past the rank are compacted away (zeroed).
+  for (std::size_t i = *rank; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < a.cols(); ++j) {
+      EXPECT_EQ(a(i, j), 0.0);
+    }
+  }
+}
+
+TEST(QrTest, ZeroMatrixHasRankZero) {
+  Matrix a(4, 16);
+  const auto rank = OrthonormalizeRows(&a);
+  ASSERT_TRUE(rank.ok());
+  EXPECT_EQ(*rank, 0u);
+}
+
+TEST(QrTest, IllConditionedRowsStayOrthonormal) {
+  // Nearly parallel rows: classic Gram-Schmidt loses orthogonality here;
+  // the double projection ("twice is enough") must not.
+  Matrix a(6, 48);
+  Matrix base = RandomMatrix(1, 48, 23);
+  for (std::size_t i = 0; i < 6; ++i) {
+    std::copy(base.Row(0).begin(), base.Row(0).end(), a.Row(i).begin());
+    // Perturb each copy by a tiny independent direction.
+    for (std::size_t j = 0; j < 48; ++j) {
+      a(i, j) += 1e-7 * (Hash01(1000 + i * 48 + j) - 0.5);
+    }
+  }
+  const auto rank = OrthonormalizeRows(&a);
+  ASSERT_TRUE(rank.ok());
+  ASSERT_GE(*rank, 1u);
+  EXPECT_LT(MaxOrthonormalityError(a, *rank), 1e-10);
+}
+
+TEST(QrTest, AddScaledOuterMatchesNaive) {
+  Matrix c(3, 8);
+  Matrix expected(3, 8);
+  const std::vector<double> coeffs = {0.5, -2.0, 3.25};
+  std::vector<double> x(8);
+  for (std::size_t j = 0; j < 8; ++j) x[j] = Hash01(j) - 0.5;
+  for (std::size_t p = 0; p < 3; ++p) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      expected(p, j) = coeffs[p] * x[j];
+    }
+  }
+  AddScaledOuter(coeffs, x, &c);
+  for (std::size_t p = 0; p < 3; ++p) {
+    for (std::size_t j = 0; j < 8; ++j) {
+      EXPECT_DOUBLE_EQ(c(p, j), expected(p, j));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tsc

@@ -143,6 +143,32 @@ TEST(HistogramTest, QuantileSingleValueClampsToObservedMax) {
   }
 }
 
+TEST(HistogramTest, QuantileNeverExceedsObservedMaxOnSingleBucketData) {
+  SKIP_IF_OBS_DISABLED();
+  // Regression (BENCH_9 server.batch_size): every sample equal to a
+  // bucket's LOWER bound — all-1s batches land in bucket [1, 2) with
+  // observed max == lower == 1 — used to interpolate against the full
+  // bucket width and report p50=1.5, p99=1.99 on data whose max is 1.
+  Histogram ones;
+  for (int i = 0; i < 100; ++i) ones.Record(1.0);
+  for (double q : {0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(ones.Quantile(q), 1.0) << "q=" << q;
+  }
+  const Histogram::Summary summary = ones.Snapshot();
+  EXPECT_DOUBLE_EQ(summary.p50, 1.0);
+  EXPECT_DOUBLE_EQ(summary.p99, 1.0);
+  EXPECT_LE(summary.p50, summary.max);
+  EXPECT_LE(summary.p99, summary.max);
+
+  // Same family at the zero bucket: all-zero samples sit in [0, 1) with
+  // max == lower == 0; quantiles must report 0, not 0.5.
+  Histogram zeros;
+  for (int i = 0; i < 10; ++i) zeros.Record(0.0);
+  for (double q : {0.5, 0.99}) {
+    EXPECT_DOUBLE_EQ(zeros.Quantile(q), 0.0) << "q=" << q;
+  }
+}
+
 TEST(HistogramTest, QuantileInterpolatesInsideBucket) {
   SKIP_IF_OBS_DISABLED();
   // 150 samples at 1.5 (bucket [1,2)) and 50 at 100 (bucket [64,128),
